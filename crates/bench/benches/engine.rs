@@ -1,0 +1,67 @@
+//! Criterion benches for the scheduling engine: how fast does a simulated
+//! day run under each policy? Engine speed bounds every experiment in
+//! this harness, and policy overhead (backfill profile construction,
+//! DVFS search) shows up here.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epa_bench::experiment_system;
+use epa_sched::engine::{ClusterSim, EngineConfig};
+use epa_sched::policies::backfill::{ConservativeBackfill, EasyBackfill};
+use epa_sched::policies::energy_aware::EnergyAwareScheduler;
+use epa_sched::policies::fcfs::Fcfs;
+use epa_sched::policies::power_aware::PowerAwareBackfill;
+use epa_sched::view::Policy;
+use epa_simcore::time::SimTime;
+use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
+use epa_workload::job::Job;
+use std::hint::black_box;
+
+fn jobs_for(nodes: u32, seed: u64) -> Vec<Job> {
+    WorkloadGenerator::new(WorkloadParams::typical(nodes, seed))
+        .generate(SimTime::from_days(1.0), 0)
+}
+
+fn run_with(policy: &mut dyn Policy, nodes: u32, budget: Option<f64>) -> u64 {
+    let jobs = jobs_for(nodes, 9);
+    let mut config = EngineConfig::new(SimTime::from_days(1.0));
+    config.power_budget_watts = budget;
+    ClusterSim::new(experiment_system(nodes), jobs, policy, config)
+        .run()
+        .completed
+}
+
+fn bench_policies(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/simulated-day-128-nodes");
+    g.sample_size(10);
+    g.bench_function("fcfs", |b| {
+        b.iter(|| black_box(run_with(&mut Fcfs, 128, None)));
+    });
+    g.bench_function("easy-backfill", |b| {
+        b.iter(|| black_box(run_with(&mut EasyBackfill, 128, None)));
+    });
+    g.bench_function("conservative-backfill", |b| {
+        b.iter(|| black_box(run_with(&mut ConservativeBackfill, 128, None)));
+    });
+    g.bench_function("power-aware+dvfs", |b| {
+        let budget = Some(experiment_system(128).spec().nominal_watts() * 0.8);
+        b.iter(|| black_box(run_with(&mut PowerAwareBackfill::default(), 128, budget)));
+    });
+    g.bench_function("energy-aware", |b| {
+        b.iter(|| black_box(run_with(&mut EnergyAwareScheduler::default(), 128, None)));
+    });
+    g.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine/machine-size-scaling");
+    g.sample_size(10);
+    for nodes in [64u32, 256, 1024] {
+        g.bench_with_input(BenchmarkId::from_parameter(nodes), &nodes, |b, &n| {
+            b.iter(|| black_box(run_with(&mut EasyBackfill, n, None)));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_policies, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,87 @@
+//! Criterion benches for the power substrate: exact trace integration,
+//! RAPL window accounting, cap distribution, and dynamic power sharing —
+//! the inner loops of every power tick (DESIGN.md decision 1's
+//! telemetry-interval trade-off is bounded by these costs).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use epa_power::capmc::{CapDistribution, CapmcController};
+use epa_power::rapl::RaplDomain;
+use epa_sched::policies::power_sharing::{JobPowerNeed, PowerSharingManager};
+use epa_simcore::series::TimeSeries;
+use epa_simcore::time::{SimDuration, SimTime};
+use epa_workload::job::JobId;
+use std::collections::BTreeMap;
+use std::hint::black_box;
+
+fn trace_with(n: usize) -> TimeSeries {
+    let mut ts = TimeSeries::new();
+    for i in 0..n {
+        ts.push(SimTime::from_secs(i as f64), 100.0 + (i % 7) as f64 * 37.0);
+    }
+    ts
+}
+
+fn bench_integration(c: &mut Criterion) {
+    let mut g = c.benchmark_group("power/trace-integration");
+    for n in [100usize, 10_000] {
+        let ts = trace_with(n);
+        let end = SimTime::from_secs(n as f64);
+        g.bench_with_input(BenchmarkId::from_parameter(n), &ts, |b, ts| {
+            b.iter(|| black_box(ts.integrate(SimTime::ZERO, end)));
+        });
+    }
+    g.finish();
+}
+
+fn bench_rapl(c: &mut Criterion) {
+    let mut domain = RaplDomain::new(250.0, SimDuration::from_secs(60.0)).unwrap();
+    for i in 0..10_000 {
+        domain.record(SimTime::from_secs(i as f64), 200.0 + (i % 5) as f64 * 30.0);
+    }
+    c.bench_function("power/rapl-windowed-average-10k-trace", |b| {
+        b.iter(|| black_box(domain.windowed_average(SimTime::from_secs(10_000.0))));
+    });
+}
+
+fn bench_capmc(c: &mut Criterion) {
+    let mut ctrl = CapmcController::new(100.0, 500.0).unwrap();
+    ctrl.set_system_cap(Some(100_000.0)).unwrap();
+    let demands: BTreeMap<_, _> = (0..1024u32)
+        .map(|i| (epa_cluster::node::NodeId(i), 300.0 + f64::from(i % 10)))
+        .collect();
+    c.bench_function("power/capmc-grant-1024-nodes", |b| {
+        b.iter(|| black_box(ctrl.grant(&demands, CapDistribution::ProportionalToDemand)));
+    });
+}
+
+fn bench_sharing(c: &mut Criterion) {
+    let needs: BTreeMap<_, _> = (0..256u64)
+        .map(|i| {
+            (
+                JobId(i),
+                JobPowerNeed {
+                    demand_watts: 200.0 + (i % 13) as f64 * 25.0,
+                    floor_watts: 80.0,
+                },
+            )
+        })
+        .collect();
+    let mgr = PowerSharingManager::new(40_000.0);
+    let mut g = c.benchmark_group("power/sharing-256-jobs");
+    g.bench_function("static", |b| {
+        b.iter(|| black_box(mgr.allocate_static(&needs)));
+    });
+    g.bench_function("dynamic", |b| {
+        b.iter(|| black_box(mgr.allocate_dynamic(&needs)));
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_integration,
+    bench_rapl,
+    bench_capmc,
+    bench_sharing
+);
+criterion_main!(benches);

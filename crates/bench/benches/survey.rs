@@ -1,0 +1,44 @@
+//! Criterion bench for the end-to-end survey pipeline: one full site run
+//! (12 simulated hours) and the analysis layer on the nine-site matrix.
+//! This is the cost of regenerating Tables I/II.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use epa_core::analysis::cluster_sites;
+use epa_core::matrix::CapabilityMatrix;
+use epa_simcore::time::SimTime;
+use epa_sites::runner::run_site;
+use epa_sites::taxonomy::Stage;
+use std::hint::black_box;
+
+fn bench_site_run(c: &mut Criterion) {
+    let mut g = c.benchmark_group("survey/site-run-12h");
+    g.sample_size(10);
+    g.bench_function("stfc", |b| {
+        b.iter(|| {
+            let mut site = epa_sites::centers::stfc::config(3);
+            site.horizon = SimTime::from_hours(12.0);
+            black_box(run_site(&site).outcome.completed)
+        });
+    });
+    g.bench_function("tokyo-tech", |b| {
+        b.iter(|| {
+            let mut site = epa_sites::centers::tokyo_tech::config(3);
+            site.horizon = SimTime::from_hours(12.0);
+            black_box(run_site(&site).outcome.completed)
+        });
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut matrix = CapabilityMatrix::new();
+    for site in epa_sites::all_sites(1) {
+        matrix.add_site(&site.meta.key, &site.capabilities);
+    }
+    c.bench_function("survey/cluster-nine-sites", |b| {
+        b.iter(|| black_box(cluster_sites(&matrix, Stage::Research, 0.4).len()));
+    });
+}
+
+criterion_group!(benches, bench_site_run, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! **E10 — layout-aware maintenance scheduling** (CEA, Table I: SLURM
+//! "layout logic" — know which PDUs/chillers a node depends on and avoid
+//! scheduling jobs onto them before maintenance).
+//!
+//! The CEA site model schedules a half-day PDU maintenance window
+//! mid-week. With layout logic ON the engine keeps new jobs off the
+//! dependent nodes for the window; with it OFF jobs land there and would
+//! have been interrupted (we count jobs whose execution overlapped the
+//! window on affected nodes).
+//!
+//! Expected shape: layout-aware scheduling drives interrupted-job count
+//! to zero at a small utilization cost during the window.
+
+use epa_bench::ResultsTable;
+use epa_simcore::time::SimTime;
+use epa_sites::runner::run_site;
+
+/// Nodes fed by PDU 0 in the runner's regular layout (4 cabinets/PDU ×
+/// 16 nodes/cabinet).
+fn affected_nodes() -> std::ops::Range<u32> {
+    0..64
+}
+
+/// The maintenance window the runner schedules (days 3.0–3.5).
+fn window() -> (f64, f64) {
+    (3.0 * 86_400.0, 3.5 * 86_400.0)
+}
+
+fn main() {
+    println!("E10: layout-aware scheduling around PDU maintenance at CEA\n");
+    let mut aware = epa_sites::centers::cea::config(2026);
+    aware.horizon = SimTime::from_days(5.0);
+    let mut blind = aware.clone();
+    blind.layout_aware = false;
+
+    let mut table = ResultsTable::new(&[
+        "config",
+        "completed",
+        "util %",
+        "interrupted jobs",
+        "mean wait h",
+    ]);
+    for (label, site) in [("layout-aware", &aware), ("layout-blind", &blind)] {
+        let report = run_site(site);
+        let (w_start, w_end) = window();
+        let affected = affected_nodes();
+        let interrupted = report
+            .outcome
+            .jobs
+            .iter()
+            .filter(|j| {
+                let job_start = j.start_secs;
+                let job_end = j.start_secs + j.run_secs;
+                job_start < w_end
+                    && job_end > w_start
+                    && j.node_ids.iter().any(|n| affected.contains(n))
+            })
+            .count();
+        table.row(vec![
+            label.into(),
+            report.outcome.completed.to_string(),
+            format!("{:.1}", 100.0 * report.outcome.utilization),
+            interrupted.to_string(),
+            format!("{:.2}", report.outcome.mean_wait_secs / 3600.0),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("Expected shape: layout-aware has 0 interrupted jobs; layout-blind has many.");
+    println!(
+        "(Note: layout-aware counts only jobs *started before* the window was known, which the"
+    );
+    println!(" CEA model avoids by checking the full estimated runtime at start time.)");
+}

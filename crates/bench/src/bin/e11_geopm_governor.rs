@@ -1,0 +1,85 @@
+//! **E11 — per-phase (GEOPM-style) vs per-job frequency control** (LRZ
+//! and STFC research rows: "investigating merging SLURM and GEOPM").
+//!
+//! For a range of application mixes and slowdown bounds, compare three
+//! frequency-control granularities on energy-to-solution:
+//! 1. none (base frequency),
+//! 2. one frequency per job (the LoadLeveler production capability),
+//! 3. one frequency per *phase* (the GEOPM research direction).
+//!
+//! Expected shape: per-phase ≤ per-job ≤ base energy at every bound, with
+//! the per-phase advantage largest on mixed workloads — the argument for
+//! the research investment the survey records.
+
+use epa_bench::ResultsTable;
+use epa_cluster::node::NodeSpec;
+use epa_power::dvfs::DvfsModel;
+use epa_sched::governor::{GovernorObjective, PhaseGovernor};
+use epa_workload::job::AppProfile;
+
+/// Energy ratio of the best single frequency meeting the bound.
+fn per_job_ratio(dvfs: &DvfsModel, app: &AppProfile, bound: f64) -> f64 {
+    let total_w: f64 = app.phases.iter().map(|p| p.weight).sum();
+    let base = dvfs.cpu().base_freq_ghz;
+    let base_e: f64 = app
+        .phases
+        .iter()
+        .map(|p| p.weight / total_w * dvfs.phase_energy(1.0, base, p.cpu_boundness))
+        .sum();
+    let mut best = 1.0_f64; // base frequency always meets the bound
+    for f in dvfs.cpu().frequency_ladder() {
+        let slow: f64 = app
+            .phases
+            .iter()
+            .map(|p| p.weight / total_w * dvfs.slowdown(f, p.cpu_boundness))
+            .sum();
+        if slow > bound {
+            continue;
+        }
+        let e: f64 = app
+            .phases
+            .iter()
+            .map(|p| p.weight / total_w * dvfs.phase_energy(1.0, f, p.cpu_boundness))
+            .sum();
+        best = best.min(e / base_e);
+    }
+    best
+}
+
+fn main() {
+    println!("E11: frequency-control granularity — none vs per-job vs per-phase (GEOPM)\n");
+    let dvfs = DvfsModel::new(NodeSpec::typical_xeon());
+    for bound in [1.02, 1.05, 1.10, 1.20] {
+        println!("slowdown bound: {:.0}%", (bound - 1.0) * 100.0);
+        let mut table = ResultsTable::new(&[
+            "profile",
+            "base energy",
+            "per-job energy",
+            "per-phase energy",
+        ]);
+        for app in [
+            AppProfile::compute_bound("compute-bound"),
+            AppProfile::balanced("balanced"),
+            AppProfile::memory_bound("memory-bound"),
+        ] {
+            let per_job = per_job_ratio(&dvfs, &app, bound);
+            let governor = PhaseGovernor::new(
+                dvfs.clone(),
+                GovernorObjective::EnergyWithinSlowdown {
+                    max_slowdown: bound,
+                },
+            );
+            let plan = governor.plan(&app.phases);
+            table.row(vec![
+                app.tag.clone(),
+                "1.000".into(),
+                format!("{per_job:.3}"),
+                format!("{:.3}", plan.energy_ratio),
+            ]);
+        }
+        println!("{}", table.render());
+    }
+    println!(
+        "Expected shape: per-phase ≤ per-job ≤ 1.0 everywhere; the gap peaks on the balanced mix."
+    );
+}

@@ -1,0 +1,62 @@
+//! **E2 — the DVFS energy/time trade-off** (Freeh et al. TPDS'07,
+//! Etinski et al., Auweter et al. — survey §VI).
+//!
+//! For three application profiles (compute-bound, balanced,
+//! memory-bound) we sweep the DVFS ladder and report runtime inflation
+//! and energy-to-solution relative to base frequency.
+//!
+//! Expected shape (paper): memory-bound codes save energy monotonically
+//! as frequency drops (runtime barely inflates); compute-bound codes
+//! have their energy minimum near base frequency because the runtime
+//! inflation pays back the power saving.
+
+use epa_bench::ResultsTable;
+use epa_cluster::node::NodeSpec;
+use epa_power::dvfs::DvfsModel;
+use epa_workload::job::AppProfile;
+
+fn main() {
+    let model = DvfsModel::new(NodeSpec::typical_xeon());
+    let base = model.cpu().base_freq_ghz;
+    println!("E2: DVFS energy/time trade-off (relative to base {base:.2} GHz)\n");
+    for app in [
+        AppProfile::compute_bound("compute-bound"),
+        AppProfile::balanced("balanced"),
+        AppProfile::memory_bound("memory-bound"),
+    ] {
+        println!(
+            "profile: {} (mean cpu-boundness {:.2})",
+            app.tag,
+            app.mean_cpu_boundness()
+        );
+        let mut table = ResultsTable::new(&["freq GHz", "runtime ×", "power ×", "energy ×"]);
+        let base_energy: f64 = app
+            .phases
+            .iter()
+            .map(|p| p.weight * model.phase_energy(1.0, base, p.cpu_boundness))
+            .sum();
+        for f in model.cpu().frequency_ladder() {
+            let slow: f64 = app
+                .phases
+                .iter()
+                .map(|p| p.weight * model.slowdown(f, p.cpu_boundness))
+                .sum::<f64>()
+                / app.phases.iter().map(|p| p.weight).sum::<f64>();
+            let energy: f64 = app
+                .phases
+                .iter()
+                .map(|p| p.weight * model.phase_energy(1.0, f, p.cpu_boundness))
+                .sum();
+            table.row(vec![
+                format!("{f:.2}"),
+                format!("{slow:.3}"),
+                format!("{:.3}", model.busy_watts(f) / model.busy_watts(base)),
+                format!("{:.3}", energy / base_energy),
+            ]);
+        }
+        println!("{}", table.render());
+        let opt = model.energy_optimal_frequency(app.mean_cpu_boundness());
+        println!("energy-optimal frequency: {opt:.2} GHz\n");
+    }
+    println!("Expected shape: memory-bound optimum at the ladder minimum; compute-bound optimum near base.");
+}

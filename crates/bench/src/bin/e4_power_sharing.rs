@@ -1,0 +1,86 @@
+//! **E4 — dynamic power sharing vs. static uniform caps** (Ellsworth et
+//! al. SC'15, survey §VI) and the RAPL-vs-CAPMC enforcement ablation
+//! (DESIGN.md decision 2).
+//!
+//! Part 1: job mixes with heterogeneous power demands share a fixed
+//! budget; we compare the aggregate progress (Σ granted/demand) of the
+//! static uniform allocator against Ellsworth-style dynamic sharing,
+//! sweeping the budget.
+//!
+//! Part 2: for one over-budget burst workload we contrast RAPL-style
+//! windowed accounting (tolerates the burst) with CAPMC-style hard caps
+//! (clips it immediately).
+//!
+//! Expected shape (paper): dynamic sharing dominates static whenever
+//! demands are heterogeneous — Ellsworth reported higher job throughput
+//! at equal budget.
+
+use epa_bench::ResultsTable;
+use epa_power::rapl::RaplDomain;
+use epa_sched::policies::power_sharing::{JobPowerNeed, PowerSharingManager};
+use epa_simcore::rng::SimRng;
+use epa_simcore::time::{SimDuration, SimTime};
+use epa_workload::job::JobId;
+use std::collections::BTreeMap;
+
+fn job_mix(n: usize, seed: u64) -> BTreeMap<JobId, JobPowerNeed> {
+    let mut rng = SimRng::new(seed);
+    (0..n)
+        .map(|i| {
+            // Heterogeneous demands: log-normal-ish spread 100..600 W.
+            let demand = 100.0 + 500.0 * rng.uniform().powi(2);
+            (
+                JobId(i as u64),
+                JobPowerNeed {
+                    demand_watts: demand,
+                    floor_watts: demand * 0.4,
+                },
+            )
+        })
+        .collect()
+}
+
+fn main() {
+    println!("E4 part 1: dynamic power sharing vs static uniform caps (32 jobs, heterogeneous demands)\n");
+    let needs = job_mix(32, 11);
+    let total_demand: f64 = needs.values().map(|n| n.demand_watts).sum();
+    let mut table = ResultsTable::new(&[
+        "budget % of demand",
+        "static progress",
+        "dynamic progress",
+        "gain %",
+    ]);
+    for frac in [0.5, 0.6, 0.7, 0.8, 0.9, 1.0] {
+        let m = PowerSharingManager::new(total_demand * frac);
+        let ps = PowerSharingManager::progress_score(&needs, &m.allocate_static(&needs));
+        let pd = PowerSharingManager::progress_score(&needs, &m.allocate_dynamic(&needs));
+        table.row(vec![
+            format!("{:.0}", frac * 100.0),
+            format!("{ps:.2}"),
+            format!("{pd:.2}"),
+            format!("{:+.1}", 100.0 * (pd - ps) / ps),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!("\nE4 part 2: RAPL windowed accounting vs CAPMC hard caps on a bursty draw");
+    let limit = 300.0;
+    let mut rapl = RaplDomain::new(limit, SimDuration::from_secs(60.0)).unwrap();
+    // 20 s burst at 500 W inside an otherwise 200 W minute.
+    let mut capmc_violations = 0u32;
+    let mut t = 0.0;
+    for (dur, w) in [(30.0, 200.0), (20.0, 500.0), (40.0, 200.0)] {
+        rapl.record(SimTime::from_secs(t), w);
+        if w > limit {
+            capmc_violations += 1; // a hard cap would clip this instantly
+        }
+        t += dur;
+    }
+    let rapl_violated = rapl.check(SimTime::from_secs(t));
+    println!(
+        "  window average at t={t:.0}s: {:.1} W (limit {limit} W)",
+        rapl.windowed_average(SimTime::from_secs(t))
+    );
+    println!("  RAPL window violated: {rapl_violated} | CAPMC would have clipped {capmc_violations} burst(s)");
+    println!("\nExpected shape: dynamic sharing gains most at mid budgets; RAPL absorbs the burst that CAPMC clips.");
+}

@@ -1,0 +1,76 @@
+//! **E8 — backfilling baselines** (Mu'alem & Feitelson TPDS'01, survey
+//! §VI, ref. 35): FCFS vs EASY vs conservative backfilling, plus the
+//! reservation-depth ablation under a power budget (DESIGN.md
+//! decision 5).
+//!
+//! Expected shape (paper): EASY and conservative backfilling deliver far
+//! better utilization and wait times than FCFS; EASY edges conservative
+//! on slowdown for typical (over-estimated) walltimes.
+
+use epa_bench::{experiment_system, OutcomeRow, ResultsTable};
+use epa_sched::engine::{ClusterSim, EngineConfig};
+use epa_sched::policies::backfill::{ConservativeBackfill, EasyBackfill};
+use epa_sched::policies::fcfs::Fcfs;
+use epa_sched::view::Policy;
+use epa_simcore::time::SimTime;
+use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
+
+fn run(which: &str, budget: Option<f64>, seed: u64) -> OutcomeRow {
+    let nodes = 128u32;
+    let system = experiment_system(nodes);
+    let mut params = WorkloadParams::typical(nodes, seed);
+    // Load the machine heavily so scheduling quality matters.
+    params.arrivals = epa_workload::arrival::ArrivalProcess::Poisson {
+        rate_per_hour: 14.0,
+    };
+    let horizon = SimTime::from_days(4.0);
+    let jobs = WorkloadGenerator::new(params).generate(horizon, 0);
+    let mut config = EngineConfig::new(horizon);
+    config.power_budget_watts = budget;
+    let mut fcfs = Fcfs;
+    let mut easy = EasyBackfill;
+    let mut cons = ConservativeBackfill;
+    let policy: &mut dyn Policy = match which {
+        "fcfs" => &mut fcfs,
+        "easy" => &mut easy,
+        _ => &mut cons,
+    };
+    let out = ClusterSim::new(system, jobs, policy, config).run();
+    OutcomeRow::from(&out)
+}
+
+fn main() {
+    println!("E8: scheduling baselines on 128 nodes, 4 simulated days, heavy load\n");
+    let mut table =
+        ResultsTable::new(&["policy", "completed", "util %", "mean wait h", "slowdown"]);
+    for which in ["fcfs", "easy", "conservative"] {
+        let r = run(which, None, 5);
+        table.row(vec![
+            which.into(),
+            r.completed.to_string(),
+            format!("{:.1}", r.utilization_pct),
+            format!("{:.2}", r.mean_wait_h),
+            format!("{:.2}", r.slowdown),
+        ]);
+    }
+    println!("{}", table.render());
+
+    println!(
+        "Ablation: the same three under a 75% power budget (reservation depth × power admission)\n"
+    );
+    let mut table2 =
+        ResultsTable::new(&["policy", "completed", "util %", "mean wait h", "slowdown"]);
+    let budget = Some(experiment_system(128).spec().nominal_watts() * 0.75);
+    for which in ["fcfs", "easy", "conservative"] {
+        let r = run(which, budget, 5);
+        table2.row(vec![
+            which.into(),
+            r.completed.to_string(),
+            format!("{:.1}", r.utilization_pct),
+            format!("{:.2}", r.mean_wait_h),
+            format!("{:.2}", r.slowdown),
+        ]);
+    }
+    println!("{}", table2.render());
+    println!("Expected shape: EASY/conservative ≫ FCFS on utilization and wait; the budget compresses all three.");
+}

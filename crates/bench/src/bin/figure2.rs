@@ -1,0 +1,17 @@
+//! Regenerates **Figure 2** of the survey: the map of the geographic
+//! locations of the nine participating centers, with the regional totals
+//! the paper's §III reports (Asia, Europe, and the United States).
+
+use epa_core::geomap;
+
+fn main() {
+    let metas: Vec<_> = epa_sites::all_sites(2026)
+        .into_iter()
+        .map(|s| s.meta)
+        .collect();
+    println!("{}", geomap::render_map(&metas, 110, 30));
+    println!("Regional totals:");
+    for (region, n) in geomap::regional_totals(&metas) {
+        println!("  {region:?}: {n}");
+    }
+}

@@ -1,0 +1,56 @@
+//! Machine-readable survey export: the structured Q1–Q8 responses,
+//! capability matrix, selection outcomes, and per-site measured metrics
+//! as one JSON document — the raw material for the EE HPC WG-style
+//! "in-depth analysis" follow-up the paper promises.
+//!
+//! ```sh
+//! cargo run --release -p epa-bench --bin survey_json -- --fast > survey.json
+//! ```
+
+use epa_core::questionnaire::SiteResponse;
+use epa_core::report::SurveyReport;
+use epa_core::selection::SelectionCriteria;
+use epa_simcore::time::SimTime;
+use serde_json::json;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let configs: Vec<_> = epa_sites::all_sites(2026)
+        .into_iter()
+        .map(|mut s| {
+            if fast {
+                s.horizon = SimTime::from_hours(8.0);
+            }
+            s
+        })
+        .collect();
+    let criteria = SelectionCriteria::default();
+    let selection: Vec<_> = configs.iter().map(|c| criteria.apply(c)).collect();
+    let survey = SurveyReport::compile(configs);
+
+    let responses: Vec<&SiteResponse> = survey.responses.iter().collect();
+    let doc = json!({
+        "survey": "EPA JSRM global survey reproduction",
+        "source_paper": "Maiterth et al., IPDPSW 2018, DOI 10.1109/IPDPSW.2018.00111",
+        "selection": selection,
+        "responses": responses,
+        "capability_matrix": survey.matrix,
+        "measured": survey.reports.iter().map(|r| json!({
+            "site": r.key,
+            "completed": r.outcome.completed,
+            "utilization": r.outcome.utilization,
+            "mean_wait_secs": r.outcome.mean_wait_secs,
+            "energy_joules": r.outcome.energy_joules,
+            "peak_watts": r.outcome.peak_watts,
+            "avg_watts": r.outcome.avg_watts,
+            "emergency_kills": r.outcome.emergency_kills,
+            "mean_pue": r.mean_pue,
+            "cost_per_hour": r.mean_cost_per_hour,
+            "mark_distribution": r.mark_distribution,
+        })).collect::<Vec<_>>(),
+    });
+    println!(
+        "{}",
+        serde_json::to_string_pretty(&doc).expect("serializable")
+    );
+}

@@ -1,0 +1,28 @@
+//! Regenerates **Table I** of the survey: the capability summary for
+//! RIKEN, Tokyo Tech, CEA, KAUST, and LRZ, plus the measured evidence the
+//! simulation adds. Run with `--fast` for a shortened horizon.
+
+use epa_core::report::SurveyReport;
+use epa_core::tables;
+use epa_simcore::time::SimTime;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let configs = epa_sites::all_sites(2026)
+        .into_iter()
+        .filter(|s| tables::TABLE1_SITES.contains(&s.meta.key.as_str()))
+        .map(|mut s| {
+            if fast {
+                s.horizon = SimTime::from_hours(12.0);
+            }
+            s
+        })
+        .collect();
+    let survey = SurveyReport::compile(configs);
+    println!("{}", tables::render_table1(&survey.reports));
+    println!(
+        "Measured evidence (simulated {}):",
+        if fast { "12 h" } else { "week" }
+    );
+    println!("{}", tables::render_evidence(&survey.reports));
+}

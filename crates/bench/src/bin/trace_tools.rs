@@ -1,0 +1,85 @@
+//! SWF trace utilities: generate synthetic traces from the site workload
+//! presets and summarize existing SWF files (the Q3 report for any
+//! trace, including ones from the Parallel Workloads Archive).
+//!
+//! ```sh
+//! # Generate 7 days of the KAUST preset as SWF on stdout:
+//! cargo run -p epa-bench --bin trace_tools -- gen kaust 7 > kaust.swf
+//! # Summarize any SWF file (Q3 percentile report):
+//! cargo run -p epa-bench --bin trace_tools -- summarize kaust.swf
+//! ```
+
+use epa_simcore::time::SimTime;
+use epa_workload::generator::{WorkloadGenerator, WorkloadSummary};
+use epa_workload::trace::{read_swf, write_swf};
+
+fn usage() -> ! {
+    eprintln!("usage: trace_tools gen <site-key> <days>  |  trace_tools summarize <file.swf>");
+    std::process::exit(2)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("gen") => {
+            let (Some(site_key), Some(days)) = (args.get(1), args.get(2)) else {
+                usage()
+            };
+            let days: f64 = days.parse().unwrap_or_else(|_| usage());
+            let site = epa_sites::all_sites(2026)
+                .into_iter()
+                .find(|s| s.meta.key == *site_key)
+                .unwrap_or_else(|| {
+                    eprintln!("unknown site '{site_key}'; keys: riken tokyo-tech cea kaust lrz stfc trinity cineca jcahpc");
+                    std::process::exit(2)
+                });
+            let jobs =
+                WorkloadGenerator::new(site.workload.clone()).generate(SimTime::from_days(days), 0);
+            print!("{}", write_swf(&jobs));
+            eprintln!(
+                "generated {} jobs for {site_key} over {days} days",
+                jobs.len()
+            );
+        }
+        Some("summarize") => {
+            let Some(path) = args.get(1) else { usage() };
+            let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1)
+            });
+            let jobs = read_swf(&text).unwrap_or_else(|e| {
+                eprintln!("parse error: {e}");
+                std::process::exit(1)
+            });
+            let max_nodes = jobs.iter().map(|j| j.nodes).max().unwrap_or(1);
+            let span = jobs
+                .iter()
+                .map(|j| j.submit + j.base_runtime)
+                .max()
+                .unwrap_or(SimTime::ZERO);
+            match WorkloadSummary::compute(&jobs, max_nodes, span) {
+                Some(s) => {
+                    println!("jobs: {}", s.jobs);
+                    println!("jobs/month: {:.0}", s.jobs_per_month);
+                    println!("capability share: {:.1}%", 100.0 * s.capability_share);
+                    println!(
+                        "size nodes   min/p10/p25/median/p75/p90/max: {:.0}/{:.0}/{:.0}/{:.0}/{:.0}/{:.0}/{:.0}",
+                        s.size.min, s.size.p10, s.size.p25, s.size.median, s.size.p75, s.size.p90, s.size.max
+                    );
+                    println!(
+                        "runtime hours min/p10/p25/median/p75/p90/max: {:.2}/{:.2}/{:.2}/{:.2}/{:.2}/{:.2}/{:.2}",
+                        s.runtime_secs.min / 3600.0,
+                        s.runtime_secs.p10 / 3600.0,
+                        s.runtime_secs.p25 / 3600.0,
+                        s.runtime_secs.median / 3600.0,
+                        s.runtime_secs.p75 / 3600.0,
+                        s.runtime_secs.p90 / 3600.0,
+                        s.runtime_secs.max / 3600.0
+                    );
+                }
+                None => println!("trace contains no runnable jobs"),
+            }
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,173 @@
+//! # epa-bench — the experiment harness
+//!
+//! One binary per paper exhibit and per quantitative ablation (see
+//! DESIGN.md's per-experiment index):
+//!
+//! | target | regenerates |
+//! |---|---|
+//! | `table1`, `table2` | Tables I and II |
+//! | `figure1` | Figure 1 (component-interaction matrix) |
+//! | `figure2` | Figure 2 (geographic map) |
+//! | `e1_overprovisioning` … `e10_layout_aware` | ablations E1–E10 |
+//!
+//! The library half holds the shared experiment plumbing: a small
+//! experiment-table formatter, multi-seed replication (parallelized with
+//! rayon), and the reduced-scale system builders every experiment uses.
+
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::{System, SystemSpec};
+use epa_cluster::topology::Topology;
+use epa_sched::engine::SimOutcome;
+use rayon::prelude::*;
+use serde::Serialize;
+
+/// Builds the standard experiment machine: `nodes` Xeon nodes, fat-tree.
+#[must_use]
+pub fn experiment_system(nodes: u32) -> System {
+    SystemSpec {
+        name: format!("exp-{nodes}"),
+        cabinets: nodes.div_ceil(16),
+        nodes_per_cabinet: 16.min(nodes),
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: f64::from(nodes),
+    }
+    .build()
+}
+
+/// A labeled results table printed by experiment binaries.
+#[derive(Debug, Default, Serialize)]
+pub struct ResultsTable {
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Rows of formatted cells.
+    pub rows: Vec<Vec<String>>,
+}
+
+impl ResultsTable {
+    /// Creates a table with the given columns.
+    #[must_use]
+    pub fn new(columns: &[&str]) -> Self {
+        ResultsTable {
+            columns: columns.iter().map(|s| (*s).to_owned()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one row (must match the column count).
+    pub fn row(&mut self, cells: Vec<String>) {
+        assert_eq!(cells.len(), self.columns.len(), "row width mismatch");
+        self.rows.push(cells);
+    }
+
+    /// Renders with aligned columns.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.columns.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        for (i, c) in self.columns.iter().enumerate() {
+            out.push_str(&format!("{:>w$}  ", c, w = widths[i]));
+        }
+        out.push('\n');
+        for (i, _) in self.columns.iter().enumerate() {
+            out.push_str(&"-".repeat(widths[i]));
+            out.push_str("  ");
+        }
+        out.push('\n');
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                out.push_str(&format!("{:>w$}  ", cell, w = widths[i]));
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Mean over replicated runs: executes `run(seed)` for `seeds` in
+/// parallel and averages the extracted metric.
+pub fn replicate_mean<F>(seeds: &[u64], run: F) -> f64
+where
+    F: Fn(u64) -> f64 + Sync,
+{
+    if seeds.is_empty() {
+        return 0.0;
+    }
+    let total: f64 = seeds.par_iter().map(|&s| run(s)).sum();
+    total / seeds.len() as f64
+}
+
+/// Summary metrics extracted from a [`SimOutcome`] for experiment tables.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct OutcomeRow {
+    /// Completed jobs.
+    pub completed: u64,
+    /// Utilization in percent.
+    pub utilization_pct: f64,
+    /// Mean wait, hours.
+    pub mean_wait_h: f64,
+    /// Mean bounded slowdown.
+    pub slowdown: f64,
+    /// Energy, MWh.
+    pub energy_mwh: f64,
+    /// Peak power, kW.
+    pub peak_kw: f64,
+}
+
+impl From<&SimOutcome> for OutcomeRow {
+    fn from(o: &SimOutcome) -> Self {
+        OutcomeRow {
+            completed: o.completed,
+            utilization_pct: 100.0 * o.utilization,
+            mean_wait_h: o.mean_wait_secs / 3600.0,
+            slowdown: o.mean_bounded_slowdown,
+            energy_mwh: o.energy_joules / 3.6e9,
+            peak_kw: o.peak_watts / 1e3,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_system_sizes() {
+        let s = experiment_system(64);
+        assert_eq!(s.num_nodes(), 64);
+        let s2 = experiment_system(100);
+        assert!(s2.num_nodes() >= 100);
+    }
+
+    #[test]
+    fn results_table_renders_aligned() {
+        let mut t = ResultsTable::new(&["a", "budget"]);
+        t.row(vec!["1".into(), "50%".into()]);
+        t.row(vec!["200".into(), "100%".into()]);
+        let r = t.render();
+        let lines: Vec<&str> = r.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].contains("budget"));
+        assert!(lines[3].contains("200"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn ragged_row_rejected() {
+        let mut t = ResultsTable::new(&["a", "b"]);
+        t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn replicate_mean_averages() {
+        let seeds = [1u64, 2, 3, 4];
+        let m = replicate_mean(&seeds, |s| s as f64);
+        assert!((m - 2.5).abs() < 1e-12);
+        assert_eq!(replicate_mean(&[], |_| 1.0), 0.0);
+    }
+}

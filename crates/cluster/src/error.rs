@@ -1,0 +1,34 @@
+//! Error types for the machine model.
+
+use thiserror::Error;
+
+/// Errors from allocation and system construction.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum ClusterError {
+    /// Not enough free nodes to satisfy an allocation.
+    #[error("insufficient nodes: requested {requested}, free {free}")]
+    InsufficientNodes {
+        /// Nodes requested.
+        requested: u32,
+        /// Nodes free at the time of the request.
+        free: u32,
+    },
+
+    /// A malformed request (e.g. zero nodes).
+    #[error("invalid request: {0}")]
+    InvalidRequest(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = ClusterError::InsufficientNodes {
+            requested: 10,
+            free: 3,
+        };
+        assert_eq!(e.to_string(), "insufficient nodes: requested 10, free 3");
+    }
+}

@@ -1,0 +1,246 @@
+//! Node and CPU hardware descriptions.
+//!
+//! A [`NodeSpec`] is the static description of one compute node: its CPU
+//! (core count, frequency range for DVFS), memory, and power envelope
+//! (idle / nominal / peak watts). The power envelope is the Q2(c) data the
+//! survey collects per system; the frequency ladder is what DVFS-based
+//! policies (LRZ, CEA) actuate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a node within one [`crate::System`] (dense, 0-based).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+#[serde(transparent)]
+pub struct NodeId(pub u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+/// CPU description: cores and the DVFS frequency ladder.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CpuSpec {
+    /// Physical cores per node.
+    pub cores: u32,
+    /// Lowest DVFS frequency in GHz.
+    pub min_freq_ghz: f64,
+    /// Base (nominal) frequency in GHz.
+    pub base_freq_ghz: f64,
+    /// Highest (turbo) frequency in GHz.
+    pub max_freq_ghz: f64,
+    /// Number of discrete DVFS steps between min and max, inclusive.
+    pub freq_steps: u32,
+}
+
+impl CpuSpec {
+    /// A representative 2017-era HPC CPU (two-socket node aggregate).
+    #[must_use]
+    pub fn typical_xeon() -> Self {
+        CpuSpec {
+            cores: 32,
+            min_freq_ghz: 1.2,
+            base_freq_ghz: 2.3,
+            max_freq_ghz: 2.9,
+            freq_steps: 16,
+        }
+    }
+
+    /// A representative many-core (Xeon Phi / KNL-style) node, as deployed
+    /// at JCAHPC (Oakforest-PACS) and on Trinity's KNL partition.
+    #[must_use]
+    pub fn typical_knl() -> Self {
+        CpuSpec {
+            cores: 68,
+            min_freq_ghz: 1.0,
+            base_freq_ghz: 1.4,
+            max_freq_ghz: 1.6,
+            freq_steps: 7,
+        }
+    }
+
+    /// The discrete DVFS ladder, ascending, min..=max.
+    #[must_use]
+    pub fn frequency_ladder(&self) -> Vec<f64> {
+        let n = self.freq_steps.max(2);
+        (0..n)
+            .map(|i| {
+                self.min_freq_ghz
+                    + (self.max_freq_ghz - self.min_freq_ghz) * f64::from(i) / f64::from(n - 1)
+            })
+            .collect()
+    }
+
+    /// Clamps a requested frequency onto the nearest ladder step.
+    #[must_use]
+    pub fn quantize_frequency(&self, ghz: f64) -> f64 {
+        let ladder = self.frequency_ladder();
+        *ladder
+            .iter()
+            .min_by(|a, b| {
+                (*a - ghz)
+                    .abs()
+                    .partial_cmp(&(*b - ghz).abs())
+                    .expect("finite")
+            })
+            .expect("ladder nonempty")
+    }
+
+    /// Validates internal consistency.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.cores == 0 {
+            return Err("cores must be positive".into());
+        }
+        if !(self.min_freq_ghz > 0.0
+            && self.min_freq_ghz <= self.base_freq_ghz
+            && self.base_freq_ghz <= self.max_freq_ghz)
+        {
+            return Err(format!(
+                "frequency ladder must satisfy 0 < min <= base <= max, got {}/{}/{}",
+                self.min_freq_ghz, self.base_freq_ghz, self.max_freq_ghz
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Static description of one compute node.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NodeSpec {
+    /// CPU configuration.
+    pub cpu: CpuSpec,
+    /// Memory per node in GiB.
+    pub memory_gib: u32,
+    /// Power draw with the node on but idle, in watts.
+    pub idle_watts: f64,
+    /// Power draw at nominal load and base frequency, in watts.
+    pub nominal_watts: f64,
+    /// Peak power draw (turbo, power-virus workload), in watts.
+    pub peak_watts: f64,
+    /// Power drawn while the node is powered off (BMC only), in watts.
+    pub off_watts: f64,
+}
+
+impl NodeSpec {
+    /// A representative Xeon node with a ~90–400 W envelope.
+    #[must_use]
+    pub fn typical_xeon() -> Self {
+        NodeSpec {
+            cpu: CpuSpec::typical_xeon(),
+            memory_gib: 128,
+            idle_watts: 90.0,
+            nominal_watts: 290.0,
+            peak_watts: 400.0,
+            off_watts: 8.0,
+        }
+    }
+
+    /// A representative KNL node (Trinity/Oakforest class).
+    #[must_use]
+    pub fn typical_knl() -> Self {
+        NodeSpec {
+            cpu: CpuSpec::typical_knl(),
+            memory_gib: 96,
+            idle_watts: 70.0,
+            nominal_watts: 215.0,
+            peak_watts: 270.0,
+            off_watts: 6.0,
+        }
+    }
+
+    /// Validates the power envelope ordering off < idle <= nominal <= peak.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cpu.validate()?;
+        if self.memory_gib == 0 {
+            return Err("memory must be positive".into());
+        }
+        if !(self.off_watts >= 0.0
+            && self.off_watts < self.idle_watts
+            && self.idle_watts <= self.nominal_watts
+            && self.nominal_watts <= self.peak_watts)
+        {
+            return Err(format!(
+                "power envelope must satisfy 0 <= off < idle <= nominal <= peak, got {}/{}/{}/{}",
+                self.off_watts, self.idle_watts, self.nominal_watts, self.peak_watts
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn typical_specs_validate() {
+        NodeSpec::typical_xeon().validate().unwrap();
+        NodeSpec::typical_knl().validate().unwrap();
+    }
+
+    #[test]
+    fn ladder_is_ascending_and_bounded() {
+        let cpu = CpuSpec::typical_xeon();
+        let ladder = cpu.frequency_ladder();
+        assert_eq!(ladder.len(), 16);
+        assert!((ladder[0] - cpu.min_freq_ghz).abs() < 1e-12);
+        assert!((ladder[15] - cpu.max_freq_ghz).abs() < 1e-12);
+        for w in ladder.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn quantize_snaps_to_nearest() {
+        let cpu = CpuSpec {
+            cores: 4,
+            min_freq_ghz: 1.0,
+            base_freq_ghz: 1.5,
+            max_freq_ghz: 2.0,
+            freq_steps: 3, // 1.0, 1.5, 2.0
+        };
+        assert_eq!(cpu.quantize_frequency(1.6), 1.5);
+        assert_eq!(cpu.quantize_frequency(1.9), 2.0);
+        assert_eq!(cpu.quantize_frequency(0.2), 1.0);
+        assert_eq!(cpu.quantize_frequency(9.0), 2.0);
+    }
+
+    #[test]
+    fn invalid_envelope_rejected() {
+        let mut spec = NodeSpec::typical_xeon();
+        spec.idle_watts = 500.0;
+        assert!(spec.validate().is_err());
+        let mut spec2 = NodeSpec::typical_xeon();
+        spec2.off_watts = 100.0;
+        assert!(spec2.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_cpu_rejected() {
+        let mut cpu = CpuSpec::typical_xeon();
+        cpu.base_freq_ghz = 0.5; // below min
+        assert!(cpu.validate().is_err());
+        cpu = CpuSpec::typical_xeon();
+        cpu.cores = 0;
+        assert!(cpu.validate().is_err());
+    }
+
+    #[test]
+    fn node_id_display_and_index() {
+        let id = NodeId(17);
+        assert_eq!(id.to_string(), "n17");
+        assert_eq!(id.index(), 17);
+    }
+}

@@ -1,0 +1,184 @@
+//! Cross-site analysis: similarity, clustering, common and unique themes.
+//!
+//! §VII of the paper promises an analysis that will "identify common
+//! themes in the responses as well as … particularly noteworthy
+//! approaches or techniques employed at specific sites". This module
+//! implements that promised analysis: Jaccard similarity over mechanism
+//! sets, average-linkage agglomerative clustering of sites, and the
+//! common/unique mechanism extraction.
+
+use crate::matrix::CapabilityMatrix;
+use epa_sites::taxonomy::{Mechanism, Stage};
+use std::collections::BTreeSet;
+
+/// Jaccard similarity of two sites' mechanism sets at or above `stage`.
+#[must_use]
+pub fn jaccard_similarity(matrix: &CapabilityMatrix, a: &str, b: &str, stage: Stage) -> f64 {
+    let sa: BTreeSet<Mechanism> = matrix.mechanisms_at(a, stage).into_iter().collect();
+    let sb: BTreeSet<Mechanism> = matrix.mechanisms_at(b, stage).into_iter().collect();
+    if sa.is_empty() && sb.is_empty() {
+        return 1.0;
+    }
+    let inter = sa.intersection(&sb).count() as f64;
+    let union = sa.union(&sb).count() as f64;
+    inter / union
+}
+
+/// Mechanisms present in at least `k` sites at or above `stage` — the
+/// "common themes".
+#[must_use]
+pub fn common_mechanisms(matrix: &CapabilityMatrix, stage: Stage, k: usize) -> Vec<Mechanism> {
+    Mechanism::ALL
+        .into_iter()
+        .filter(|&m| matrix.coverage(m, stage) >= k)
+        .collect()
+}
+
+/// Mechanisms present at exactly one site at or above `stage`, with the
+/// site — the "noteworthy site-specific approaches".
+#[must_use]
+pub fn unique_mechanisms(matrix: &CapabilityMatrix, stage: Stage) -> Vec<(Mechanism, String)> {
+    let mut out = Vec::new();
+    for m in Mechanism::ALL {
+        let holders: Vec<String> = matrix
+            .site_keys()
+            .filter(|s| matrix.stage_of(s, m).is_some_and(|have| have >= stage))
+            .map(str::to_owned)
+            .collect();
+        if holders.len() == 1 {
+            out.push((m, holders.into_iter().next().expect("one")));
+        }
+    }
+    out
+}
+
+/// Average-linkage agglomerative clustering of sites by mechanism
+/// similarity; merging stops when the best pair's similarity drops below
+/// `threshold`. Returns clusters of site keys.
+#[must_use]
+pub fn cluster_sites(matrix: &CapabilityMatrix, stage: Stage, threshold: f64) -> Vec<Vec<String>> {
+    let sites: Vec<String> = matrix.site_keys().map(str::to_owned).collect();
+    let mut clusters: Vec<Vec<String>> = sites.iter().map(|s| vec![s.clone()]).collect();
+    loop {
+        let mut best: Option<(usize, usize, f64)> = None;
+        for i in 0..clusters.len() {
+            for j in (i + 1)..clusters.len() {
+                // Average pairwise similarity between the clusters.
+                let mut total = 0.0;
+                let mut n = 0u32;
+                for a in &clusters[i] {
+                    for b in &clusters[j] {
+                        total += jaccard_similarity(matrix, a, b, stage);
+                        n += 1;
+                    }
+                }
+                let sim = total / f64::from(n.max(1));
+                if best.is_none_or(|(.., s)| sim > s) {
+                    best = Some((i, j, sim));
+                }
+            }
+        }
+        match best {
+            Some((i, j, sim)) if sim >= threshold => {
+                let merged = clusters.remove(j);
+                clusters[i].extend(merged);
+            }
+            _ => break,
+        }
+    }
+    for c in &mut clusters {
+        c.sort();
+    }
+    clusters.sort();
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_sites::all_sites;
+
+    fn matrix() -> CapabilityMatrix {
+        let mut m = CapabilityMatrix::new();
+        for site in all_sites(1) {
+            m.add_site(&site.meta.key, &site.capabilities);
+        }
+        m
+    }
+
+    #[test]
+    fn jaccard_self_is_one() {
+        let m = matrix();
+        for s in ["riken", "kaust", "lrz"] {
+            assert!((jaccard_similarity(&m, s, s, Stage::Research) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn jaccard_symmetric_and_bounded() {
+        let m = matrix();
+        let sites: Vec<String> = m.site_keys().map(str::to_owned).collect();
+        for a in &sites {
+            for b in &sites {
+                let ab = jaccard_similarity(&m, a, b, Stage::Research);
+                let ba = jaccard_similarity(&m, b, a, Stage::Research);
+                assert!((ab - ba).abs() < 1e-12);
+                assert!((0.0..=1.0).contains(&ab));
+            }
+        }
+    }
+
+    #[test]
+    fn capping_sites_more_similar_than_unrelated() {
+        let m = matrix();
+        // KAUST and Trinity both do production CAPMC capping.
+        let kaust_trinity = jaccard_similarity(&m, "kaust", "trinity", Stage::Production);
+        // KAUST and Tokyo Tech share no production mechanism.
+        let kaust_tokyo = jaccard_similarity(&m, "kaust", "tokyo-tech", Stage::Production);
+        assert!(
+            kaust_trinity > kaust_tokyo,
+            "{kaust_trinity} vs {kaust_tokyo}"
+        );
+    }
+
+    #[test]
+    fn common_theme_is_monitoring_or_capping() {
+        let m = matrix();
+        let common = common_mechanisms(&m, Stage::Research, 4);
+        assert!(
+            common.contains(&Mechanism::PowerCapping) || common.contains(&Mechanism::Monitoring),
+            "common themes: {common:?}"
+        );
+    }
+
+    #[test]
+    fn unique_production_mechanisms_exist() {
+        let m = matrix();
+        let unique = unique_mechanisms(&m, Stage::Production);
+        // CINECA's MS3 job limiting is one-of-a-kind in production.
+        assert!(
+            unique
+                .iter()
+                .any(|(mech, site)| *mech == Mechanism::JobLimiting && site == "cineca"),
+            "unique: {unique:?}"
+        );
+    }
+
+    #[test]
+    fn clustering_thresholds() {
+        let m = matrix();
+        // Threshold 0: everything merges into one cluster.
+        let all = cluster_sites(&m, Stage::Research, 0.0);
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].len(), 9);
+        // Threshold above 1: nothing merges.
+        let none = cluster_sites(&m, Stage::Research, 1.01);
+        assert_eq!(none.len(), 9);
+        // A moderate threshold yields something in between.
+        let mid = cluster_sites(&m, Stage::Research, 0.4);
+        assert!(mid.len() > 1 && mid.len() < 9, "clusters: {mid:?}");
+        // Every site appears exactly once.
+        let total: usize = mid.iter().map(Vec::len).sum();
+        assert_eq!(total, 9);
+    }
+}

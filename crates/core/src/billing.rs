@@ -1,0 +1,240 @@
+//! Per-user energy accounting and billing.
+//!
+//! The survey's Q1 answers are dominated by cost: LRZ schedules for
+//! energy because German electricity is expensive; STFC's tech-dev row is
+//! a per-job user power-consumption reporting tool. This module turns a
+//! site run into the artifact those capabilities imply: a per-user energy
+//! ledger priced at the site's marginal electricity rate, with the
+//! efficiency-mark distribution Tokyo Tech attaches.
+
+use epa_rm::reports::{EfficiencyMark, UserEnergyReport};
+use epa_sched::engine::SimOutcome;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// One user's line on the energy bill.
+#[derive(Debug, Clone, Serialize)]
+pub struct UserBill {
+    /// User index.
+    pub user: u32,
+    /// Jobs completed.
+    pub jobs: u64,
+    /// Node-hours consumed.
+    pub node_hours: f64,
+    /// Energy consumed, kWh.
+    pub energy_kwh: f64,
+    /// Cost at the site rate, currency units.
+    pub cost: f64,
+    /// Efficiency-mark counts (A–E).
+    pub marks: BTreeMap<String, u64>,
+}
+
+/// The site-wide energy bill.
+#[derive(Debug, Clone, Serialize)]
+pub struct EnergyBill {
+    /// Price per MWh used.
+    pub price_per_mwh: f64,
+    /// Per-user lines, sorted by energy descending.
+    pub users: Vec<UserBill>,
+    /// Total billed energy, kWh.
+    pub total_kwh: f64,
+    /// Total billed cost.
+    pub total_cost: f64,
+}
+
+/// Builds the bill from a run outcome.
+///
+/// `user_of` maps a job id to its submitting user (the engine's outcome
+/// does not carry users; the caller keeps the original job list).
+/// `nominal_watts_per_node` sets the grading reference.
+#[must_use]
+pub fn bill_users(
+    outcome: &SimOutcome,
+    user_of: &BTreeMap<u64, u32>,
+    nominal_watts_per_node: f64,
+    price_per_mwh: f64,
+) -> EnergyBill {
+    let mut per_user: BTreeMap<u32, UserBill> = BTreeMap::new();
+    for job in &outcome.jobs {
+        let user = user_of.get(&job.id.0).copied().unwrap_or(u32::MAX);
+        let entry = per_user.entry(user).or_insert_with(|| UserBill {
+            user,
+            jobs: 0,
+            node_hours: 0.0,
+            energy_kwh: 0.0,
+            cost: 0.0,
+            marks: BTreeMap::new(),
+        });
+        entry.jobs += 1;
+        entry.node_hours += f64::from(job.nodes) * job.run_secs / 3600.0;
+        entry.energy_kwh += job.energy_joules / 3.6e6;
+        if job.run_secs > 0.0 {
+            let report = UserEnergyReport::new(
+                job.id,
+                user,
+                job.nodes,
+                job.run_secs,
+                job.energy_joules,
+                nominal_watts_per_node,
+            );
+            *entry.marks.entry(report.mark.to_string()).or_insert(0) += 1;
+        }
+    }
+    let mut users: Vec<UserBill> = per_user.into_values().collect();
+    for u in &mut users {
+        u.cost = u.energy_kwh / 1000.0 * price_per_mwh;
+    }
+    users.sort_by(|a, b| b.energy_kwh.partial_cmp(&a.energy_kwh).expect("finite"));
+    let total_kwh: f64 = users.iter().map(|u| u.energy_kwh).sum();
+    let total_cost: f64 = users.iter().map(|u| u.cost).sum();
+    EnergyBill {
+        price_per_mwh,
+        users,
+        total_kwh,
+        total_cost,
+    }
+}
+
+impl EnergyBill {
+    /// Renders the bill as a text table (top `n` users).
+    #[must_use]
+    pub fn render(&self, n: usize) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:>6} {:>6} {:>12} {:>12} {:>10}  marks\n",
+            "user", "jobs", "node-h", "kWh", "cost"
+        ));
+        for u in self.users.iter().take(n) {
+            let marks: Vec<String> = u
+                .marks
+                .iter()
+                .filter(|(_, c)| **c > 0)
+                .map(|(m, c)| format!("{m}:{c}"))
+                .collect();
+            out.push_str(&format!(
+                "{:>6} {:>6} {:>12.1} {:>12.1} {:>10.2}  {}\n",
+                u.user,
+                u.jobs,
+                u.node_hours,
+                u.energy_kwh,
+                u.cost,
+                marks.join(" ")
+            ));
+        }
+        out.push_str(&format!(
+            "total: {:.1} kWh, {:.2} at {:.0}/MWh\n",
+            self.total_kwh, self.total_cost, self.price_per_mwh
+        ));
+        out
+    }
+
+    /// The A–E mark distribution over all users' jobs.
+    #[must_use]
+    pub fn mark_totals(&self) -> BTreeMap<String, u64> {
+        let mut out: BTreeMap<String, u64> = [
+            EfficiencyMark::A,
+            EfficiencyMark::B,
+            EfficiencyMark::C,
+            EfficiencyMark::D,
+            EfficiencyMark::E,
+        ]
+        .iter()
+        .map(|m| (m.to_string(), 0))
+        .collect();
+        for u in &self.users {
+            for (m, c) in &u.marks {
+                *out.entry(m.clone()).or_insert(0) += c;
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_sched::engine::{ClusterSim, EngineConfig};
+    use epa_sched::policies::fcfs::Fcfs;
+    use epa_simcore::time::{SimDuration, SimTime};
+    use epa_workload::job::JobBuilder;
+
+    fn run_two_users() -> (SimOutcome, BTreeMap<u64, u32>) {
+        use epa_cluster::node::NodeSpec;
+        use epa_cluster::system::SystemSpec;
+        use epa_cluster::topology::Topology;
+        let jobs = vec![
+            JobBuilder::new(1)
+                .user(0)
+                .nodes(4)
+                .runtime(SimDuration::from_hours(2.0))
+                .estimate(SimDuration::from_hours(3.0))
+                .build(),
+            JobBuilder::new(2)
+                .user(1)
+                .nodes(2)
+                .runtime(SimDuration::from_hours(1.0))
+                .estimate(SimDuration::from_hours(2.0))
+                .build(),
+        ];
+        let user_of: BTreeMap<u64, u32> = jobs.iter().map(|j| (j.id.0, j.user)).collect();
+        let system = SystemSpec {
+            name: "bill-test".into(),
+            cabinets: 1,
+            nodes_per_cabinet: 8,
+            node: NodeSpec::typical_xeon(),
+            topology: Topology::FatTree { arity: 8 },
+            peak_tflops: 1.0,
+        }
+        .build();
+        let mut policy = Fcfs;
+        let out = ClusterSim::new(
+            system,
+            jobs,
+            &mut policy,
+            EngineConfig::new(SimTime::from_hours(8.0)),
+        )
+        .run();
+        (out, user_of)
+    }
+
+    #[test]
+    fn bill_attributes_energy_to_users() {
+        let (out, user_of) = run_two_users();
+        let bill = bill_users(&out, &user_of, 290.0, 100.0);
+        assert_eq!(bill.users.len(), 2);
+        // User 0: 4 nodes × 2 h ≫ user 1: 2 nodes × 1 h — sorted first.
+        assert_eq!(bill.users[0].user, 0);
+        assert!(bill.users[0].energy_kwh > bill.users[1].energy_kwh);
+        assert!((bill.users[0].node_hours - 8.0).abs() < 1e-6);
+        assert!((bill.users[1].node_hours - 2.0).abs() < 1e-6);
+        // Cost scales with energy and rate.
+        assert!((bill.total_cost - bill.total_kwh / 1000.0 * 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bill_totals_match_job_energy() {
+        let (out, user_of) = run_two_users();
+        let bill = bill_users(&out, &user_of, 290.0, 100.0);
+        let job_kwh: f64 = out.jobs.iter().map(|j| j.energy_joules / 3.6e6).sum();
+        assert!((bill.total_kwh - job_kwh).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marks_distribution_populated() {
+        let (out, user_of) = run_two_users();
+        let bill = bill_users(&out, &user_of, 290.0, 100.0);
+        let totals = bill.mark_totals();
+        let total: u64 = totals.values().sum();
+        assert_eq!(total, 2, "each completed job carries a mark");
+    }
+
+    #[test]
+    fn render_contains_users_and_total() {
+        let (out, user_of) = run_two_users();
+        let bill = bill_users(&out, &user_of, 290.0, 180.0);
+        let text = bill.render(10);
+        assert!(text.contains("total:"));
+        assert!(text.contains("180/MWh"));
+        assert_eq!(text.lines().count(), 4); // header + 2 users + total
+    }
+}

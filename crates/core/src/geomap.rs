@@ -1,0 +1,184 @@
+//! The Figure 2 geographic map, as ASCII art.
+//!
+//! Figure 2 of the survey shows the nine participating centers on a world
+//! map spanning Asia, Europe, and the United States. The renderer plots
+//! equirectangular-projected markers on a character grid with a sparse
+//! coastline sketch, plus a legend, and computes the regional totals the
+//! paper reports ("span the geographic regions of Asia, Europe and the
+//! United States").
+
+use epa_sites::config::SiteMeta;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Geographic region classification used in the survey's §III.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize)]
+pub enum Region {
+    /// North and South America.
+    Americas,
+    /// Europe (and nearby Middle East per the survey's grouping of KAUST
+    /// with its region — we classify by longitude band).
+    Europe,
+    /// Asia.
+    Asia,
+}
+
+/// Classifies a site by longitude band (equirectangular heuristic).
+#[must_use]
+pub fn region_of(lon: f64) -> Region {
+    if lon < -30.0 {
+        Region::Americas
+    } else if lon < 30.0 {
+        Region::Europe
+    } else {
+        Region::Asia
+    }
+}
+
+/// Renders the world map with one numbered marker per site.
+#[must_use]
+pub fn render_map(sites: &[SiteMeta], width: usize, height: usize) -> String {
+    let width = width.max(40);
+    let height = height.max(12);
+    let mut grid = vec![vec![' '; width]; height];
+
+    // A minimal continent sketch: rough bounding boxes as dots.
+    // (lat_min, lat_max, lon_min, lon_max)
+    let land: [(f64, f64, f64, f64); 6] = [
+        (25.0, 70.0, -125.0, -65.0),  // North America
+        (-35.0, 10.0, -80.0, -35.0),  // South America
+        (36.0, 70.0, -10.0, 40.0),    // Europe
+        (-35.0, 35.0, -15.0, 50.0),   // Africa
+        (5.0, 70.0, 45.0, 145.0),     // Asia
+        (-40.0, -12.0, 115.0, 155.0), // Australia
+    ];
+    for (lat_min, lat_max, lon_min, lon_max) in land {
+        let mut lat = lat_min;
+        while lat <= lat_max {
+            let mut lon = lon_min;
+            while lon <= lon_max {
+                let (x, y) = project(lat, lon, width, height);
+                grid[y][x] = '.';
+                lon += 8.0;
+            }
+            lat += 6.0;
+        }
+    }
+
+    for (i, site) in sites.iter().enumerate() {
+        let (x, y) = project(site.lat, site.lon, width, height);
+        let marker = char::from_digit((i as u32 + 1) % 10, 10).unwrap_or('*');
+        // Nearby sites may project onto one cell (LRZ and CINECA are ~4°
+        // apart); spiral outward to the nearest free-ish cell.
+        let mut placed = false;
+        'search: for radius in 0..4i64 {
+            for dy in -radius..=radius {
+                for dx in -radius..=radius {
+                    let nx = (x as i64 + dx).clamp(0, width as i64 - 1) as usize;
+                    let ny = (y as i64 + dy).clamp(0, height as i64 - 1) as usize;
+                    if !grid[ny][nx].is_ascii_digit() {
+                        grid[ny][nx] = marker;
+                        placed = true;
+                        break 'search;
+                    }
+                }
+            }
+        }
+        if !placed {
+            grid[y][x] = marker;
+        }
+    }
+
+    let mut out = String::new();
+    out.push_str("Figure 2: Map of the geographic location of the participating centers\n");
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for row in grid {
+        let line: String = row.into_iter().collect();
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    for (i, site) in sites.iter().enumerate() {
+        out.push_str(&format!(
+            "{}: {} ({}) [{:.2}°, {:.2}°]\n",
+            (i + 1) % 10,
+            site.name,
+            site.country,
+            site.lat,
+            site.lon
+        ));
+    }
+    out
+}
+
+fn project(lat: f64, lon: f64, width: usize, height: usize) -> (usize, usize) {
+    let x = ((lon + 180.0) / 360.0 * (width as f64 - 1.0)).round() as usize;
+    // Clip to ±75° latitude so the populated band fills the grid.
+    let lat_c = lat.clamp(-75.0, 75.0);
+    let y = ((75.0 - lat_c) / 150.0 * (height as f64 - 1.0)).round() as usize;
+    (x.min(width - 1), y.min(height - 1))
+}
+
+/// Regional totals (the survey: 4 Asia-adjacent, 4 Europe, 1 US —
+/// depending on where KAUST is banded).
+#[must_use]
+pub fn regional_totals(sites: &[SiteMeta]) -> BTreeMap<Region, usize> {
+    let mut out = BTreeMap::new();
+    for s in sites {
+        *out.entry(region_of(s.lon)).or_insert(0) += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_sites::all_sites;
+
+    fn metas() -> Vec<SiteMeta> {
+        all_sites(1).into_iter().map(|s| s.meta).collect()
+    }
+
+    #[test]
+    fn projection_corners() {
+        assert_eq!(project(75.0, -180.0, 100, 30), (0, 0));
+        assert_eq!(project(-75.0, 180.0, 100, 30), (99, 29));
+        let (x, y) = project(0.0, 0.0, 101, 31);
+        assert_eq!((x, y), (50, 15));
+    }
+
+    #[test]
+    fn map_contains_all_markers_and_legend() {
+        let m = render_map(&metas(), 100, 28);
+        for i in 1..=9 {
+            assert!(
+                m.contains(&format!("{i}: ")),
+                "legend missing site {i}\n{m}"
+            );
+        }
+        // Markers 1..9 appear in the grid body too.
+        let grid_part: String = m.lines().take(30).collect::<Vec<_>>().join("\n");
+        for i in 1..=9u32 {
+            let c = char::from_digit(i, 10).unwrap();
+            assert!(grid_part.contains(c), "marker {c} missing");
+        }
+    }
+
+    #[test]
+    fn regions_match_survey() {
+        let totals = regional_totals(&metas());
+        assert_eq!(totals[&Region::Americas], 1, "Trinity");
+        assert_eq!(totals[&Region::Europe], 4, "CEA, LRZ, STFC, CINECA");
+        assert_eq!(totals[&Region::Asia], 4, "RIKEN, Tokyo Tech, JCAHPC, KAUST");
+    }
+
+    #[test]
+    fn region_banding() {
+        assert_eq!(region_of(-106.0), Region::Americas);
+        assert_eq!(region_of(2.0), Region::Europe);
+        assert_eq!(region_of(139.0), Region::Asia);
+        assert_eq!(region_of(39.1), Region::Asia); // KAUST is geographically Asia
+    }
+}

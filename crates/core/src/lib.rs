@@ -1,0 +1,36 @@
+//! # epa-core — the survey engine (the paper's primary contribution)
+//!
+//! The IPDPSW'18 paper's contribution is the *survey instrument and its
+//! initial analysis*: the Q1–Q8 questionnaire, the center-selection
+//! criteria, the Research / Technology-Development / Production capability
+//! framing of Tables I and II, the component-interaction picture of
+//! Figure 1, and the geographic overview of Figure 2. This crate
+//! implements that contribution as a working system:
+//!
+//! - [`questionnaire`] — the typed Q1–Q8 schema and the machinery that
+//!   *answers* the quantitative questions from simulation artifacts
+//!   rather than from interview text.
+//! - [`selection`] — the §III three-part center-selection test.
+//! - [`matrix`] — the site × mechanism × stage capability matrix.
+//! - [`analysis`] — cross-site similarity (Jaccard), agglomerative
+//!   clustering, and the common/unique-theme extraction the paper's §VII
+//!   promises as "next steps".
+//! - [`tables`] — renderers regenerating Tables I and II.
+//! - [`geomap`] — the Figure 2 world map (ASCII).
+//! - [`report`] — full survey report assembly.
+
+pub mod analysis;
+pub mod billing;
+pub mod geomap;
+pub mod matrix;
+pub mod questionnaire;
+pub mod report;
+pub mod selection;
+pub mod tables;
+
+pub use analysis::{cluster_sites, common_mechanisms, jaccard_similarity, unique_mechanisms};
+pub use billing::{bill_users, EnergyBill, UserBill};
+pub use matrix::CapabilityMatrix;
+pub use questionnaire::{Question, SiteResponse};
+pub use report::SurveyReport;
+pub use selection::{SelectionCriteria, SelectionOutcome};

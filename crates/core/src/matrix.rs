@@ -1,0 +1,180 @@
+//! The site × mechanism × stage capability matrix.
+//!
+//! The analytical core behind Tables I/II: which mechanism each site has,
+//! and how far along (Research < TechDevelopment < Production). The
+//! matrix keeps the *highest* stage per (site, mechanism) and answers the
+//! coverage questions the survey's analysis section needs.
+
+use epa_sites::taxonomy::{Capability, Mechanism, Stage};
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// The capability matrix.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct CapabilityMatrix {
+    /// (site → mechanism → highest stage).
+    cells: BTreeMap<String, BTreeMap<Mechanism, Stage>>,
+}
+
+impl CapabilityMatrix {
+    /// Creates an empty matrix.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one site's capability list.
+    pub fn add_site(&mut self, site: &str, capabilities: &[Capability]) {
+        let row = self.cells.entry(site.to_owned()).or_default();
+        for c in capabilities {
+            row.entry(c.mechanism)
+                .and_modify(|s| {
+                    if c.stage > *s {
+                        *s = c.stage;
+                    }
+                })
+                .or_insert(c.stage);
+        }
+    }
+
+    /// Number of sites.
+    #[must_use]
+    pub fn sites(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The stage a site has a mechanism at, if any.
+    #[must_use]
+    pub fn stage_of(&self, site: &str, mechanism: Mechanism) -> Option<Stage> {
+        self.cells
+            .get(site)
+            .and_then(|row| row.get(&mechanism))
+            .copied()
+    }
+
+    /// The mechanisms a site has at or above `stage`.
+    #[must_use]
+    pub fn mechanisms_at(&self, site: &str, stage: Stage) -> Vec<Mechanism> {
+        self.cells
+            .get(site)
+            .map(|row| {
+                row.iter()
+                    .filter(|(_, s)| **s >= stage)
+                    .map(|(m, _)| *m)
+                    .collect()
+            })
+            .unwrap_or_default()
+    }
+
+    /// How many sites have `mechanism` at or above `stage`.
+    #[must_use]
+    pub fn coverage(&self, mechanism: Mechanism, stage: Stage) -> usize {
+        self.cells
+            .values()
+            .filter(|row| row.get(&mechanism).is_some_and(|s| *s >= stage))
+            .count()
+    }
+
+    /// Site keys in matrix order.
+    pub fn site_keys(&self) -> impl Iterator<Item = &str> {
+        self.cells.keys().map(String::as_str)
+    }
+
+    /// Renders a compact coverage table: mechanism × stage counts.
+    #[must_use]
+    pub fn render_coverage(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{:<24} {:>9} {:>9} {:>11}\n",
+            "mechanism", "research", "tech-dev", "production"
+        ));
+        for m in Mechanism::ALL {
+            let r = self.coverage(m, Stage::Research);
+            let t = self.coverage(m, Stage::TechDevelopment);
+            let p = self.coverage(m, Stage::Production);
+            out.push_str(&format!("{:<24} {r:>9} {t:>9} {p:>11}\n", m.label()));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_sites::all_sites;
+
+    fn matrix() -> CapabilityMatrix {
+        let mut m = CapabilityMatrix::new();
+        for site in all_sites(1) {
+            m.add_site(&site.meta.key, &site.capabilities);
+        }
+        m
+    }
+
+    #[test]
+    fn nine_sites_loaded() {
+        assert_eq!(matrix().sites(), 9);
+    }
+
+    #[test]
+    fn highest_stage_wins() {
+        let mut m = CapabilityMatrix::new();
+        m.add_site(
+            "x",
+            &[
+                Capability::new(Stage::Research, Mechanism::PowerCapping, "a"),
+                Capability::new(Stage::Production, Mechanism::PowerCapping, "b"),
+                Capability::new(Stage::TechDevelopment, Mechanism::PowerCapping, "c"),
+            ],
+        );
+        assert_eq!(
+            m.stage_of("x", Mechanism::PowerCapping),
+            Some(Stage::Production)
+        );
+    }
+
+    #[test]
+    fn kaust_production_power_capping() {
+        let m = matrix();
+        assert_eq!(
+            m.stage_of("kaust", Mechanism::PowerCapping),
+            Some(Stage::Production)
+        );
+        assert_eq!(m.stage_of("kaust", Mechanism::NodeShutdown), None);
+    }
+
+    #[test]
+    fn coverage_is_monotone_in_stage() {
+        let m = matrix();
+        for mech in Mechanism::ALL {
+            let r = m.coverage(mech, Stage::Research);
+            let t = m.coverage(mech, Stage::TechDevelopment);
+            let p = m.coverage(mech, Stage::Production);
+            assert!(r >= t && t >= p, "{mech}: {r}/{t}/{p}");
+        }
+    }
+
+    #[test]
+    fn power_capping_is_the_most_deployed_mechanism() {
+        // The survey's headline observation: hardware capping (CAPMC,
+        // Fujitsu) is the most common production capability.
+        let m = matrix();
+        let cap = m.coverage(Mechanism::PowerCapping, Stage::Production);
+        assert!(cap >= 3, "KAUST, Trinity, JCAHPC at least, got {cap}");
+    }
+
+    #[test]
+    fn render_contains_all_mechanisms() {
+        let s = matrix().render_coverage();
+        for mech in Mechanism::ALL {
+            assert!(s.contains(mech.label()));
+        }
+    }
+
+    #[test]
+    fn unknown_site_is_empty() {
+        let m = matrix();
+        assert!(m.mechanisms_at("nope", Stage::Research).is_empty());
+        assert_eq!(m.stage_of("nope", Mechanism::PowerCapping), None);
+    }
+}

@@ -1,0 +1,187 @@
+//! Full survey-report assembly.
+//!
+//! [`SurveyReport::compile`] runs every site, assembles the structured
+//! questionnaire responses, builds the capability matrix and cross-site
+//! analysis, and renders the complete document: selection summary,
+//! Tables I and II, the Figure 1 interaction matrix, the Figure 2 map,
+//! coverage and similarity analysis — the paper plus the "upcoming
+//! in-depth analysis" it promises.
+
+use crate::analysis::{cluster_sites, common_mechanisms, unique_mechanisms};
+use crate::geomap;
+use crate::matrix::CapabilityMatrix;
+use crate::questionnaire::{Question, SiteResponse};
+use crate::selection::SelectionCriteria;
+use crate::tables;
+use epa_rm::interactions::InteractionLedger;
+use epa_sites::config::SiteConfig;
+use epa_sites::runner::{run_site, SiteReport};
+use epa_sites::taxonomy::Stage;
+
+/// The compiled survey: everything derived from the nine site runs.
+pub struct SurveyReport {
+    /// Site configs in survey order.
+    pub configs: Vec<SiteConfig>,
+    /// Per-site run reports.
+    pub reports: Vec<SiteReport>,
+    /// Structured questionnaire responses.
+    pub responses: Vec<SiteResponse>,
+    /// The capability matrix.
+    pub matrix: CapabilityMatrix,
+    /// Merged component-interaction ledger (Figure 1).
+    pub interactions: InteractionLedger,
+}
+
+impl SurveyReport {
+    /// Runs all sites and compiles the survey.
+    #[must_use]
+    pub fn compile(configs: Vec<SiteConfig>) -> SurveyReport {
+        let reports: Vec<SiteReport> = configs.iter().map(run_site).collect();
+        let responses: Vec<SiteResponse> = configs
+            .iter()
+            .zip(&reports)
+            .map(|(c, r)| SiteResponse::assemble(c, r))
+            .collect();
+        let mut matrix = CapabilityMatrix::new();
+        let mut interactions = InteractionLedger::new();
+        for (c, r) in configs.iter().zip(&reports) {
+            matrix.add_site(&c.meta.key, &c.capabilities);
+            interactions.merge(&r.interactions);
+        }
+        SurveyReport {
+            configs,
+            reports,
+            responses,
+            matrix,
+            interactions,
+        }
+    }
+
+    /// Renders the selection summary (§III).
+    #[must_use]
+    pub fn render_selection(&self) -> String {
+        let criteria = SelectionCriteria::default();
+        let mut out = String::new();
+        out.push_str(
+            "Center selection (three-part test: Top500-class, EPA JSRM deployment, willingness)\n",
+        );
+        for c in &self.configs {
+            let o = criteria.apply(c);
+            out.push_str(&format!(
+                "  {:<12} top500={} deployment={} willing={} -> {}\n",
+                o.site,
+                o.top500_class,
+                o.epa_jsrm_deployment,
+                o.willing,
+                if o.selected() { "SELECTED" } else { "excluded" }
+            ));
+        }
+        out
+    }
+
+    /// Renders the cross-site analysis section.
+    #[must_use]
+    pub fn render_analysis(&self) -> String {
+        let mut out = String::new();
+        out.push_str("Capability coverage (sites per mechanism and stage)\n");
+        out.push_str(&self.matrix.render_coverage());
+        out.push('\n');
+        out.push_str("Common production themes (>= 3 sites): ");
+        let common: Vec<String> = common_mechanisms(&self.matrix, Stage::Production, 3)
+            .into_iter()
+            .map(|m| m.label().to_owned())
+            .collect();
+        out.push_str(&common.join(", "));
+        out.push('\n');
+        out.push_str("Unique production approaches:\n");
+        for (m, site) in unique_mechanisms(&self.matrix, Stage::Production) {
+            out.push_str(&format!("  {site}: {}\n", m.label()));
+        }
+        out.push_str("Site clusters by overall capability similarity (threshold 0.4):\n");
+        for cluster in cluster_sites(&self.matrix, Stage::Research, 0.4) {
+            out.push_str(&format!("  {{{}}}\n", cluster.join(", ")));
+        }
+        out
+    }
+
+    /// Renders the whole document.
+    #[must_use]
+    pub fn render_full(&self) -> String {
+        let mut out = String::new();
+        out.push_str("ENERGY AND POWER AWARE JOB SCHEDULING AND RESOURCE MANAGEMENT\n");
+        out.push_str("Global Survey — reproduction report\n\n");
+        out.push_str(&self.render_selection());
+        out.push('\n');
+        out.push_str(&tables::render_table1(&self.reports));
+        out.push('\n');
+        out.push_str(&tables::render_table2(&self.reports));
+        out.push('\n');
+        out.push_str("Measured evidence per site (simulated week)\n");
+        out.push_str(&tables::render_evidence(&self.reports));
+        out.push('\n');
+        out.push_str("Figure 1: component interactions (messages, all sites merged)\n");
+        out.push_str(&self.interactions.render_matrix());
+        out.push('\n');
+        let metas: Vec<_> = self.configs.iter().map(|c| c.meta.clone()).collect();
+        out.push_str(&geomap::render_map(&metas, 100, 28));
+        out.push('\n');
+        out.push_str(&self.render_analysis());
+        out.push('\n');
+        out.push_str("Per-site questionnaire responses\n");
+        for r in &self.responses {
+            out.push_str(&format!("\n## {}\n", r.site));
+            for q in Question::ALL {
+                out.push_str(&format!("{q:?}: {}\n", r.answer(q)));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_simcore::time::SimTime;
+    use epa_sites::all_sites;
+
+    fn quick_survey() -> SurveyReport {
+        let configs: Vec<SiteConfig> = all_sites(3)
+            .into_iter()
+            .map(|mut s| {
+                s.horizon = SimTime::from_hours(8.0);
+                s
+            })
+            .collect();
+        SurveyReport::compile(configs)
+    }
+
+    #[test]
+    fn compile_produces_nine_of_everything() {
+        let s = quick_survey();
+        assert_eq!(s.reports.len(), 9);
+        assert_eq!(s.responses.len(), 9);
+        assert_eq!(s.matrix.sites(), 9);
+        assert!(s.interactions.total() > 0);
+    }
+
+    #[test]
+    fn full_render_contains_all_sections() {
+        let s = quick_survey();
+        let doc = s.render_full();
+        assert!(doc.contains("TABLE I"));
+        assert!(doc.contains("TABLE II"));
+        assert!(doc.contains("Figure 1"));
+        assert!(doc.contains("Figure 2"));
+        assert!(doc.contains("SELECTED"));
+        assert!(doc.contains("Q7Efficacy"));
+        assert!(doc.contains("Unique production approaches"));
+    }
+
+    #[test]
+    fn all_sites_selected_in_selection_section() {
+        let s = quick_survey();
+        let sel = s.render_selection();
+        assert_eq!(sel.matches("SELECTED").count(), 9);
+        assert_eq!(sel.matches("excluded").count(), 0);
+    }
+}

@@ -1,0 +1,102 @@
+//! Center selection (survey §III).
+//!
+//! The survey applied a three-part test: (1) the center operates a Top500
+//! system, (2) it has deployed — or is developing with intent to deploy —
+//! large-scale EPA JSRM technology in production, and (3) its leadership
+//! is willing to participate. Eleven centers passed; nine participated.
+
+use epa_sites::config::SiteConfig;
+use epa_sites::taxonomy::Stage;
+use serde::Serialize;
+
+/// The §III selection criteria, with tunable thresholds.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectionCriteria {
+    /// Proxy for the Top500 bar: minimum peak TFLOP/s.
+    pub min_peak_tflops: f64,
+    /// Criterion 2: require at least one capability at or above this
+    /// stage (TechDevelopment = "intent to deploy" suffices).
+    pub min_stage: Stage,
+}
+
+impl Default for SelectionCriteria {
+    fn default() -> Self {
+        SelectionCriteria {
+            min_peak_tflops: 100.0,
+            min_stage: Stage::TechDevelopment,
+        }
+    }
+}
+
+/// Outcome of applying the test to one center.
+#[derive(Debug, Clone, Serialize)]
+pub struct SelectionOutcome {
+    /// Site key.
+    pub site: String,
+    /// Criterion 1: representative HPC center with a Top500-class system.
+    pub top500_class: bool,
+    /// Criterion 2: deployed or intends to deploy EPA JSRM in production.
+    pub epa_jsrm_deployment: bool,
+    /// Criterion 3: willing to participate (all modeled sites did —
+    /// the two decliners are not modeled).
+    pub willing: bool,
+}
+
+impl SelectionOutcome {
+    /// Whether the site passes all three parts.
+    #[must_use]
+    pub fn selected(&self) -> bool {
+        self.top500_class && self.epa_jsrm_deployment && self.willing
+    }
+}
+
+impl SelectionCriteria {
+    /// Applies the three-part test to a site.
+    #[must_use]
+    pub fn apply(&self, site: &SiteConfig) -> SelectionOutcome {
+        SelectionOutcome {
+            site: site.meta.key.clone(),
+            top500_class: site.system.peak_tflops >= self.min_peak_tflops,
+            epa_jsrm_deployment: site.capabilities.iter().any(|c| c.stage >= self.min_stage),
+            willing: true,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_sites::all_sites;
+    use epa_sites::taxonomy::{Capability, Mechanism};
+
+    #[test]
+    fn all_nine_modeled_sites_pass() {
+        let criteria = SelectionCriteria::default();
+        for site in all_sites(1) {
+            let o = criteria.apply(&site);
+            assert!(o.selected(), "{} fails selection: {o:?}", site.meta.key);
+        }
+    }
+
+    #[test]
+    fn research_only_center_fails_criterion_two() {
+        let mut site = all_sites(1).remove(0);
+        site.capabilities = vec![Capability::new(
+            Stage::Research,
+            Mechanism::Monitoring,
+            "exploratory only",
+        )];
+        let o = SelectionCriteria::default().apply(&site);
+        assert!(!o.selected());
+        assert!(!o.epa_jsrm_deployment);
+        assert!(o.top500_class);
+    }
+
+    #[test]
+    fn small_system_fails_criterion_one() {
+        let mut site = all_sites(1).remove(0);
+        site.system.peak_tflops = 1.0;
+        let o = SelectionCriteria::default().apply(&site);
+        assert!(!o.selected());
+    }
+}

@@ -1,0 +1,222 @@
+//! Renderers for Tables I and II.
+//!
+//! The survey splits the nine centers across two tables: Table I carries
+//! RIKEN, Tokyo Tech, CEA, KAUST, and LRZ; Table II carries STFC,
+//! Trinity (LANL+Sandia), CINECA, and JCAHPC. Each row is one center;
+//! the three columns are the capability stages. The renderer produces the
+//! same rows from the site models' declared capabilities, optionally
+//! annotated with measured evidence from the simulation (the "initial
+//! analysis" the paper's title promises).
+
+use epa_sites::runner::SiteReport;
+use epa_sites::taxonomy::Stage;
+
+/// The centers of Table I, in row order.
+pub const TABLE1_SITES: [&str; 5] = ["riken", "tokyo-tech", "cea", "kaust", "lrz"];
+
+/// The centers of Table II, in row order.
+pub const TABLE2_SITES: [&str; 4] = ["stfc", "trinity", "cineca", "jcahpc"];
+
+fn wrap(text: &str, width: usize) -> Vec<String> {
+    let mut lines = Vec::new();
+    let mut cur = String::new();
+    for word in text.split_whitespace() {
+        if !cur.is_empty() && cur.len() + 1 + word.len() > width {
+            lines.push(std::mem::take(&mut cur));
+        }
+        if !cur.is_empty() {
+            cur.push(' ');
+        }
+        cur.push_str(word);
+    }
+    if !cur.is_empty() {
+        lines.push(cur);
+    }
+    if lines.is_empty() {
+        lines.push(String::new());
+    }
+    lines
+}
+
+fn render_row(report: &SiteReport, col_width: usize) -> String {
+    let mut columns: Vec<Vec<String>> = Vec::new();
+    for stage in Stage::ALL {
+        let mut cell_lines = Vec::new();
+        let caps: Vec<&str> = report
+            .capabilities
+            .iter()
+            .filter(|c| c.stage == stage)
+            .map(|c| c.description.as_str())
+            .collect();
+        if caps.is_empty() {
+            cell_lines.push("—".to_owned());
+        }
+        for (i, cap) in caps.iter().enumerate() {
+            if i > 0 {
+                cell_lines.push(String::new());
+            }
+            cell_lines.extend(wrap(cap, col_width));
+        }
+        columns.push(cell_lines);
+    }
+    let height = columns.iter().map(Vec::len).max().unwrap_or(1);
+    let mut out = String::new();
+    let name_lines = wrap(&report.name, 14);
+    for i in 0..height.max(name_lines.len()) {
+        let name = name_lines.get(i).map_or("", String::as_str);
+        out.push_str(&format!("{name:<14} |"));
+        for col in &columns {
+            let cell = col.get(i).map_or("", String::as_str);
+            out.push_str(&format!(" {cell:<width$} |", width = col_width));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn render_table(title: &str, sites: &[&str], reports: &[SiteReport], col_width: usize) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("{title}\n"));
+    let total_width = 14 + 3 * (col_width + 3) + 1;
+    out.push_str(&"=".repeat(total_width));
+    out.push('\n');
+    out.push_str(&format!("{:<14} |", "Center"));
+    for stage in Stage::ALL {
+        let header = match stage {
+            Stage::Research => "Research Activities",
+            Stage::TechDevelopment => "Tech Development (intent to deploy)",
+            Stage::Production => "Production Development",
+        };
+        out.push_str(&format!(" {header:<width$} |", width = col_width));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(total_width));
+    out.push('\n');
+    for key in sites {
+        match reports.iter().find(|r| r.key == *key) {
+            Some(report) => {
+                out.push_str(&render_row(report, col_width));
+                out.push_str(&"-".repeat(total_width));
+                out.push('\n');
+            }
+            None => {
+                out.push_str(&format!("{key:<14} | (no report)\n"));
+            }
+        }
+    }
+    out
+}
+
+/// Renders Table I from the site reports.
+#[must_use]
+pub fn render_table1(reports: &[SiteReport]) -> String {
+    render_table(
+        "TABLE I: Part 1 of the summary of the answers from each center",
+        &TABLE1_SITES,
+        reports,
+        42,
+    )
+}
+
+/// Renders Table II from the site reports.
+#[must_use]
+pub fn render_table2(reports: &[SiteReport]) -> String {
+    render_table(
+        "TABLE II: Part 2 of the summary of the answers from each center",
+        &TABLE2_SITES,
+        reports,
+        42,
+    )
+}
+
+/// A measured-evidence annex: one line per site showing the simulation
+/// numbers that substantiate its production row.
+#[must_use]
+pub fn render_evidence(reports: &[SiteReport]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<12} {:>10} {:>8} {:>11} {:>11} {:>9} {:>10} {:>7}\n",
+        "center", "completed", "util%", "avg kW", "peak kW", "PUE", "cost/h", "kills"
+    ));
+    for r in reports {
+        out.push_str(&format!(
+            "{:<12} {:>10} {:>8.1} {:>11.1} {:>11.1} {:>9.2} {:>10.2} {:>7}\n",
+            r.key,
+            r.outcome.completed,
+            100.0 * r.outcome.utilization,
+            r.outcome.avg_watts / 1e3,
+            r.outcome.peak_watts / 1e3,
+            r.mean_pue,
+            r.mean_cost_per_hour,
+            r.outcome.emergency_kills,
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_simcore::time::SimTime;
+    use epa_sites::runner::run_site;
+    use epa_sites::{all_sites, centers};
+
+    fn quick_reports() -> Vec<SiteReport> {
+        // Short horizons keep the test fast while exercising all sites.
+        all_sites(5)
+            .into_iter()
+            .map(|mut s| {
+                s.horizon = SimTime::from_hours(12.0);
+                run_site(&s)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn tables_cover_all_nine_centers() {
+        let reports = quick_reports();
+        let t1 = render_table1(&reports);
+        let t2 = render_table2(&reports);
+        for name in ["RIKEN", "Tokyo", "CEA", "KAUST", "Leibniz"] {
+            assert!(t1.contains(name), "Table I missing {name}:\n{t1}");
+        }
+        for name in ["Hartree", "Trinity", "CINECA", "JCAHPC"] {
+            assert!(t2.contains(name), "Table II missing {name}:\n{t2}");
+        }
+    }
+
+    #[test]
+    fn table1_contains_signature_capabilities() {
+        let reports = quick_reports();
+        let t1 = render_table1(&reports);
+        assert!(t1.contains("emergency job killing"), "RIKEN row");
+        assert!(t1.contains("270 W"), "KAUST row");
+        assert!(t1.contains("energy to solution"), "LRZ row");
+    }
+
+    #[test]
+    fn empty_stage_renders_dash() {
+        let mut site = centers::jcahpc::config(5);
+        site.horizon = SimTime::from_hours(6.0);
+        // JCAHPC's Table II row has no tech-development column entry.
+        let report = run_site(&site);
+        let row = render_row(&report, 42);
+        assert!(row.contains('—'));
+    }
+
+    #[test]
+    fn evidence_has_one_line_per_site() {
+        let reports = quick_reports();
+        let e = render_evidence(&reports);
+        assert_eq!(e.lines().count(), 10); // header + 9 sites
+        assert!(e.contains("kaust"));
+    }
+
+    #[test]
+    fn wrap_behaviour() {
+        assert_eq!(wrap("a b c", 3), vec!["a b", "c"]);
+        assert_eq!(wrap("", 10), vec![String::new()]);
+        let long = wrap("supercalifragilistic", 5);
+        assert_eq!(long, vec!["supercalifragilistic"]);
+    }
+}

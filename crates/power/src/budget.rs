@@ -1,0 +1,319 @@
+//! Hierarchical power-budget ledger.
+//!
+//! Power-aware schedulers reason about power the way ordinary schedulers
+//! reason about nodes: a fixed system budget is granted to jobs and
+//! reclaimed when they finish (Bodas et al., Ellsworth et al., Borghesi's
+//! power-capping CP model — all cited by the survey). The ledger enforces
+//! the single invariant everything else relies on: **granted power never
+//! exceeds the budget** (property-tested).
+//!
+//! Budgets can be re-sized at runtime (Tokyo Tech's seasonal caps, RIKEN's
+//! emergency reductions); shrinking below the currently-granted amount
+//! leaves the ledger temporarily over-committed, which callers detect via
+//! [`PowerBudget::overcommitted_watts`] and resolve by killing or
+//! throttling jobs.
+
+use crate::error::PowerError;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Identifier for a power grant (usually a job id).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct GrantId(pub u64);
+
+/// A fixed-size power budget with named grants.
+#[derive(Debug, Clone)]
+pub struct PowerBudget {
+    total_watts: f64,
+    grants: BTreeMap<GrantId, f64>,
+    granted_watts: f64,
+    peak_granted_watts: f64,
+    rejections: u64,
+}
+
+impl PowerBudget {
+    /// Creates a budget of `total_watts`.
+    pub fn new(total_watts: f64) -> Result<Self, PowerError> {
+        if !total_watts.is_finite() || total_watts <= 0.0 {
+            return Err(PowerError::InvalidConfig(format!(
+                "budget must be positive and finite, got {total_watts}"
+            )));
+        }
+        Ok(PowerBudget {
+            total_watts,
+            grants: BTreeMap::new(),
+            granted_watts: 0.0,
+            peak_granted_watts: 0.0,
+            rejections: 0,
+        })
+    }
+
+    /// The budget size in watts.
+    #[must_use]
+    pub fn total_watts(&self) -> f64 {
+        self.total_watts
+    }
+
+    /// Currently granted watts.
+    #[must_use]
+    pub fn granted_watts(&self) -> f64 {
+        self.granted_watts
+    }
+
+    /// Remaining headroom in watts (0 when over-committed).
+    #[must_use]
+    pub fn headroom_watts(&self) -> f64 {
+        (self.total_watts - self.granted_watts).max(0.0)
+    }
+
+    /// Watts granted beyond the budget (only after a shrink), else 0.
+    #[must_use]
+    pub fn overcommitted_watts(&self) -> f64 {
+        (self.granted_watts - self.total_watts).max(0.0)
+    }
+
+    /// Highest granted total ever observed.
+    #[must_use]
+    pub fn peak_granted_watts(&self) -> f64 {
+        self.peak_granted_watts
+    }
+
+    /// Number of grant requests refused for lack of headroom.
+    #[must_use]
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Number of live grants.
+    #[must_use]
+    pub fn active_grants(&self) -> usize {
+        self.grants.len()
+    }
+
+    /// The wattage of one grant, if live.
+    #[must_use]
+    pub fn grant_watts(&self, id: GrantId) -> Option<f64> {
+        self.grants.get(&id).copied()
+    }
+
+    /// Iterates over live grants (ascending id).
+    pub fn grants(&self) -> impl Iterator<Item = (GrantId, f64)> + '_ {
+        self.grants.iter().map(|(&id, &w)| (id, w))
+    }
+
+    /// Requests `watts` for `id`. Fails without mutation if the headroom is
+    /// insufficient or the id already holds a grant.
+    pub fn request(&mut self, id: GrantId, watts: f64) -> Result<(), PowerError> {
+        if !watts.is_finite() || watts < 0.0 {
+            return Err(PowerError::InvalidConfig(format!(
+                "grant must be non-negative and finite, got {watts}"
+            )));
+        }
+        if self.grants.contains_key(&id) {
+            return Err(PowerError::DuplicateGrant(id.0));
+        }
+        if self.granted_watts + watts > self.total_watts + 1e-9 {
+            self.rejections += 1;
+            return Err(PowerError::BudgetExceeded {
+                requested: watts,
+                headroom: self.headroom_watts(),
+            });
+        }
+        self.grants.insert(id, watts);
+        self.granted_watts += watts;
+        self.peak_granted_watts = self.peak_granted_watts.max(self.granted_watts);
+        Ok(())
+    }
+
+    /// Releases the grant held by `id`, returning its watts.
+    pub fn release(&mut self, id: GrantId) -> Result<f64, PowerError> {
+        match self.grants.remove(&id) {
+            Some(w) => {
+                self.granted_watts -= w;
+                if self.granted_watts < 0.0 {
+                    self.granted_watts = 0.0;
+                }
+                Ok(w)
+            }
+            None => Err(PowerError::UnknownGrant(id.0)),
+        }
+    }
+
+    /// Adjusts a live grant to a new wattage (dynamic power sharing —
+    /// Ellsworth). Fails if growing beyond the headroom.
+    pub fn adjust(&mut self, id: GrantId, new_watts: f64) -> Result<(), PowerError> {
+        if !new_watts.is_finite() || new_watts < 0.0 {
+            return Err(PowerError::InvalidConfig(format!(
+                "grant must be non-negative and finite, got {new_watts}"
+            )));
+        }
+        let Some(&old) = self.grants.get(&id) else {
+            return Err(PowerError::UnknownGrant(id.0));
+        };
+        let delta = new_watts - old;
+        if delta > 0.0 && self.granted_watts + delta > self.total_watts + 1e-9 {
+            self.rejections += 1;
+            return Err(PowerError::BudgetExceeded {
+                requested: delta,
+                headroom: self.headroom_watts(),
+            });
+        }
+        self.grants.insert(id, new_watts);
+        self.granted_watts += delta;
+        self.peak_granted_watts = self.peak_granted_watts.max(self.granted_watts);
+        Ok(())
+    }
+
+    /// Resizes the budget. Shrinking below the granted total is allowed and
+    /// leaves the ledger over-committed (see module docs).
+    pub fn resize(&mut self, new_total_watts: f64) -> Result<(), PowerError> {
+        if !new_total_watts.is_finite() || new_total_watts <= 0.0 {
+            return Err(PowerError::InvalidConfig(format!(
+                "budget must be positive and finite, got {new_total_watts}"
+            )));
+        }
+        self.total_watts = new_total_watts;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(i: u64) -> GrantId {
+        GrantId(i)
+    }
+
+    #[test]
+    fn grants_and_releases_balance() {
+        let mut b = PowerBudget::new(1000.0).unwrap();
+        b.request(g(1), 400.0).unwrap();
+        b.request(g(2), 500.0).unwrap();
+        assert_eq!(b.granted_watts(), 900.0);
+        assert!((b.headroom_watts() - 100.0).abs() < 1e-9);
+        assert_eq!(b.release(g(1)).unwrap(), 400.0);
+        assert_eq!(b.granted_watts(), 500.0);
+        assert_eq!(b.active_grants(), 1);
+    }
+
+    #[test]
+    fn over_budget_request_rejected() {
+        let mut b = PowerBudget::new(1000.0).unwrap();
+        b.request(g(1), 900.0).unwrap();
+        let err = b.request(g(2), 200.0).unwrap_err();
+        assert!(matches!(err, PowerError::BudgetExceeded { .. }));
+        assert_eq!(b.rejections(), 1);
+        assert_eq!(b.granted_watts(), 900.0);
+    }
+
+    #[test]
+    fn duplicate_grant_rejected() {
+        let mut b = PowerBudget::new(1000.0).unwrap();
+        b.request(g(1), 100.0).unwrap();
+        assert!(matches!(
+            b.request(g(1), 100.0),
+            Err(PowerError::DuplicateGrant(1))
+        ));
+    }
+
+    #[test]
+    fn unknown_release_rejected() {
+        let mut b = PowerBudget::new(1000.0).unwrap();
+        assert!(matches!(b.release(g(9)), Err(PowerError::UnknownGrant(9))));
+    }
+
+    #[test]
+    fn adjust_grows_and_shrinks() {
+        let mut b = PowerBudget::new(1000.0).unwrap();
+        b.request(g(1), 400.0).unwrap();
+        b.adjust(g(1), 800.0).unwrap();
+        assert_eq!(b.granted_watts(), 800.0);
+        b.adjust(g(1), 100.0).unwrap();
+        assert_eq!(b.granted_watts(), 100.0);
+        assert!(b.adjust(g(1), 1100.0).is_err());
+        assert_eq!(b.grant_watts(g(1)), Some(100.0));
+    }
+
+    #[test]
+    fn shrink_creates_overcommit() {
+        let mut b = PowerBudget::new(1000.0).unwrap();
+        b.request(g(1), 900.0).unwrap();
+        b.resize(600.0).unwrap();
+        assert!((b.overcommitted_watts() - 300.0).abs() < 1e-9);
+        assert_eq!(b.headroom_watts(), 0.0);
+        // Releasing resolves the overcommit.
+        b.release(g(1)).unwrap();
+        assert_eq!(b.overcommitted_watts(), 0.0);
+    }
+
+    #[test]
+    fn peak_tracks_high_water_mark() {
+        let mut b = PowerBudget::new(1000.0).unwrap();
+        b.request(g(1), 700.0).unwrap();
+        b.release(g(1)).unwrap();
+        b.request(g(2), 300.0).unwrap();
+        assert_eq!(b.peak_granted_watts(), 700.0);
+    }
+
+    #[test]
+    fn zero_watt_grant_allowed() {
+        let mut b = PowerBudget::new(100.0).unwrap();
+        b.request(g(1), 0.0).unwrap();
+        assert_eq!(b.granted_watts(), 0.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(PowerBudget::new(0.0).is_err());
+        assert!(PowerBudget::new(f64::INFINITY).is_err());
+        let mut b = PowerBudget::new(100.0).unwrap();
+        assert!(b.request(g(1), f64::NAN).is_err());
+        assert!(b.request(g(1), -5.0).is_err());
+        assert!(b.resize(-1.0).is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Request(u64, f64),
+        Release(u64),
+        Adjust(u64, f64),
+    }
+
+    fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+        proptest::collection::vec(
+            prop_oneof![
+                ((0u64..16), (0.0f64..600.0)).prop_map(|(i, w)| Op::Request(i, w)),
+                (0u64..16).prop_map(Op::Release),
+                ((0u64..16), (0.0f64..600.0)).prop_map(|(i, w)| Op::Adjust(i, w)),
+            ],
+            1..120,
+        )
+    }
+
+    proptest! {
+        /// Without resizes, granted power never exceeds the budget, and the
+        /// ledger total always equals the sum of live grants.
+        #[test]
+        fn never_over_budget(ops in arb_ops()) {
+            let mut b = PowerBudget::new(1000.0).unwrap();
+            for op in ops {
+                match op {
+                    Op::Request(i, w) => { let _ = b.request(GrantId(i), w); }
+                    Op::Release(i) => { let _ = b.release(GrantId(i)); }
+                    Op::Adjust(i, w) => { let _ = b.adjust(GrantId(i), w); }
+                }
+                prop_assert!(b.granted_watts() <= b.total_watts() + 1e-6);
+                let sum: f64 = b.grants().map(|(_, w)| w).sum();
+                prop_assert!((sum - b.granted_watts()).abs() < 1e-6);
+            }
+        }
+    }
+}

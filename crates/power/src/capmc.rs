@@ -1,0 +1,320 @@
+//! CAPMC-style out-of-band power capping.
+//!
+//! Cray's CAPMC (Cray Advanced Platform Monitoring and Control) gives
+//! administrators out-of-band, hard node-level and system-wide power caps —
+//! the mechanism Trinity (LANL+Sandia) reports in production and KAUST uses
+//! for its static 270 W cap on 70% of Shaheen's nodes, with SLURM's
+//! Dynamic Power Management layered on top.
+//!
+//! Unlike RAPL's windowed averaging, a CAPMC cap is an instantaneous
+//! ceiling: the node's firmware keeps draw at or below the cap at all
+//! times. The controller here tracks per-node caps, an optional
+//! system-wide cap, and distributes the system cap over nodes
+//! (uniformly or proportionally to demand).
+
+use crate::error::PowerError;
+use epa_cluster::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// How a system-wide cap is divided among nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum CapDistribution {
+    /// Equal share per node.
+    #[default]
+    Uniform,
+    /// Proportional to each node's demanded power.
+    ProportionalToDemand,
+}
+
+/// Out-of-band power-cap controller for one system.
+#[derive(Debug, Clone)]
+pub struct CapmcController {
+    node_caps: BTreeMap<NodeId, f64>,
+    system_cap: Option<f64>,
+    min_node_cap: f64,
+    max_node_cap: f64,
+    actuations: u64,
+}
+
+impl CapmcController {
+    /// Creates a controller. `min/max_node_cap` bound admissible per-node
+    /// caps (hardware limits of the cap registers).
+    pub fn new(min_node_cap: f64, max_node_cap: f64) -> Result<Self, PowerError> {
+        if !(min_node_cap > 0.0 && min_node_cap <= max_node_cap) {
+            return Err(PowerError::InvalidConfig(format!(
+                "node cap range must satisfy 0 < min <= max, got {min_node_cap}..{max_node_cap}"
+            )));
+        }
+        Ok(CapmcController {
+            node_caps: BTreeMap::new(),
+            system_cap: None,
+            min_node_cap,
+            max_node_cap,
+            actuations: 0,
+        })
+    }
+
+    /// Sets a node-level cap, clamped into the admissible register range.
+    /// Returns the cap actually programmed.
+    pub fn set_node_cap(&mut self, node: NodeId, watts: f64) -> Result<f64, PowerError> {
+        if !watts.is_finite() || watts <= 0.0 {
+            return Err(PowerError::InvalidConfig(format!(
+                "node cap must be positive and finite, got {watts}"
+            )));
+        }
+        let programmed = watts.clamp(self.min_node_cap, self.max_node_cap);
+        self.node_caps.insert(node, programmed);
+        self.actuations += 1;
+        Ok(programmed)
+    }
+
+    /// Removes a node-level cap (node runs uncapped).
+    pub fn clear_node_cap(&mut self, node: NodeId) {
+        if self.node_caps.remove(&node).is_some() {
+            self.actuations += 1;
+        }
+    }
+
+    /// The cap programmed on a node, if any.
+    #[must_use]
+    pub fn node_cap(&self, node: NodeId) -> Option<f64> {
+        self.node_caps.get(&node).copied()
+    }
+
+    /// Number of nodes with an active cap.
+    #[must_use]
+    pub fn capped_nodes(&self) -> usize {
+        self.node_caps.len()
+    }
+
+    /// Sets or clears the system-wide cap.
+    pub fn set_system_cap(&mut self, watts: Option<f64>) -> Result<(), PowerError> {
+        if let Some(w) = watts {
+            if !w.is_finite() || w <= 0.0 {
+                return Err(PowerError::InvalidConfig(format!(
+                    "system cap must be positive and finite, got {w}"
+                )));
+            }
+        }
+        self.system_cap = watts;
+        self.actuations += 1;
+        Ok(())
+    }
+
+    /// The system-wide cap, if any.
+    #[must_use]
+    pub fn system_cap(&self) -> Option<f64> {
+        self.system_cap
+    }
+
+    /// Total cap-register writes performed (an out-of-band traffic proxy).
+    #[must_use]
+    pub fn actuations(&self) -> u64 {
+        self.actuations
+    }
+
+    /// Effective ceiling for a node: the node cap if set, further reduced
+    /// by its share of the system cap when one is active.
+    ///
+    /// `demands` maps every powered node to its uncapped demand; it is used
+    /// both for proportional distribution and to know the node population.
+    #[must_use]
+    pub fn effective_cap(
+        &self,
+        node: NodeId,
+        demands: &BTreeMap<NodeId, f64>,
+        distribution: CapDistribution,
+    ) -> Option<f64> {
+        let node_cap = self.node_caps.get(&node).copied();
+        let system_share = self.system_cap.map(|total| {
+            let n = demands.len().max(1) as f64;
+            match distribution {
+                CapDistribution::Uniform => total / n,
+                CapDistribution::ProportionalToDemand => {
+                    let total_demand: f64 = demands.values().sum();
+                    if total_demand <= 0.0 {
+                        total / n
+                    } else {
+                        total * demands.get(&node).copied().unwrap_or(0.0) / total_demand
+                    }
+                }
+            }
+        });
+        match (node_cap, system_share) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (Some(a), None) => Some(a),
+            (None, Some(b)) => Some(b),
+            (None, None) => None,
+        }
+    }
+
+    /// Applies caps to a demand map, returning each node's granted power
+    /// and the total. Granted power is `min(demand, effective cap)`.
+    #[must_use]
+    pub fn grant(
+        &self,
+        demands: &BTreeMap<NodeId, f64>,
+        distribution: CapDistribution,
+    ) -> (BTreeMap<NodeId, f64>, f64) {
+        let mut granted = BTreeMap::new();
+        let mut total = 0.0;
+        for (&node, &demand) in demands {
+            let g = match self.effective_cap(node, demands, distribution) {
+                Some(cap) => demand.min(cap),
+                None => demand,
+            };
+            granted.insert(node, g);
+            total += g;
+        }
+        (granted, total)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn n(i: u32) -> NodeId {
+        NodeId(i)
+    }
+
+    fn demands(pairs: &[(u32, f64)]) -> BTreeMap<NodeId, f64> {
+        pairs.iter().map(|&(i, w)| (n(i), w)).collect()
+    }
+
+    #[test]
+    fn node_caps_clamp_to_register_range() {
+        let mut c = CapmcController::new(100.0, 400.0).unwrap();
+        assert_eq!(c.set_node_cap(n(0), 50.0).unwrap(), 100.0);
+        assert_eq!(c.set_node_cap(n(1), 270.0).unwrap(), 270.0);
+        assert_eq!(c.set_node_cap(n(2), 9999.0).unwrap(), 400.0);
+        assert_eq!(c.capped_nodes(), 3);
+        assert_eq!(c.actuations(), 3);
+    }
+
+    #[test]
+    fn clear_cap() {
+        let mut c = CapmcController::new(100.0, 400.0).unwrap();
+        c.set_node_cap(n(0), 270.0).unwrap();
+        c.clear_node_cap(n(0));
+        assert_eq!(c.node_cap(n(0)), None);
+        // Clearing an uncapped node is a no-op and not an actuation.
+        let before = c.actuations();
+        c.clear_node_cap(n(5));
+        assert_eq!(c.actuations(), before);
+    }
+
+    #[test]
+    fn uniform_system_cap_shares_equally() {
+        let mut c = CapmcController::new(50.0, 500.0).unwrap();
+        c.set_system_cap(Some(600.0)).unwrap();
+        let d = demands(&[(0, 400.0), (1, 400.0), (2, 400.0)]);
+        let (granted, total) = c.grant(&d, CapDistribution::Uniform);
+        for g in granted.values() {
+            assert!((g - 200.0).abs() < 1e-9);
+        }
+        assert!((total - 600.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_distribution_follows_demand() {
+        let mut c = CapmcController::new(50.0, 500.0).unwrap();
+        c.set_system_cap(Some(300.0)).unwrap();
+        let d = demands(&[(0, 100.0), (1, 300.0)]);
+        let (granted, total) = c.grant(&d, CapDistribution::ProportionalToDemand);
+        assert!((granted[&n(0)] - 75.0).abs() < 1e-9);
+        assert!((granted[&n(1)] - 225.0).abs() < 1e-9);
+        assert!((total - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_cap_and_system_cap_take_minimum() {
+        let mut c = CapmcController::new(50.0, 500.0).unwrap();
+        c.set_node_cap(n(0), 150.0).unwrap();
+        c.set_system_cap(Some(800.0)).unwrap(); // share = 400 for 2 nodes
+        let d = demands(&[(0, 350.0), (1, 350.0)]);
+        let (granted, _) = c.grant(&d, CapDistribution::Uniform);
+        assert!((granted[&n(0)] - 150.0).abs() < 1e-9); // node cap binds
+        assert!((granted[&n(1)] - 350.0).abs() < 1e-9); // demand binds
+    }
+
+    #[test]
+    fn grant_never_exceeds_demand() {
+        let mut c = CapmcController::new(50.0, 500.0).unwrap();
+        c.set_system_cap(Some(1e6)).unwrap();
+        let d = demands(&[(0, 123.0)]);
+        let (granted, _) = c.grant(&d, CapDistribution::Uniform);
+        assert_eq!(granted[&n(0)], 123.0);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(CapmcController::new(0.0, 100.0).is_err());
+        assert!(CapmcController::new(200.0, 100.0).is_err());
+        let mut c = CapmcController::new(50.0, 500.0).unwrap();
+        assert!(c.set_node_cap(n(0), f64::NAN).is_err());
+        assert!(c.set_node_cap(n(0), -5.0).is_err());
+        assert!(c.set_system_cap(Some(0.0)).is_err());
+        assert!(c.set_system_cap(None).is_ok());
+    }
+
+    #[test]
+    fn kaust_static_policy_shape() {
+        // KAUST: 70% of nodes capped at 270 W, 30% uncapped.
+        let mut c = CapmcController::new(100.0, 425.0).unwrap();
+        let total_nodes = 100u32;
+        for i in 0..70 {
+            c.set_node_cap(n(i), 270.0).unwrap();
+        }
+        let d: BTreeMap<NodeId, f64> = (0..total_nodes).map(|i| (n(i), 400.0)).collect();
+        let (granted, total) = c.grant(&d, CapDistribution::Uniform);
+        assert_eq!(
+            granted
+                .values()
+                .filter(|&&g| (g - 270.0).abs() < 1e-9)
+                .count(),
+            70
+        );
+        assert_eq!(
+            granted
+                .values()
+                .filter(|&&g| (g - 400.0).abs() < 1e-9)
+                .count(),
+            30
+        );
+        assert!((total - (70.0 * 270.0 + 30.0 * 400.0)).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Under a uniform system cap, total granted power never exceeds
+        /// the cap (within fp tolerance), and per-node grants never exceed
+        /// demands.
+        #[test]
+        fn system_cap_respected(
+            demands_w in proptest::collection::vec(10.0f64..500.0, 1..40),
+            cap in 100.0f64..5000.0,
+        ) {
+            let mut c = CapmcController::new(1.0, 1e4).unwrap();
+            c.set_system_cap(Some(cap)).unwrap();
+            let d: BTreeMap<NodeId, f64> = demands_w
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| (NodeId(i as u32), w))
+                .collect();
+            for dist in [CapDistribution::Uniform, CapDistribution::ProportionalToDemand] {
+                let (granted, total) = c.grant(&d, dist);
+                prop_assert!(total <= cap + 1e-6, "total {} > cap {}", total, cap);
+                for (node, g) in &granted {
+                    prop_assert!(*g <= d[node] + 1e-9);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,45 @@
+//! Error types for the power substrate.
+
+use thiserror::Error;
+
+/// Errors from power models, caps, budgets, and the facility.
+#[derive(Debug, Error, PartialEq)]
+pub enum PowerError {
+    /// A configuration value was out of range.
+    #[error("invalid power configuration: {0}")]
+    InvalidConfig(String),
+
+    /// A grant request exceeded the available budget headroom.
+    #[error("power budget exceeded: requested {requested:.1} W, headroom {headroom:.1} W")]
+    BudgetExceeded {
+        /// Watts requested.
+        requested: f64,
+        /// Watts available when the request arrived.
+        headroom: f64,
+    },
+
+    /// A grant id already holds power.
+    #[error("grant {0} already exists")]
+    DuplicateGrant(u64),
+
+    /// A grant id holds no power.
+    #[error("grant {0} does not exist")]
+    UnknownGrant(u64),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = PowerError::BudgetExceeded {
+            requested: 250.0,
+            headroom: 100.0,
+        };
+        assert_eq!(
+            e.to_string(),
+            "power budget exceeded: requested 250.0 W, headroom 100.0 W"
+        );
+    }
+}

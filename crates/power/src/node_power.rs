@@ -1,0 +1,207 @@
+//! Per-node power model: state, utilization, frequency, and caps.
+//!
+//! Combines the node's static envelope with the DVFS model into a single
+//! "what is this node drawing right now" function, including the
+//! throttling feedback a hardware cap induces: when the cap is below the
+//! demanded power, the effective frequency drops to the highest ladder
+//! step that fits, and the job slows down accordingly (the Patki/Sarood
+//! over-provisioning trade-off that experiment E1 sweeps).
+
+use crate::dvfs::DvfsModel;
+use epa_cluster::node::NodeSpec;
+use serde::{Deserialize, Serialize};
+
+/// Operational state of a node, matching the resource-manager lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum NodePowerState {
+    /// Powered off (BMC only).
+    Off,
+    /// Booting: full idle draw plus boot overhead, not usable yet.
+    Booting,
+    /// On and idle.
+    #[default]
+    Idle,
+    /// Running a job.
+    Busy,
+}
+
+/// Computes a node's instantaneous power draw.
+#[derive(Debug, Clone)]
+pub struct NodePowerModel {
+    spec: NodeSpec,
+    dvfs: DvfsModel,
+}
+
+/// Result of applying a hardware cap to a busy node.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CappedOperatingPoint {
+    /// Effective frequency after throttling, GHz.
+    pub freq_ghz: f64,
+    /// Power drawn at that frequency, watts.
+    pub watts: f64,
+    /// Runtime inflation for a phase with the given cpu-boundness
+    /// relative to running uncapped at base frequency.
+    pub slowdown: f64,
+}
+
+impl NodePowerModel {
+    /// Creates the model for one node type.
+    #[must_use]
+    pub fn new(spec: NodeSpec) -> Self {
+        let dvfs = DvfsModel::new(spec.clone());
+        NodePowerModel { spec, dvfs }
+    }
+
+    /// The underlying DVFS model.
+    #[must_use]
+    pub fn dvfs(&self) -> &DvfsModel {
+        &self.dvfs
+    }
+
+    /// The node spec.
+    #[must_use]
+    pub fn spec(&self) -> &NodeSpec {
+        &self.spec
+    }
+
+    /// Instantaneous draw for a node in `state` at utilization `util`
+    /// (fraction of cores busy, `[0,1]`) and frequency `freq_ghz`.
+    ///
+    /// Busy draw interpolates linearly between idle and the DVFS busy power
+    /// with utilization; boot draws nominal power (fans + POST load).
+    #[must_use]
+    pub fn watts(&self, state: NodePowerState, util: f64, freq_ghz: f64) -> f64 {
+        match state {
+            NodePowerState::Off => self.spec.off_watts,
+            NodePowerState::Booting => self.spec.nominal_watts,
+            NodePowerState::Idle => self.spec.idle_watts,
+            NodePowerState::Busy => {
+                let u = util.clamp(0.0, 1.0);
+                let busy = self.dvfs.busy_watts(freq_ghz);
+                self.spec.idle_watts + u * (busy - self.spec.idle_watts)
+            }
+        }
+    }
+
+    /// Applies a hardware cap to a fully-utilized node running a phase of
+    /// the given cpu-boundness. Returns the throttled operating point.
+    ///
+    /// If the cap is above the demanded power no throttling happens. If it
+    /// is below even the lowest-frequency draw, the node pins to the lowest
+    /// frequency (hardware can't do better; the residual violation is what
+    /// RAPL's window accounting absorbs).
+    #[must_use]
+    pub fn apply_cap(
+        &self,
+        cap_watts: f64,
+        demand_freq_ghz: f64,
+        cpu_boundness: f64,
+    ) -> CappedOperatingPoint {
+        let demand_watts = self.dvfs.busy_watts(demand_freq_ghz);
+        let (freq, watts) = if demand_watts <= cap_watts {
+            (demand_freq_ghz, demand_watts)
+        } else {
+            match self.dvfs.max_frequency_under_cap(cap_watts) {
+                Some(f) => (f, self.dvfs.busy_watts(f)),
+                None => {
+                    let fmin = self.spec.cpu.min_freq_ghz;
+                    (fmin, self.dvfs.busy_watts(fmin))
+                }
+            }
+        };
+        CappedOperatingPoint {
+            freq_ghz: freq,
+            watts,
+            slowdown: self.dvfs.slowdown(freq, cpu_boundness),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> NodePowerModel {
+        NodePowerModel::new(NodeSpec::typical_xeon())
+    }
+
+    #[test]
+    fn state_powers() {
+        let m = model();
+        let base = m.spec().cpu.base_freq_ghz;
+        assert_eq!(m.watts(NodePowerState::Off, 0.0, base), 8.0);
+        assert_eq!(m.watts(NodePowerState::Booting, 0.0, base), 290.0);
+        assert_eq!(m.watts(NodePowerState::Idle, 0.0, base), 90.0);
+        assert_eq!(m.watts(NodePowerState::Busy, 1.0, base), 290.0);
+    }
+
+    #[test]
+    fn utilization_interpolates() {
+        let m = model();
+        let base = m.spec().cpu.base_freq_ghz;
+        let half = m.watts(NodePowerState::Busy, 0.5, base);
+        assert!((half - 190.0).abs() < 1e-9);
+        // Utilization clamps.
+        assert_eq!(m.watts(NodePowerState::Busy, 2.0, base), 290.0);
+        assert_eq!(m.watts(NodePowerState::Busy, -1.0, base), 90.0);
+    }
+
+    #[test]
+    fn generous_cap_is_noop() {
+        let m = model();
+        let base = m.spec().cpu.base_freq_ghz;
+        let op = m.apply_cap(1000.0, base, 1.0);
+        assert_eq!(op.freq_ghz, base);
+        assert!((op.watts - 290.0).abs() < 1e-9);
+        assert!((op.slowdown - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tight_cap_throttles_and_slows() {
+        let m = model();
+        let base = m.spec().cpu.base_freq_ghz;
+        let op = m.apply_cap(200.0, base, 1.0);
+        assert!(op.watts <= 200.0);
+        assert!(op.freq_ghz < base);
+        assert!(op.slowdown > 1.0);
+    }
+
+    #[test]
+    fn impossible_cap_pins_to_min_frequency() {
+        let m = model();
+        let op = m.apply_cap(50.0, m.spec().cpu.base_freq_ghz, 1.0);
+        assert_eq!(op.freq_ghz, m.spec().cpu.min_freq_ghz);
+        assert!(op.watts > 50.0, "residual violation is expected");
+    }
+
+    #[test]
+    fn memory_bound_job_barely_slows_under_cap() {
+        let m = model();
+        let base = m.spec().cpu.base_freq_ghz;
+        let op = m.apply_cap(200.0, base, 0.0);
+        assert!((op.slowdown - 1.0).abs() < 1e-9);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// A feasible cap is always respected, and throttling never
+        /// *increases* frequency.
+        #[test]
+        fn caps_respected(cap in 120.0f64..500.0, beta in 0.0f64..1.0) {
+            let m = NodePowerModel::new(NodeSpec::typical_xeon());
+            let base = m.spec().cpu.base_freq_ghz;
+            let min_w = m.dvfs().busy_watts(m.spec().cpu.min_freq_ghz);
+            let op = m.apply_cap(cap, base, beta);
+            prop_assert!(op.freq_ghz <= base + 1e-12);
+            if cap >= min_w {
+                prop_assert!(op.watts <= cap + 1e-9, "cap {} violated: {}", cap, op.watts);
+            }
+            prop_assert!(op.slowdown >= 1.0 - 1e-12);
+        }
+    }
+}

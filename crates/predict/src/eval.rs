@@ -1,0 +1,152 @@
+//! Prediction-quality evaluation (experiment E7).
+//!
+//! Replays a history chronologically: for each run, predict from the
+//! archive *so far*, then reveal the truth and archive it. Reports MAPE,
+//! RMSE, mean bias, and coverage (fraction of jobs the predictor could
+//! score at all).
+
+use crate::history::{HistoryStore, RunRecord};
+use crate::predictors::PowerPredictor;
+use epa_simcore::time::{SimDuration, SimTime};
+use epa_workload::job::{AppProfile, Job, JobId};
+use serde::Serialize;
+
+/// Aggregate prediction errors.
+#[derive(Debug, Clone, Serialize)]
+pub struct PredictionErrors {
+    /// Predictor name.
+    pub predictor: String,
+    /// Jobs scored (prediction available).
+    pub scored: u64,
+    /// Jobs skipped (no basis to predict).
+    pub skipped: u64,
+    /// Mean absolute percentage error over scored jobs.
+    pub mape: f64,
+    /// Root-mean-square error in watts.
+    pub rmse: f64,
+    /// Mean signed error (positive = over-prediction), watts.
+    pub bias: f64,
+}
+
+fn job_from_record(i: u64, r: &RunRecord) -> Job {
+    Job {
+        id: JobId(i),
+        user: r.user,
+        app: AppProfile::balanced(&r.tag),
+        submit: SimTime::ZERO,
+        nodes: r.nodes,
+        walltime_estimate: SimDuration::from_secs(r.runtime_secs.max(1.0) * 1.5),
+        base_runtime: SimDuration::from_secs(r.runtime_secs.max(1.0)),
+        priority: 0,
+        moldable: None,
+    }
+}
+
+/// Chronological replay evaluation of one predictor over a record stream.
+#[must_use]
+pub fn evaluate<P: PowerPredictor>(predictor: &P, records: &[RunRecord]) -> PredictionErrors {
+    let mut store = HistoryStore::new();
+    let mut abs_pct = 0.0;
+    let mut sq = 0.0;
+    let mut signed = 0.0;
+    let mut scored = 0u64;
+    let mut skipped = 0u64;
+    for (i, r) in records.iter().enumerate() {
+        let job = job_from_record(i as u64, r);
+        match predictor.predict_watts_per_node(&job, &store, r.ambient_c) {
+            Some(pred) if r.watts_per_node > 0.0 => {
+                let err = pred - r.watts_per_node;
+                abs_pct += (err / r.watts_per_node).abs();
+                sq += err * err;
+                signed += err;
+                scored += 1;
+            }
+            _ => skipped += 1,
+        }
+        store.record(r.clone());
+    }
+    let n = scored.max(1) as f64;
+    PredictionErrors {
+        predictor: predictor.name().to_owned(),
+        scored,
+        skipped,
+        mape: abs_pct / n,
+        rmse: (sq / n).sqrt(),
+        bias: signed / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::predictors::{GlobalMeanPredictor, TagMeanPredictor};
+
+    fn stream() -> Vec<RunRecord> {
+        // Two apps with distinct, stable power levels.
+        let mut v = Vec::new();
+        for i in 0..40 {
+            let (tag, watts) = if i % 2 == 0 {
+                ("low", 150.0)
+            } else {
+                ("high", 350.0)
+            };
+            v.push(RunRecord {
+                user: i % 4,
+                tag: tag.into(),
+                nodes: 8,
+                runtime_secs: 3600.0,
+                watts_per_node: watts,
+                ambient_c: 20.0,
+            });
+        }
+        v
+    }
+
+    #[test]
+    fn tag_mean_beats_global_mean_on_bimodal_stream() {
+        let s = stream();
+        let tag = evaluate(&TagMeanPredictor, &s);
+        let global = evaluate(&GlobalMeanPredictor, &s);
+        assert!(
+            tag.mape < global.mape,
+            "tag {} vs global {}",
+            tag.mape,
+            global.mape
+        );
+        assert!(tag.rmse < global.rmse);
+    }
+
+    #[test]
+    fn first_job_is_skipped() {
+        let s = stream();
+        let e = evaluate(&TagMeanPredictor, &s);
+        assert!(e.skipped >= 1, "cold start must skip");
+        assert_eq!(e.scored + e.skipped, s.len() as u64);
+    }
+
+    #[test]
+    fn perfect_predictor_zero_error() {
+        // A constant stream is perfectly predicted by tag-mean after warmup.
+        let s: Vec<RunRecord> = (0..20)
+            .map(|_| RunRecord {
+                user: 0,
+                tag: "x".into(),
+                nodes: 4,
+                runtime_secs: 100.0,
+                watts_per_node: 250.0,
+                ambient_c: 20.0,
+            })
+            .collect();
+        let e = evaluate(&TagMeanPredictor, &s);
+        assert!(e.mape < 1e-12);
+        assert!(e.rmse < 1e-9);
+        assert!(e.bias.abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stream() {
+        let e = evaluate(&TagMeanPredictor, &[]);
+        assert_eq!(e.scored, 0);
+        assert_eq!(e.skipped, 0);
+    }
+}

@@ -1,0 +1,175 @@
+//! k-nearest-neighbour power prediction on submission features.
+//!
+//! Mirrors the machine-learning line of the survey's related work
+//! (Borghesi et al., Sîrbu & Babaoglu): predict a job's power from the
+//! most similar *past* runs, where similarity is computed on what is known
+//! at submission time — size, requested walltime, tag match, user match.
+
+use crate::history::{HistoryStore, RunRecord};
+use crate::predictors::PowerPredictor;
+use epa_workload::job::Job;
+
+/// kNN predictor with feature weighting.
+#[derive(Debug, Clone, Copy)]
+pub struct KnnPredictor {
+    /// Neighbours consulted.
+    pub k: usize,
+    /// Distance penalty added when the application tag differs.
+    pub tag_mismatch_penalty: f64,
+    /// Distance penalty added when the user differs.
+    pub user_mismatch_penalty: f64,
+}
+
+impl Default for KnnPredictor {
+    fn default() -> Self {
+        KnnPredictor {
+            k: 5,
+            tag_mismatch_penalty: 2.0,
+            user_mismatch_penalty: 0.5,
+        }
+    }
+}
+
+impl KnnPredictor {
+    fn distance(&self, job: &Job, rec: &RunRecord) -> f64 {
+        let size_d = (f64::from(job.nodes).ln() - f64::from(rec.nodes).ln()).abs();
+        let time_d =
+            (job.walltime_estimate.as_secs().max(1.0).ln() - rec.runtime_secs.max(1.0).ln()).abs()
+                * 0.5;
+        let tag_d = if job.app.tag == rec.tag {
+            0.0
+        } else {
+            self.tag_mismatch_penalty
+        };
+        let user_d = if job.user == rec.user {
+            0.0
+        } else {
+            self.user_mismatch_penalty
+        };
+        size_d + time_d + tag_d + user_d
+    }
+}
+
+impl PowerPredictor for KnnPredictor {
+    fn predict_watts_per_node(
+        &self,
+        job: &Job,
+        history: &HistoryStore,
+        _ambient_c: f64,
+    ) -> Option<f64> {
+        if history.is_empty() || self.k == 0 {
+            return None;
+        }
+        let mut scored: Vec<(f64, f64)> = history
+            .records()
+            .iter()
+            .map(|r| (self.distance(job, r), r.watts_per_node))
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let take = self.k.min(scored.len());
+        // Inverse-distance weighting with an epsilon floor.
+        let mut num = 0.0;
+        let mut den = 0.0;
+        for &(d, w) in &scored[..take] {
+            let weight = 1.0 / (d + 0.1);
+            num += weight * w;
+            den += weight;
+        }
+        Some(num / den)
+    }
+
+    fn name(&self) -> &'static str {
+        "knn"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RunRecord;
+    use epa_workload::job::JobBuilder;
+
+    fn rec(user: u32, tag: &str, nodes: u32, watts: f64) -> RunRecord {
+        RunRecord {
+            user,
+            tag: tag.into(),
+            nodes,
+            runtime_secs: 3600.0,
+            watts_per_node: watts,
+            ambient_c: 20.0,
+        }
+    }
+
+    fn job(user: u32, tag: &str, nodes: u32) -> epa_workload::job::Job {
+        let mut j = JobBuilder::new(1).user(user).nodes(nodes).build();
+        j.app.tag = tag.to_owned();
+        j
+    }
+
+    #[test]
+    fn prefers_matching_tag_and_size() {
+        let mut h = HistoryStore::new();
+        // Matching tag/size cluster at ~200 W.
+        for _ in 0..5 {
+            h.record(rec(1, "cfd", 16, 200.0));
+        }
+        // Different tag cluster at ~400 W.
+        for _ in 0..5 {
+            h.record(rec(2, "hpl", 16, 400.0));
+        }
+        let p = KnnPredictor::default();
+        let pred = p
+            .predict_watts_per_node(&job(1, "cfd", 16), &h, 20.0)
+            .unwrap();
+        assert!((pred - 200.0).abs() < 10.0, "pred {pred}");
+    }
+
+    #[test]
+    fn interpolates_between_sizes() {
+        let mut h = HistoryStore::new();
+        h.record(rec(1, "cfd", 4, 150.0));
+        h.record(rec(1, "cfd", 64, 250.0));
+        let p = KnnPredictor {
+            k: 2,
+            ..Default::default()
+        };
+        let pred = p
+            .predict_watts_per_node(&job(1, "cfd", 16), &h, 20.0)
+            .unwrap();
+        assert!(pred > 150.0 && pred < 250.0, "pred {pred}");
+    }
+
+    #[test]
+    fn empty_history_none() {
+        let h = HistoryStore::new();
+        assert!(KnnPredictor::default()
+            .predict_watts_per_node(&job(1, "x", 4), &h, 20.0)
+            .is_none());
+    }
+
+    #[test]
+    fn k_zero_none() {
+        let mut h = HistoryStore::new();
+        h.record(rec(1, "x", 4, 100.0));
+        let p = KnnPredictor {
+            k: 0,
+            ..Default::default()
+        };
+        assert!(p
+            .predict_watts_per_node(&job(1, "x", 4), &h, 20.0)
+            .is_none());
+    }
+
+    #[test]
+    fn k_larger_than_history_uses_all() {
+        let mut h = HistoryStore::new();
+        h.record(rec(1, "x", 4, 100.0));
+        h.record(rec(1, "x", 4, 300.0));
+        let p = KnnPredictor {
+            k: 50,
+            ..Default::default()
+        };
+        let pred = p.predict_watts_per_node(&job(1, "x", 4), &h, 20.0).unwrap();
+        assert!((pred - 200.0).abs() < 1e-9);
+    }
+}

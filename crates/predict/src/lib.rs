@@ -1,0 +1,35 @@
+//! # epa-predict — job power, energy, and runtime prediction
+//!
+//! "A very important aspect for energy and power aware job schedulers and
+//! resource managers is knowledge of an application's features before its
+//! execution" (survey, §VI). This crate implements the prediction
+//! approaches the survey catalogues:
+//!
+//! - [`history`] — the per-(user, application-tag) run archive every
+//!   predictor mines (Auweter's tag approach at LRZ; Tokyo Tech's
+//!   long-term archive).
+//! - [`predictors`] — tag-mean and conservative-quantile predictors, the
+//!   global fallback, and RIKEN's temperature-scaled pre-run estimate.
+//! - [`regression`] — online least-squares on job features (Shoukourian,
+//!   Sîrbu & Babaoglu).
+//! - [`knn`] — k-nearest-neighbour prediction on submission features
+//!   (Borghesi's ML line).
+//! - [`eval`] — MAPE/RMSE/bias evaluation harness comparing predictors on
+//!   a replay of the history (experiment E7).
+
+pub mod eval;
+pub mod history;
+pub mod knn;
+pub mod predictors;
+pub mod regression;
+pub mod runtime;
+
+pub use eval::{evaluate, PredictionErrors};
+pub use history::{HistoryStore, RunRecord};
+pub use knn::KnnPredictor;
+pub use predictors::{
+    GlobalMeanPredictor, PowerPredictor, QuantilePredictor, TagMeanPredictor,
+    TemperatureScaledPredictor,
+};
+pub use regression::LinearRegression;
+pub use runtime::{RuntimePredictor, TagMeanRuntime, UserEstimateRuntime};

@@ -1,0 +1,296 @@
+//! Baseline power predictors.
+//!
+//! All predictors answer the same question a power-aware scheduler asks at
+//! dispatch time: *"how many watts per node will this job draw?"* They
+//! differ in what they key on, mirroring the approaches in the survey's
+//! related work:
+//!
+//! - [`TagMeanPredictor`] — mean of history for (user, tag), falling back
+//!   to tag, then global (LRZ LoadLeveler's "first run characterizes the
+//!   app" approach).
+//! - [`QuantilePredictor`] — a high quantile of the tag history; the
+//!   conservative choice when a cap violation is expensive.
+//! - [`GlobalMeanPredictor`] — no per-app knowledge at all (the strawman).
+//! - [`TemperatureScaledPredictor`] — RIKEN's pre-run estimate "based on
+//!   temperature": node power rises with ambient temperature (fan/leakage
+//!   effects), so the estimate scales a base prediction by a per-degree
+//!   coefficient.
+
+use crate::history::HistoryStore;
+use epa_workload::job::Job;
+
+/// A power predictor: watts-per-node estimate for a job about to start.
+pub trait PowerPredictor {
+    /// Predicted average watts per node for `job`, given the ambient
+    /// temperature at dispatch. `None` when the predictor has no basis.
+    fn predict_watts_per_node(
+        &self,
+        job: &Job,
+        history: &HistoryStore,
+        ambient_c: f64,
+    ) -> Option<f64>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Mean over (user, tag) history, falling back to tag, then global.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct TagMeanPredictor;
+
+impl PowerPredictor for TagMeanPredictor {
+    fn predict_watts_per_node(
+        &self,
+        job: &Job,
+        history: &HistoryStore,
+        _ambient_c: f64,
+    ) -> Option<f64> {
+        let user_tag: Vec<f64> = history
+            .for_user_tag(job.user, &job.app.tag)
+            .map(|r| r.watts_per_node)
+            .collect();
+        if !user_tag.is_empty() {
+            return Some(user_tag.iter().sum::<f64>() / user_tag.len() as f64);
+        }
+        let tag: Vec<f64> = history
+            .for_tag(&job.app.tag)
+            .map(|r| r.watts_per_node)
+            .collect();
+        if !tag.is_empty() {
+            return Some(tag.iter().sum::<f64>() / tag.len() as f64);
+        }
+        history.global_mean_watts()
+    }
+
+    fn name(&self) -> &'static str {
+        "tag-mean"
+    }
+}
+
+/// A high quantile of the tag history (conservative estimate).
+#[derive(Debug, Clone, Copy)]
+pub struct QuantilePredictor {
+    /// Quantile in `[0,1]`, e.g. 0.9.
+    pub quantile: f64,
+}
+
+impl Default for QuantilePredictor {
+    fn default() -> Self {
+        QuantilePredictor { quantile: 0.9 }
+    }
+}
+
+impl PowerPredictor for QuantilePredictor {
+    fn predict_watts_per_node(
+        &self,
+        job: &Job,
+        history: &HistoryStore,
+        _ambient_c: f64,
+    ) -> Option<f64> {
+        let mut xs: Vec<f64> = history
+            .for_tag(&job.app.tag)
+            .map(|r| r.watts_per_node)
+            .collect();
+        if xs.is_empty() {
+            return history.global_mean_watts();
+        }
+        xs.sort_by(|a, b| a.partial_cmp(b).expect("finite watts"));
+        let q = self.quantile.clamp(0.0, 1.0);
+        let pos = q * (xs.len() - 1) as f64;
+        let i = pos.floor() as usize;
+        let frac = pos - i as f64;
+        let hi = xs[(i + 1).min(xs.len() - 1)];
+        Some(xs[i] + frac * (hi - xs[i]))
+    }
+
+    fn name(&self) -> &'static str {
+        "tag-quantile"
+    }
+}
+
+/// Global mean of all history, regardless of the job.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct GlobalMeanPredictor;
+
+impl PowerPredictor for GlobalMeanPredictor {
+    fn predict_watts_per_node(
+        &self,
+        _job: &Job,
+        history: &HistoryStore,
+        _ambient_c: f64,
+    ) -> Option<f64> {
+        history.global_mean_watts()
+    }
+
+    fn name(&self) -> &'static str {
+        "global-mean"
+    }
+}
+
+/// RIKEN-style temperature-scaled estimate: wraps a base predictor and
+/// scales by `1 + coefficient · (T − T_ref)`, where the history's mean
+/// ambient serves as `T_ref`.
+#[derive(Debug, Clone, Copy)]
+pub struct TemperatureScaledPredictor<P> {
+    /// The base predictor.
+    pub base: P,
+    /// Fractional power increase per °C above the reference.
+    pub per_degree: f64,
+}
+
+impl<P: PowerPredictor> TemperatureScaledPredictor<P> {
+    /// Creates the wrapper with a typical 0.4%/°C coefficient.
+    #[must_use]
+    pub fn new(base: P) -> Self {
+        TemperatureScaledPredictor {
+            base,
+            per_degree: 0.004,
+        }
+    }
+}
+
+impl<P: PowerPredictor> PowerPredictor for TemperatureScaledPredictor<P> {
+    fn predict_watts_per_node(
+        &self,
+        job: &Job,
+        history: &HistoryStore,
+        ambient_c: f64,
+    ) -> Option<f64> {
+        let base = self.base.predict_watts_per_node(job, history, ambient_c)?;
+        let records = history.records();
+        let t_ref = if records.is_empty() {
+            ambient_c
+        } else {
+            records.iter().map(|r| r.ambient_c).sum::<f64>() / records.len() as f64
+        };
+        Some(base * (1.0 + self.per_degree * (ambient_c - t_ref)))
+    }
+
+    fn name(&self) -> &'static str {
+        "temperature-scaled"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RunRecord;
+    use epa_workload::job::JobBuilder;
+
+    fn rec(user: u32, tag: &str, watts: f64, ambient: f64) -> RunRecord {
+        RunRecord {
+            user,
+            tag: tag.into(),
+            nodes: 4,
+            runtime_secs: 100.0,
+            watts_per_node: watts,
+            ambient_c: ambient,
+        }
+    }
+
+    fn history() -> HistoryStore {
+        let mut h = HistoryStore::new();
+        h.record(rec(1, "cfd", 200.0, 20.0));
+        h.record(rec(1, "cfd", 220.0, 20.0));
+        h.record(rec(2, "cfd", 300.0, 20.0));
+        h.record(rec(3, "qcd", 400.0, 20.0));
+        h
+    }
+
+    fn job(user: u32, tag: &str) -> epa_workload::job::Job {
+        let mut j = JobBuilder::new(1).user(user).build();
+        j.app.tag = tag.to_owned();
+        j
+    }
+
+    #[test]
+    fn tag_mean_prefers_user_tag() {
+        let h = history();
+        let p = TagMeanPredictor;
+        // User 1 has cfd history at 200/220 → 210.
+        assert_eq!(
+            p.predict_watts_per_node(&job(1, "cfd"), &h, 20.0),
+            Some(210.0)
+        );
+        // User 9 has none → tag mean (200+220+300)/3 = 240.
+        assert_eq!(
+            p.predict_watts_per_node(&job(9, "cfd"), &h, 20.0),
+            Some(240.0)
+        );
+        // Unknown tag → global mean 280.
+        assert_eq!(
+            p.predict_watts_per_node(&job(9, "new"), &h, 20.0),
+            Some(280.0)
+        );
+    }
+
+    #[test]
+    fn empty_history_returns_none() {
+        let h = HistoryStore::new();
+        assert_eq!(
+            TagMeanPredictor.predict_watts_per_node(&job(1, "cfd"), &h, 20.0),
+            None
+        );
+    }
+
+    #[test]
+    fn quantile_is_conservative() {
+        let h = history();
+        let q = QuantilePredictor { quantile: 0.9 };
+        let mean = TagMeanPredictor
+            .predict_watts_per_node(&job(9, "cfd"), &h, 20.0)
+            .unwrap();
+        let high = q.predict_watts_per_node(&job(9, "cfd"), &h, 20.0).unwrap();
+        assert!(high > mean);
+        assert!(high <= 300.0);
+    }
+
+    #[test]
+    fn quantile_falls_back_to_global() {
+        let h = history();
+        let q = QuantilePredictor::default();
+        assert_eq!(
+            q.predict_watts_per_node(&job(1, "unknown"), &h, 20.0),
+            Some(280.0)
+        );
+    }
+
+    #[test]
+    fn global_mean_ignores_job() {
+        let h = history();
+        let g = GlobalMeanPredictor;
+        assert_eq!(
+            g.predict_watts_per_node(&job(1, "cfd"), &h, 20.0),
+            Some(280.0)
+        );
+        assert_eq!(
+            g.predict_watts_per_node(&job(9, "zzz"), &h, 20.0),
+            Some(280.0)
+        );
+    }
+
+    #[test]
+    fn temperature_scaling_raises_hot_estimates() {
+        let h = history();
+        let p = TemperatureScaledPredictor::new(TagMeanPredictor);
+        let cool = p.predict_watts_per_node(&job(1, "cfd"), &h, 20.0).unwrap();
+        let hot = p.predict_watts_per_node(&job(1, "cfd"), &h, 35.0).unwrap();
+        assert!(
+            (cool - 210.0).abs() < 1e-9,
+            "reference temp matches history"
+        );
+        assert!(hot > cool);
+        assert!((hot / cool - (1.0 + 0.004 * 15.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predictor_names() {
+        assert_eq!(TagMeanPredictor.name(), "tag-mean");
+        assert_eq!(QuantilePredictor::default().name(), "tag-quantile");
+        assert_eq!(GlobalMeanPredictor.name(), "global-mean");
+        assert_eq!(
+            TemperatureScaledPredictor::new(TagMeanPredictor).name(),
+            "temperature-scaled"
+        );
+    }
+}

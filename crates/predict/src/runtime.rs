@@ -1,0 +1,202 @@
+//! Runtime (wallclock) prediction.
+//!
+//! User walltime estimates are notoriously inflated (Mu'alem & Feitelson,
+//! cited by the survey); history-based runtime prediction tightens them,
+//! which improves backfilling decisions and the power-aware admission
+//! tests that multiply predicted power by predicted *duration*. The same
+//! tag-history approach as power prediction applies.
+
+use crate::history::HistoryStore;
+use epa_workload::job::Job;
+use serde::Serialize;
+
+/// A runtime predictor: estimated execution seconds for a job.
+pub trait RuntimePredictor {
+    /// Predicted runtime in seconds (`None` when there is no basis).
+    fn predict_runtime_secs(&self, job: &Job, history: &HistoryStore) -> Option<f64>;
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Mean runtime of (user, tag) history, falling back to tag, then to a
+/// fraction of the user's walltime estimate.
+#[derive(Debug, Clone, Copy)]
+pub struct TagMeanRuntime {
+    /// Fallback: predicted = estimate × this factor when no history
+    /// exists (0.5 reflects the classic ~2× over-estimation).
+    pub estimate_fraction: f64,
+}
+
+impl Default for TagMeanRuntime {
+    fn default() -> Self {
+        TagMeanRuntime {
+            estimate_fraction: 0.5,
+        }
+    }
+}
+
+impl RuntimePredictor for TagMeanRuntime {
+    fn predict_runtime_secs(&self, job: &Job, history: &HistoryStore) -> Option<f64> {
+        let user_tag: Vec<f64> = history
+            .for_user_tag(job.user, &job.app.tag)
+            .map(|r| r.runtime_secs)
+            .collect();
+        if !user_tag.is_empty() {
+            return Some(user_tag.iter().sum::<f64>() / user_tag.len() as f64);
+        }
+        let tag: Vec<f64> = history
+            .for_tag(&job.app.tag)
+            .map(|r| r.runtime_secs)
+            .collect();
+        if !tag.is_empty() {
+            return Some(tag.iter().sum::<f64>() / tag.len() as f64);
+        }
+        Some(job.walltime_estimate.as_secs() * self.estimate_fraction)
+    }
+
+    fn name(&self) -> &'static str {
+        "tag-mean-runtime"
+    }
+}
+
+/// The user's own walltime estimate (the baseline every site actually
+/// schedules with).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct UserEstimateRuntime;
+
+impl RuntimePredictor for UserEstimateRuntime {
+    fn predict_runtime_secs(&self, job: &Job, _history: &HistoryStore) -> Option<f64> {
+        Some(job.walltime_estimate.as_secs())
+    }
+
+    fn name(&self) -> &'static str {
+        "user-estimate"
+    }
+}
+
+/// Runtime-prediction error summary over a replay.
+#[derive(Debug, Clone, Serialize)]
+pub struct RuntimeErrors {
+    /// Predictor name.
+    pub predictor: String,
+    /// Mean absolute percentage error.
+    pub mape: f64,
+    /// Mean over-estimation factor (predicted / true).
+    pub mean_factor: f64,
+}
+
+/// Chronological replay evaluation of a runtime predictor over records.
+#[must_use]
+pub fn evaluate_runtime<P: RuntimePredictor>(
+    predictor: &P,
+    records: &[crate::history::RunRecord],
+) -> RuntimeErrors {
+    use epa_simcore::time::{SimDuration, SimTime};
+    use epa_workload::job::{AppProfile, JobId};
+    let mut store = HistoryStore::new();
+    let mut abs_pct = 0.0;
+    let mut factor = 0.0;
+    let mut n = 0u64;
+    for (i, r) in records.iter().enumerate() {
+        let job = Job {
+            id: JobId(i as u64),
+            user: r.user,
+            app: AppProfile::balanced(&r.tag),
+            submit: SimTime::ZERO,
+            nodes: r.nodes,
+            // The classic ~2× user over-estimate.
+            walltime_estimate: SimDuration::from_secs(r.runtime_secs * 2.0),
+            base_runtime: SimDuration::from_secs(r.runtime_secs.max(1.0)),
+            priority: 0,
+            moldable: None,
+        };
+        if let Some(pred) = predictor.predict_runtime_secs(&job, &store) {
+            if r.runtime_secs > 0.0 {
+                abs_pct += ((pred - r.runtime_secs) / r.runtime_secs).abs();
+                factor += pred / r.runtime_secs;
+                n += 1;
+            }
+        }
+        store.record(r.clone());
+    }
+    let n = n.max(1) as f64;
+    RuntimeErrors {
+        predictor: predictor.name().to_owned(),
+        mape: abs_pct / n,
+        mean_factor: factor / n,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::RunRecord;
+    use epa_workload::job::JobBuilder;
+
+    fn rec(user: u32, tag: &str, runtime: f64) -> RunRecord {
+        RunRecord {
+            user,
+            tag: tag.into(),
+            nodes: 4,
+            runtime_secs: runtime,
+            watts_per_node: 200.0,
+            ambient_c: 20.0,
+        }
+    }
+
+    fn job(user: u32, tag: &str) -> Job {
+        let mut j = JobBuilder::new(1).user(user).build();
+        j.app.tag = tag.to_owned();
+        j
+    }
+
+    #[test]
+    fn tag_history_mean() {
+        let mut h = HistoryStore::new();
+        h.record(rec(1, "cfd", 1000.0));
+        h.record(rec(1, "cfd", 3000.0));
+        let p = TagMeanRuntime::default();
+        assert_eq!(p.predict_runtime_secs(&job(1, "cfd"), &h), Some(2000.0));
+        // Other user falls back to tag mean.
+        assert_eq!(p.predict_runtime_secs(&job(9, "cfd"), &h), Some(2000.0));
+    }
+
+    #[test]
+    fn cold_start_uses_estimate_fraction() {
+        let h = HistoryStore::new();
+        let p = TagMeanRuntime::default();
+        let j = job(1, "new-app"); // default estimate: 2 h
+        assert_eq!(p.predict_runtime_secs(&j, &h), Some(3600.0));
+    }
+
+    #[test]
+    fn user_estimate_baseline() {
+        let h = HistoryStore::new();
+        let p = UserEstimateRuntime;
+        assert_eq!(p.predict_runtime_secs(&job(1, "x"), &h), Some(7200.0));
+    }
+
+    #[test]
+    fn history_beats_user_estimate_on_stable_apps() {
+        // Stable per-tag runtimes; user estimates are 2× inflated.
+        let records: Vec<RunRecord> = (0..60)
+            .map(|i| {
+                rec(
+                    i % 4,
+                    if i % 2 == 0 { "a" } else { "b" },
+                    if i % 2 == 0 { 1000.0 } else { 5000.0 },
+                )
+            })
+            .collect();
+        let hist = evaluate_runtime(&TagMeanRuntime::default(), &records);
+        let user = evaluate_runtime(&UserEstimateRuntime, &records);
+        assert!(
+            hist.mape < user.mape,
+            "hist {} vs user {}",
+            hist.mape,
+            user.mape
+        );
+        assert!((user.mean_factor - 2.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,220 @@
+//! Actuators: the control half of the monitoring/control loop.
+//!
+//! Every privileged operation the resource manager can perform on the
+//! machine is an [`Actuation`]; the [`ActuatorLog`] records them with
+//! timestamps and feeds the interaction ledger. This is the audit trail a
+//! production site needs ("has there been much non-portable work?" — Q5c
+//! asks precisely about such custom control paths).
+
+use crate::interactions::{Component, InteractionKind, InteractionLedger};
+use epa_cluster::node::NodeId;
+use epa_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+
+/// A privileged control operation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Actuation {
+    /// Set a node's DVFS frequency (GHz).
+    SetFrequency {
+        /// Target node.
+        node: NodeId,
+        /// Frequency in GHz.
+        ghz: f64,
+    },
+    /// Program a node power cap (watts).
+    SetNodeCap {
+        /// Target node.
+        node: NodeId,
+        /// Cap in watts; `None` clears.
+        watts: Option<f64>,
+    },
+    /// Program the system-wide cap.
+    SetSystemCap {
+        /// Cap in watts; `None` clears.
+        watts: Option<f64>,
+    },
+    /// Power a node on.
+    PowerOn {
+        /// Target node.
+        node: NodeId,
+    },
+    /// Power a node off.
+    PowerOff {
+        /// Target node.
+        node: NodeId,
+    },
+    /// Kill a job (emergency response).
+    KillJob {
+        /// Job id.
+        job: u64,
+    },
+    /// Split a node into virtual machines (Tokyo Tech).
+    SplitVm {
+        /// Target node.
+        node: NodeId,
+        /// Number of VMs.
+        vms: u32,
+    },
+    /// Switch facility supply source (RIKEN grid / gas turbine).
+    SelectSupply {
+        /// Index into the facility's supply list.
+        source: usize,
+    },
+}
+
+impl Actuation {
+    /// The interaction-ledger classification of this actuation.
+    #[must_use]
+    pub fn kind(&self) -> InteractionKind {
+        match self {
+            Actuation::SetFrequency { .. }
+            | Actuation::SetNodeCap { .. }
+            | Actuation::SetSystemCap { .. }
+            | Actuation::SelectSupply { .. } => InteractionKind::PowerControl,
+            Actuation::PowerOn { .. }
+            | Actuation::PowerOff { .. }
+            | Actuation::KillJob { .. }
+            | Actuation::SplitVm { .. } => InteractionKind::ResourceControl,
+        }
+    }
+
+    /// The component this actuation targets.
+    #[must_use]
+    pub fn target(&self) -> Component {
+        match self {
+            Actuation::SelectSupply { .. } => Component::Facility,
+            _ => Component::Hardware,
+        }
+    }
+}
+
+/// A timestamped actuation record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ActuationRecord {
+    /// When the actuation happened.
+    pub t: SimTime,
+    /// What was done.
+    pub actuation: Actuation,
+}
+
+/// The actuation audit log.
+#[derive(Debug, Clone, Default)]
+pub struct ActuatorLog {
+    records: Vec<ActuationRecord>,
+}
+
+impl ActuatorLog {
+    /// Creates an empty log.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records an actuation and mirrors it into the interaction ledger as
+    /// a ResourceManager → target edge.
+    pub fn record(&mut self, t: SimTime, actuation: Actuation, ledger: &mut InteractionLedger) {
+        ledger.record(
+            t,
+            Component::ResourceManager,
+            actuation.target(),
+            actuation.kind(),
+        );
+        self.records.push(ActuationRecord { t, actuation });
+    }
+
+    /// All records in order.
+    #[must_use]
+    pub fn records(&self) -> &[ActuationRecord] {
+        &self.records
+    }
+
+    /// Number of actuations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing was actuated.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Count of actuations matching a predicate.
+    pub fn count_matching(&self, pred: impl Fn(&Actuation) -> bool) -> usize {
+        self.records.iter().filter(|r| pred(&r.actuation)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn actuations_classify_correctly() {
+        assert_eq!(
+            Actuation::SetFrequency {
+                node: NodeId(0),
+                ghz: 2.0
+            }
+            .kind(),
+            InteractionKind::PowerControl
+        );
+        assert_eq!(
+            Actuation::PowerOff { node: NodeId(0) }.kind(),
+            InteractionKind::ResourceControl
+        );
+        assert_eq!(
+            Actuation::SelectSupply { source: 1 }.target(),
+            Component::Facility
+        );
+        assert_eq!(Actuation::KillJob { job: 7 }.target(), Component::Hardware);
+    }
+
+    #[test]
+    fn log_mirrors_into_ledger() {
+        let mut log = ActuatorLog::new();
+        let mut ledger = InteractionLedger::new();
+        log.record(
+            t(1.0),
+            Actuation::SetSystemCap { watts: Some(1e6) },
+            &mut ledger,
+        );
+        log.record(t(2.0), Actuation::PowerOff { node: NodeId(3) }, &mut ledger);
+        assert_eq!(log.len(), 2);
+        assert_eq!(ledger.total(), 2);
+        assert_eq!(
+            ledger.count(
+                Component::ResourceManager,
+                Component::Hardware,
+                InteractionKind::PowerControl
+            ),
+            1
+        );
+    }
+
+    #[test]
+    fn count_matching_filters() {
+        let mut log = ActuatorLog::new();
+        let mut ledger = InteractionLedger::new();
+        for i in 0..5 {
+            log.record(
+                t(f64::from(i)),
+                Actuation::PowerOff {
+                    node: NodeId(i as u32),
+                },
+                &mut ledger,
+            );
+        }
+        log.record(t(9.0), Actuation::PowerOn { node: NodeId(0) }, &mut ledger);
+        assert_eq!(
+            log.count_matching(|a| matches!(a, Actuation::PowerOff { .. })),
+            5
+        );
+        assert!(!log.is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Windowed power-cap enforcement (Tokyo Tech).
+//!
+//! Table I, Tokyo Tech production: "Resource manager dynamically boots or
+//! shuts down nodes to stay under power cap (summer only, enforced over
+//! ~30 min window)." The controller watches the windowed average power
+//! and recommends how many nodes to shut down (or allows to boot) so that
+//! the *window average* — not the instantaneous draw — stays under the
+//! cap. Working on the window lets short spikes through while preventing
+//! sustained overdraw, and interacts with the job scheduler to avoid
+//! killing jobs (shutdowns take idle nodes only).
+
+use epa_simcore::series::TimeSeries;
+use epa_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Recommended action from an enforcement evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EnforcementAction {
+    /// Window average comfortably under the cap; nodes may boot.
+    AllowBoot {
+        /// How many node-equivalents of power headroom exist.
+        nodes: u32,
+    },
+    /// Within the deadband; hold current state.
+    Hold,
+    /// Window average above the cap; shut down this many idle nodes.
+    ShutDown {
+        /// Nodes to power off.
+        nodes: u32,
+    },
+}
+
+/// Windowed cap enforcement controller.
+#[derive(Debug, Clone)]
+pub struct EnforcementWindow {
+    cap_watts: f64,
+    window: SimDuration,
+    /// Deadband as a fraction of the cap (no action within ±band).
+    deadband_fraction: f64,
+    /// Power attributed to one node for conversion of watt-gaps to node
+    /// counts (use the node's nominal draw).
+    watts_per_node: f64,
+    evaluations: u64,
+    violations: u64,
+}
+
+impl EnforcementWindow {
+    /// Creates a controller; Tokyo Tech's setup is a ~30 min window.
+    #[must_use]
+    pub fn new(cap_watts: f64, window: SimDuration, watts_per_node: f64) -> Self {
+        EnforcementWindow {
+            cap_watts,
+            window,
+            deadband_fraction: 0.03,
+            watts_per_node: watts_per_node.max(1.0),
+            evaluations: 0,
+            violations: 0,
+        }
+    }
+
+    /// The cap.
+    #[must_use]
+    pub fn cap_watts(&self) -> f64 {
+        self.cap_watts
+    }
+
+    /// Re-programs the cap (inter-system re-splits).
+    pub fn set_cap(&mut self, watts: f64) {
+        self.cap_watts = watts;
+    }
+
+    /// The enforcement window length.
+    #[must_use]
+    pub fn window(&self) -> SimDuration {
+        self.window
+    }
+
+    /// Number of evaluations performed.
+    #[must_use]
+    pub fn evaluations(&self) -> u64 {
+        self.evaluations
+    }
+
+    /// Number of evaluations that found the window average above the cap.
+    #[must_use]
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+
+    /// Windowed average of `trace` at `now`.
+    #[must_use]
+    pub fn window_average(&self, trace: &TimeSeries, now: SimTime) -> f64 {
+        let start = if now.as_secs() > self.window.as_secs() {
+            now - self.window
+        } else {
+            SimTime::ZERO
+        };
+        if now == start {
+            return trace.value_at(now).unwrap_or(0.0);
+        }
+        trace.time_weighted_mean(start, now)
+    }
+
+    /// Evaluates the trace and recommends an action.
+    pub fn evaluate(&mut self, trace: &TimeSeries, now: SimTime) -> EnforcementAction {
+        self.evaluations += 1;
+        let avg = self.window_average(trace, now);
+        let band = self.cap_watts * self.deadband_fraction;
+        if avg > self.cap_watts {
+            self.violations += 1;
+        }
+        if avg > self.cap_watts + band {
+            let over = avg - self.cap_watts;
+            let nodes = (over / self.watts_per_node).ceil() as u32;
+            EnforcementAction::ShutDown {
+                nodes: nodes.max(1),
+            }
+        } else if avg < self.cap_watts - band {
+            let under = self.cap_watts - avg;
+            EnforcementAction::AllowBoot {
+                nodes: (under / self.watts_per_node).floor() as u32,
+            }
+        } else {
+            EnforcementAction::Hold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn controller() -> EnforcementWindow {
+        EnforcementWindow::new(10_000.0, SimDuration::from_mins(30.0), 290.0)
+    }
+
+    #[test]
+    fn under_cap_allows_boot() {
+        let mut c = controller();
+        let mut trace = TimeSeries::new();
+        trace.push(t(0.0), 5_000.0);
+        match c.evaluate(&trace, t(3600.0)) {
+            EnforcementAction::AllowBoot { nodes } => {
+                // 5000 W headroom / 290 W per node = 17.
+                assert_eq!(nodes, 17);
+            }
+            other => panic!("expected AllowBoot, got {other:?}"),
+        }
+        assert_eq!(c.violations(), 0);
+    }
+
+    #[test]
+    fn over_cap_shuts_down() {
+        let mut c = controller();
+        let mut trace = TimeSeries::new();
+        trace.push(t(0.0), 12_000.0);
+        match c.evaluate(&trace, t(3600.0)) {
+            EnforcementAction::ShutDown { nodes } => {
+                // 2000 over / 290 = 6.9 → 7.
+                assert_eq!(nodes, 7);
+            }
+            other => panic!("expected ShutDown, got {other:?}"),
+        }
+        assert_eq!(c.violations(), 1);
+    }
+
+    #[test]
+    fn deadband_holds() {
+        let mut c = controller();
+        let mut trace = TimeSeries::new();
+        trace.push(t(0.0), 10_100.0); // within 3% band
+        assert_eq!(c.evaluate(&trace, t(3600.0)), EnforcementAction::Hold);
+        // A violation is still counted (avg > cap) even though held.
+        assert_eq!(c.violations(), 1);
+    }
+
+    #[test]
+    fn short_spike_tolerated_by_window() {
+        let mut c = controller();
+        let mut trace = TimeSeries::new();
+        trace.push(t(0.0), 8_000.0);
+        trace.push(t(3500.0), 20_000.0); // 100 s spike in a 1800 s window
+        trace.push(t(3600.0), 8_000.0);
+        // Window [1800+..]: mostly 8 kW with a 100 s 20 kW burst →
+        // average ≈ (1700·8k + 100·20k)/1800 ≈ 8.67 kW < cap.
+        match c.evaluate(&trace, t(3600.0)) {
+            EnforcementAction::AllowBoot { .. } => {}
+            other => panic!("window should absorb the spike, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn sustained_overdraw_detected() {
+        let mut c = controller();
+        let mut trace = TimeSeries::new();
+        trace.push(t(0.0), 8_000.0);
+        trace.push(t(1000.0), 20_000.0); // sustained
+        match c.evaluate(&trace, t(3600.0)) {
+            EnforcementAction::ShutDown { .. } => {}
+            other => panic!("expected ShutDown, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cap_reprogramming() {
+        let mut c = controller();
+        c.set_cap(5_000.0);
+        assert_eq!(c.cap_watts(), 5_000.0);
+        let mut trace = TimeSeries::new();
+        trace.push(t(0.0), 6_000.0);
+        assert!(matches!(
+            c.evaluate(&trace, t(3600.0)),
+            EnforcementAction::ShutDown { .. }
+        ));
+    }
+}

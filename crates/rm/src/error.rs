@@ -1,0 +1,24 @@
+//! Error types for resource management.
+
+use thiserror::Error;
+
+/// Errors from resource-management operations.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum RmError {
+    /// An invalid configuration value.
+    #[error("invalid resource-manager configuration: {0}")]
+    InvalidConfig(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            RmError::InvalidConfig("bad window".into()).to_string(),
+            "invalid resource-manager configuration: bad window"
+        );
+    }
+}

@@ -1,0 +1,195 @@
+//! Hierarchical power monitoring.
+//!
+//! Table II, STFC production: "Continuously collecting power and energy
+//! system monitoring info, data center, machine, and job levels." The
+//! hierarchy aggregates node-level traces into machine and data-center
+//! rollups and answers level-scoped queries — the monitoring substrate
+//! the survey's Figure 1 places under everything else.
+
+use epa_cluster::node::NodeId;
+use epa_simcore::series::TimeSeries;
+use epa_simcore::time::SimTime;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+/// Monitoring levels, coarsest to finest.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum MonitorLevel {
+    /// Whole data center (all machines + PUE overhead).
+    DataCenter,
+    /// One machine/system.
+    Machine,
+    /// One job (its allocated nodes during its window).
+    Job,
+}
+
+/// Hierarchical monitoring store: machines → nodes → traces.
+#[derive(Debug, Clone, Default)]
+pub struct MonitoringHierarchy {
+    /// machine name → node traces.
+    machines: BTreeMap<String, BTreeMap<NodeId, TimeSeries>>,
+    /// Facility overhead multiplier applied at the data-center level.
+    pue: f64,
+}
+
+impl MonitoringHierarchy {
+    /// Creates a hierarchy with a facility PUE for data-center rollups.
+    #[must_use]
+    pub fn new(pue: f64) -> Self {
+        MonitoringHierarchy {
+            machines: BTreeMap::new(),
+            pue: pue.max(1.0),
+        }
+    }
+
+    /// Records a node power change point.
+    pub fn record(&mut self, machine: &str, node: NodeId, t: SimTime, watts: f64) {
+        self.machines
+            .entry(machine.to_owned())
+            .or_default()
+            .entry(node)
+            .or_default()
+            .push(t, watts);
+    }
+
+    /// Machines known to the hierarchy.
+    pub fn machines(&self) -> impl Iterator<Item = &str> {
+        self.machines.keys().map(String::as_str)
+    }
+
+    /// Energy at a given level over `[a, b]`, joules.
+    ///
+    /// - `DataCenter`: all machines, multiplied by PUE.
+    /// - `Machine`: the named machine's nodes.
+    /// - `Job`: the given node subset of the named machine.
+    #[must_use]
+    pub fn energy_joules(
+        &self,
+        level: MonitorLevel,
+        machine: Option<&str>,
+        nodes: Option<&[NodeId]>,
+        a: SimTime,
+        b: SimTime,
+    ) -> f64 {
+        match level {
+            MonitorLevel::DataCenter => {
+                self.machines
+                    .values()
+                    .flat_map(BTreeMap::values)
+                    .map(|tr| tr.integrate(a, b))
+                    .sum::<f64>()
+                    * self.pue
+            }
+            MonitorLevel::Machine => {
+                let Some(m) = machine.and_then(|m| self.machines.get(m)) else {
+                    return 0.0;
+                };
+                m.values().map(|tr| tr.integrate(a, b)).sum()
+            }
+            MonitorLevel::Job => {
+                let Some(m) = machine.and_then(|m| self.machines.get(m)) else {
+                    return 0.0;
+                };
+                let Some(nodes) = nodes else { return 0.0 };
+                nodes
+                    .iter()
+                    .filter_map(|n| m.get(n))
+                    .map(|tr| tr.integrate(a, b))
+                    .sum()
+            }
+        }
+    }
+
+    /// Current data-center IT draw (sum of latest node values), watts.
+    #[must_use]
+    pub fn current_it_watts(&self) -> f64 {
+        self.machines
+            .values()
+            .flat_map(BTreeMap::values)
+            .filter_map(TimeSeries::last)
+            .map(|(_, w)| w)
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn hierarchy() -> MonitoringHierarchy {
+        let mut h = MonitoringHierarchy::new(1.25);
+        h.record("tsubame", NodeId(0), t(0.0), 100.0);
+        h.record("tsubame", NodeId(1), t(0.0), 200.0);
+        h.record("bluegene", NodeId(0), t(0.0), 50.0);
+        h
+    }
+
+    #[test]
+    fn machine_level_energy() {
+        let h = hierarchy();
+        let e = h.energy_joules(
+            MonitorLevel::Machine,
+            Some("tsubame"),
+            None,
+            t(0.0),
+            t(10.0),
+        );
+        assert!((e - 3000.0).abs() < 1e-9);
+        let e2 = h.energy_joules(
+            MonitorLevel::Machine,
+            Some("bluegene"),
+            None,
+            t(0.0),
+            t(10.0),
+        );
+        assert!((e2 - 500.0).abs() < 1e-9);
+        assert_eq!(
+            h.energy_joules(MonitorLevel::Machine, Some("nope"), None, t(0.0), t(10.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn datacenter_applies_pue() {
+        let h = hierarchy();
+        let e = h.energy_joules(MonitorLevel::DataCenter, None, None, t(0.0), t(10.0));
+        assert!((e - 3500.0 * 1.25).abs() < 1e-9);
+    }
+
+    #[test]
+    fn job_level_subsets_nodes() {
+        let h = hierarchy();
+        let e = h.energy_joules(
+            MonitorLevel::Job,
+            Some("tsubame"),
+            Some(&[NodeId(1)]),
+            t(0.0),
+            t(10.0),
+        );
+        assert!((e - 2000.0).abs() < 1e-9);
+        // Missing node subset → 0.
+        assert_eq!(
+            h.energy_joules(MonitorLevel::Job, Some("tsubame"), None, t(0.0), t(10.0)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn current_draw_sums_latest() {
+        let mut h = hierarchy();
+        assert!((h.current_it_watts() - 350.0).abs() < 1e-9);
+        h.record("tsubame", NodeId(0), t(5.0), 10.0);
+        assert!((h.current_it_watts() - 260.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn machines_listed() {
+        let h = hierarchy();
+        let names: Vec<&str> = h.machines().collect();
+        assert_eq!(names, vec!["bluegene", "tsubame"]);
+    }
+}

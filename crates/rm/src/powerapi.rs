@@ -1,0 +1,203 @@
+//! PowerAPI-style application power measurement.
+//!
+//! Table II, STFC research: "Programmable interface (PowerAPI-based) for
+//! application power measurements of code segments (with interface to
+//! JSRM)." Sandia's Power API gives applications scoped counters: wrap a
+//! code segment in start/stop marks and read back its energy.
+//!
+//! [`SectionProfiler`] implements that interface against the simulator's
+//! exact node power traces: sections are `(name, start, end)` marks;
+//! energy is the exact integral of the node trace over each section, and
+//! nested sections are supported (a section's *exclusive* energy deducts
+//! its children).
+
+use epa_simcore::series::TimeSeries;
+use epa_simcore::time::SimTime;
+use serde::Serialize;
+use thiserror::Error;
+
+/// Errors from the profiling interface.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum ProfileError {
+    /// `stop` was called with no matching open section.
+    #[error("no open section to stop")]
+    NoOpenSection,
+
+    /// Sections left open at report time.
+    #[error("{0} section(s) still open")]
+    UnclosedSections(usize),
+}
+
+/// One measured code segment.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct SectionReport {
+    /// Section name.
+    pub name: String,
+    /// Nesting depth (0 = top level).
+    pub depth: usize,
+    /// Wall time of the section, seconds.
+    pub duration_secs: f64,
+    /// Total energy over the section (including children), joules.
+    pub inclusive_joules: f64,
+    /// Energy excluding child sections, joules.
+    pub exclusive_joules: f64,
+    /// Mean power over the section, watts.
+    pub mean_watts: f64,
+}
+
+#[derive(Debug, Clone)]
+struct Section {
+    name: String,
+    depth: usize,
+    start: SimTime,
+    end: Option<SimTime>,
+    children: Vec<usize>,
+}
+
+/// Scoped power measurement over a node power trace.
+#[derive(Debug, Default)]
+pub struct SectionProfiler {
+    sections: Vec<Section>,
+    stack: Vec<usize>,
+}
+
+impl SectionProfiler {
+    /// Creates an empty profiler.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Opens a section at time `t`.
+    pub fn start(&mut self, name: &str, t: SimTime) {
+        let idx = self.sections.len();
+        self.sections.push(Section {
+            name: name.to_owned(),
+            depth: self.stack.len(),
+            start: t,
+            end: None,
+            children: Vec::new(),
+        });
+        if let Some(&parent) = self.stack.last() {
+            self.sections[parent].children.push(idx);
+        }
+        self.stack.push(idx);
+    }
+
+    /// Closes the most recently opened section at time `t`.
+    pub fn stop(&mut self, t: SimTime) -> Result<(), ProfileError> {
+        let idx = self.stack.pop().ok_or(ProfileError::NoOpenSection)?;
+        self.sections[idx].end = Some(t);
+        Ok(())
+    }
+
+    /// Number of recorded (open or closed) sections.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sections.len()
+    }
+
+    /// True when nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sections.is_empty()
+    }
+
+    /// Produces per-section energy reports against a node power trace.
+    pub fn report(&self, trace: &TimeSeries) -> Result<Vec<SectionReport>, ProfileError> {
+        if !self.stack.is_empty() {
+            return Err(ProfileError::UnclosedSections(self.stack.len()));
+        }
+        let inclusive: Vec<f64> = self
+            .sections
+            .iter()
+            .map(|s| trace.integrate(s.start, s.end.expect("closed")))
+            .collect();
+        Ok(self
+            .sections
+            .iter()
+            .enumerate()
+            .map(|(i, s)| {
+                let child_sum: f64 = s.children.iter().map(|&c| inclusive[c]).sum();
+                let end = s.end.expect("closed");
+                let dur = (end - s.start).as_secs();
+                SectionReport {
+                    name: s.name.clone(),
+                    depth: s.depth,
+                    duration_secs: dur,
+                    inclusive_joules: inclusive[i],
+                    exclusive_joules: (inclusive[i] - child_sum).max(0.0),
+                    mean_watts: if dur > 0.0 { inclusive[i] / dur } else { 0.0 },
+                }
+            })
+            .collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn trace() -> TimeSeries {
+        let mut tr = TimeSeries::new();
+        tr.push(t(0.0), 100.0);
+        tr.push(t(10.0), 300.0);
+        tr.push(t(20.0), 100.0);
+        tr
+    }
+
+    #[test]
+    fn flat_sections_measure_exactly() {
+        let mut p = SectionProfiler::new();
+        p.start("init", t(0.0));
+        p.stop(t(10.0)).unwrap();
+        p.start("solve", t(10.0));
+        p.stop(t(20.0)).unwrap();
+        let r = p.report(&trace()).unwrap();
+        assert_eq!(r.len(), 2);
+        assert!((r[0].inclusive_joules - 1000.0).abs() < 1e-9);
+        assert!((r[1].inclusive_joules - 3000.0).abs() < 1e-9);
+        assert!((r[1].mean_watts - 300.0).abs() < 1e-9);
+        assert_eq!(r[0].depth, 0);
+    }
+
+    #[test]
+    fn nested_sections_compute_exclusive_energy() {
+        let mut p = SectionProfiler::new();
+        p.start("main", t(0.0));
+        p.start("kernel", t(10.0));
+        p.stop(t(20.0)).unwrap(); // kernel: 3000 J
+        p.stop(t(30.0)).unwrap(); // main: 1000 + 3000 + 1000 = 5000 J
+        let r = p.report(&trace()).unwrap();
+        let main = &r[0];
+        let kernel = &r[1];
+        assert_eq!(kernel.depth, 1);
+        assert!((main.inclusive_joules - 5000.0).abs() < 1e-9);
+        assert!((main.exclusive_joules - 2000.0).abs() < 1e-9);
+        assert!((kernel.exclusive_joules - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unbalanced_stops_error() {
+        let mut p = SectionProfiler::new();
+        assert_eq!(p.stop(t(1.0)), Err(ProfileError::NoOpenSection));
+        p.start("open", t(0.0));
+        assert_eq!(p.report(&trace()), Err(ProfileError::UnclosedSections(1)));
+    }
+
+    #[test]
+    fn zero_length_section() {
+        let mut p = SectionProfiler::new();
+        p.start("instant", t(5.0));
+        p.stop(t(5.0)).unwrap();
+        let r = p.report(&trace()).unwrap();
+        assert_eq!(r[0].inclusive_joules, 0.0);
+        assert_eq!(r[0].mean_watts, 0.0);
+        assert!(!p.is_empty());
+        assert_eq!(p.len(), 1);
+    }
+}

@@ -1,0 +1,182 @@
+//! Post-job user energy reports and efficiency marks.
+//!
+//! Two production capabilities from Tables I/II:
+//! - Tokyo Tech: "Gives users mark on how well they used power and
+//!   energy. Energy use provided to users at end of every job."
+//! - JCAHPC: "Delivering post-job energy use reports to users."
+//!
+//! A report compares the job's measured energy to a reference (what the
+//! same node-seconds would cost at the machine's nominal draw) and grades
+//! the ratio: using much less than nominal earns an A; drawing above
+//! nominal (power-virus behaviour) earns a D/E.
+
+use epa_workload::job::JobId;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The letter mark on a user energy report.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EfficiencyMark {
+    /// Energy ≤ 60% of nominal.
+    A,
+    /// ≤ 85%.
+    B,
+    /// ≤ 105% (around nominal).
+    C,
+    /// ≤ 120%.
+    D,
+    /// Above 120% of nominal.
+    E,
+}
+
+impl EfficiencyMark {
+    /// Grades an energy ratio (measured / nominal reference).
+    #[must_use]
+    pub fn from_ratio(ratio: f64) -> Self {
+        if ratio <= 0.60 {
+            EfficiencyMark::A
+        } else if ratio <= 0.85 {
+            EfficiencyMark::B
+        } else if ratio <= 1.05 {
+            EfficiencyMark::C
+        } else if ratio <= 1.20 {
+            EfficiencyMark::D
+        } else {
+            EfficiencyMark::E
+        }
+    }
+}
+
+impl fmt::Display for EfficiencyMark {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let c = match self {
+            EfficiencyMark::A => 'A',
+            EfficiencyMark::B => 'B',
+            EfficiencyMark::C => 'C',
+            EfficiencyMark::D => 'D',
+            EfficiencyMark::E => 'E',
+        };
+        write!(f, "{c}")
+    }
+}
+
+/// A post-job energy report delivered to the submitting user.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UserEnergyReport {
+    /// Job id.
+    pub job: JobId,
+    /// Submitting user.
+    pub user: u32,
+    /// Nodes used.
+    pub nodes: u32,
+    /// Execution seconds.
+    pub run_secs: f64,
+    /// Measured energy, joules.
+    pub energy_joules: f64,
+    /// Reference energy at nominal draw, joules.
+    pub reference_joules: f64,
+    /// The mark.
+    pub mark: EfficiencyMark,
+}
+
+impl UserEnergyReport {
+    /// Builds a report from measurements.
+    ///
+    /// `nominal_watts_per_node` is the machine's per-node nominal draw —
+    /// the reference users are graded against.
+    #[must_use]
+    pub fn new(
+        job: JobId,
+        user: u32,
+        nodes: u32,
+        run_secs: f64,
+        energy_joules: f64,
+        nominal_watts_per_node: f64,
+    ) -> Self {
+        let reference = nominal_watts_per_node * f64::from(nodes) * run_secs;
+        let ratio = if reference > 0.0 {
+            energy_joules / reference
+        } else {
+            1.0
+        };
+        UserEnergyReport {
+            job,
+            user,
+            nodes,
+            run_secs,
+            energy_joules,
+            reference_joules: reference,
+            mark: EfficiencyMark::from_ratio(ratio),
+        }
+    }
+
+    /// Energy in kWh for human-readable output.
+    #[must_use]
+    pub fn energy_kwh(&self) -> f64 {
+        self.energy_joules / 3.6e6
+    }
+
+    /// Renders the end-of-job text a user would see.
+    #[must_use]
+    pub fn render(&self) -> String {
+        format!(
+            "job {} (user {}): {} nodes × {:.0} s — {:.2} kWh ({:.0}% of nominal) — mark {}",
+            self.job,
+            self.user,
+            self.nodes,
+            self.run_secs,
+            self.energy_kwh(),
+            100.0 * self.energy_joules / self.reference_joules.max(1e-9),
+            self.mark
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mark_boundaries() {
+        assert_eq!(EfficiencyMark::from_ratio(0.5), EfficiencyMark::A);
+        assert_eq!(EfficiencyMark::from_ratio(0.60), EfficiencyMark::A);
+        assert_eq!(EfficiencyMark::from_ratio(0.61), EfficiencyMark::B);
+        assert_eq!(EfficiencyMark::from_ratio(1.0), EfficiencyMark::C);
+        assert_eq!(EfficiencyMark::from_ratio(1.1), EfficiencyMark::D);
+        assert_eq!(EfficiencyMark::from_ratio(1.5), EfficiencyMark::E);
+    }
+
+    #[test]
+    fn report_grades_against_nominal() {
+        // 2 nodes × 100 s at 290 W nominal → reference 58 kJ.
+        let r = UserEnergyReport::new(JobId(1), 7, 2, 100.0, 29_000.0, 290.0);
+        assert!((r.reference_joules - 58_000.0).abs() < 1e-9);
+        assert_eq!(r.mark, EfficiencyMark::A);
+        let r2 = UserEnergyReport::new(JobId(2), 7, 2, 100.0, 58_000.0, 290.0);
+        assert_eq!(r2.mark, EfficiencyMark::C);
+        let r3 = UserEnergyReport::new(JobId(3), 7, 2, 100.0, 90_000.0, 290.0);
+        assert_eq!(r3.mark, EfficiencyMark::E);
+    }
+
+    #[test]
+    fn render_contains_essentials() {
+        let r = UserEnergyReport::new(JobId(42), 3, 4, 3600.0, 4.0 * 200.0 * 3600.0, 290.0);
+        let text = r.render();
+        assert!(text.contains("j42"));
+        assert!(text.contains("user 3"));
+        assert!(text.contains("4 nodes"));
+        assert!(text.contains("mark B"));
+    }
+
+    #[test]
+    fn kwh_conversion() {
+        let r = UserEnergyReport::new(JobId(1), 0, 1, 3600.0, 3.6e6, 290.0);
+        assert!((r.energy_kwh() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_runtime_defensive() {
+        let r = UserEnergyReport::new(JobId(1), 0, 1, 0.0, 0.0, 290.0);
+        assert_eq!(r.mark, EfficiencyMark::C);
+    }
+}

@@ -1,0 +1,241 @@
+//! The node lifecycle state machine.
+//!
+//! A formalization of what the `epa-sched` engine does operationally:
+//! nodes move through Off → Booting → Idle → Busy (and Draining → Off,
+//! Down) with per-transition latencies and energy costs. Policies that
+//! toggle nodes (Mämmelä, Tokyo Tech) pay these costs; the E3 experiment
+//! measures when shutdown pays off against them.
+
+use epa_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+use thiserror::Error;
+
+/// Node lifecycle states.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize, Default)]
+pub enum NodeState {
+    /// Powered off (BMC only).
+    Off,
+    /// Power-on self test and OS boot in progress.
+    Booting,
+    /// On, no job.
+    #[default]
+    Idle,
+    /// Running a job.
+    Busy,
+    /// Finishing its job, will power down afterwards.
+    Draining,
+    /// Failed / administratively down.
+    Down,
+}
+
+/// An illegal state transition.
+#[derive(Debug, Error, PartialEq, Eq)]
+#[error("illegal node transition {from:?} -> {to:?}")]
+pub struct IllegalTransition {
+    /// State before.
+    pub from: NodeState,
+    /// Requested state.
+    pub to: NodeState,
+}
+
+/// Transition timing/energy parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TransitionCosts {
+    /// Boot duration.
+    pub boot: SimDuration,
+    /// Extra energy consumed by a boot beyond idle draw, joules.
+    pub boot_energy_joules: f64,
+    /// Shutdown duration.
+    pub shutdown: SimDuration,
+    /// Extra energy consumed by a shutdown, joules.
+    pub shutdown_energy_joules: f64,
+}
+
+impl Default for TransitionCosts {
+    fn default() -> Self {
+        TransitionCosts {
+            boot: SimDuration::from_mins(5.0),
+            boot_energy_joules: 60_000.0, // ~200 W × 5 min
+            shutdown: SimDuration::from_mins(2.0),
+            shutdown_energy_joules: 12_000.0,
+        }
+    }
+}
+
+/// One node's lifecycle tracker.
+#[derive(Debug, Clone, Default)]
+pub struct NodeLifecycle {
+    state: NodeState,
+    transitions: u64,
+    boots: u64,
+    shutdowns: u64,
+}
+
+impl NodeLifecycle {
+    /// Creates a lifecycle starting in `state`.
+    #[must_use]
+    pub fn new(state: NodeState) -> Self {
+        NodeLifecycle {
+            state,
+            transitions: 0,
+            boots: 0,
+            shutdowns: 0,
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> NodeState {
+        self.state
+    }
+
+    /// Number of transitions performed.
+    #[must_use]
+    pub fn transitions(&self) -> u64 {
+        self.transitions
+    }
+
+    /// Boot count (Off→Booting transitions).
+    #[must_use]
+    pub fn boots(&self) -> u64 {
+        self.boots
+    }
+
+    /// Shutdown count (transitions into Off).
+    #[must_use]
+    pub fn shutdowns(&self) -> u64 {
+        self.shutdowns
+    }
+
+    /// Whether `from → to` is a legal transition.
+    #[must_use]
+    pub fn legal(from: NodeState, to: NodeState) -> bool {
+        use NodeState::{Booting, Busy, Down, Draining, Idle, Off};
+        matches!(
+            (from, to),
+            (Off, Booting)
+                | (Booting, Idle)
+                | (Idle, Busy)
+                | (Busy, Idle)
+                | (Busy, Draining)
+                | (Draining, Off)
+                | (Idle, Off)
+                | (Idle, Draining)
+                | (Draining, Idle) // drain cancelled
+                | (_, Down)
+                | (Down, Booting) // repair + boot
+        ) && from != to
+    }
+
+    /// Performs a transition, enforcing legality.
+    pub fn transition(&mut self, to: NodeState) -> Result<(), IllegalTransition> {
+        if !Self::legal(self.state, to) {
+            return Err(IllegalTransition {
+                from: self.state,
+                to,
+            });
+        }
+        if to == NodeState::Booting {
+            self.boots += 1;
+        }
+        if to == NodeState::Off {
+            self.shutdowns += 1;
+        }
+        self.state = to;
+        self.transitions += 1;
+        Ok(())
+    }
+
+    /// Break-even idle duration for a shutdown: powering off only saves
+    /// energy when the node would otherwise idle longer than
+    /// `(boot_E + shutdown_E) / (idle_W − off_W)` plus the transition time
+    /// itself (Mämmelä's criterion, used by E3).
+    #[must_use]
+    pub fn shutdown_breakeven(
+        costs: &TransitionCosts,
+        idle_watts: f64,
+        off_watts: f64,
+    ) -> SimDuration {
+        let saving_rate = (idle_watts - off_watts).max(1e-9);
+        let overhead_j = costs.boot_energy_joules + costs.shutdown_energy_joules;
+        SimDuration::from_secs(overhead_j / saving_rate) + costs.boot + costs.shutdown
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn happy_path_lifecycle() {
+        let mut n = NodeLifecycle::new(NodeState::Off);
+        n.transition(NodeState::Booting).unwrap();
+        n.transition(NodeState::Idle).unwrap();
+        n.transition(NodeState::Busy).unwrap();
+        n.transition(NodeState::Idle).unwrap();
+        n.transition(NodeState::Off).unwrap();
+        assert_eq!(n.transitions(), 5);
+        assert_eq!(n.boots(), 1);
+        assert_eq!(n.shutdowns(), 1);
+    }
+
+    #[test]
+    fn illegal_transitions_rejected() {
+        let mut n = NodeLifecycle::new(NodeState::Off);
+        assert!(n.transition(NodeState::Busy).is_err());
+        assert!(n.transition(NodeState::Idle).is_err());
+        assert_eq!(n.state(), NodeState::Off);
+        assert_eq!(n.transitions(), 0);
+    }
+
+    #[test]
+    fn self_transition_illegal() {
+        let mut n = NodeLifecycle::new(NodeState::Idle);
+        assert!(n.transition(NodeState::Idle).is_err());
+    }
+
+    #[test]
+    fn drain_and_cancel() {
+        let mut n = NodeLifecycle::new(NodeState::Busy);
+        n.transition(NodeState::Draining).unwrap();
+        n.transition(NodeState::Idle).unwrap(); // cancelled
+        n.transition(NodeState::Draining).unwrap();
+        n.transition(NodeState::Off).unwrap();
+        assert_eq!(n.shutdowns(), 1);
+    }
+
+    #[test]
+    fn failure_from_anywhere_and_repair() {
+        for s in [
+            NodeState::Off,
+            NodeState::Booting,
+            NodeState::Idle,
+            NodeState::Busy,
+        ] {
+            let mut n = NodeLifecycle::new(s);
+            n.transition(NodeState::Down).unwrap();
+            n.transition(NodeState::Booting).unwrap();
+        }
+    }
+
+    #[test]
+    fn breakeven_matches_hand_calculation() {
+        let costs = TransitionCosts {
+            boot: SimDuration::from_secs(300.0),
+            boot_energy_joules: 60_000.0,
+            shutdown: SimDuration::from_secs(120.0),
+            shutdown_energy_joules: 12_000.0,
+        };
+        // (72 kJ) / (90-8 W) ≈ 878 s, + 420 s transitions.
+        let be = NodeLifecycle::shutdown_breakeven(&costs, 90.0, 8.0);
+        assert!((be.as_secs() - (72_000.0 / 82.0 + 420.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn breakeven_grows_when_saving_shrinks() {
+        let costs = TransitionCosts::default();
+        let a = NodeLifecycle::shutdown_breakeven(&costs, 90.0, 8.0);
+        let b = NodeLifecycle::shutdown_breakeven(&costs, 30.0, 8.0);
+        assert!(b > a);
+    }
+}

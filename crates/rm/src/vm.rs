@@ -1,0 +1,192 @@
+//! Virtual-machine splitting of compute nodes.
+//!
+//! Table I, Tokyo Tech production: "Uses virtual machines to split
+//! compute nodes. (Complicates physical node shutdown.)" A [`VmHost`]
+//! carves one physical node into VMs with core shares; the shutdown
+//! complication is explicit: a host cannot power off while any VM is
+//! active, so the shutdown policy must first migrate or drain VMs.
+
+use epa_cluster::node::NodeId;
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use thiserror::Error;
+
+/// Errors from VM management.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum VmError {
+    /// Not enough free cores on the host.
+    #[error("host {host} has {free} free cores, requested {requested}")]
+    InsufficientCores {
+        /// Host node.
+        host: NodeId,
+        /// Free cores.
+        free: u32,
+        /// Requested cores.
+        requested: u32,
+    },
+
+    /// The VM id is unknown.
+    #[error("unknown vm {0}")]
+    UnknownVm(u64),
+
+    /// The host still has active VMs.
+    #[error("host {host} has {active} active VMs; cannot power off")]
+    HostBusy {
+        /// Host node.
+        host: NodeId,
+        /// Active VM count.
+        active: usize,
+    },
+}
+
+/// One virtual machine.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Vm {
+    /// VM id.
+    pub id: u64,
+    /// Cores assigned.
+    pub cores: u32,
+}
+
+/// A physical node hosting VMs.
+#[derive(Debug, Clone)]
+pub struct VmHost {
+    node: NodeId,
+    total_cores: u32,
+    vms: BTreeMap<u64, Vm>,
+    next_id: u64,
+}
+
+impl VmHost {
+    /// Creates a host with the node's core count.
+    #[must_use]
+    pub fn new(node: NodeId, total_cores: u32) -> Self {
+        VmHost {
+            node,
+            total_cores,
+            vms: BTreeMap::new(),
+            next_id: 0,
+        }
+    }
+
+    /// The physical node.
+    #[must_use]
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Cores not assigned to any VM.
+    #[must_use]
+    pub fn free_cores(&self) -> u32 {
+        self.total_cores - self.vms.values().map(|v| v.cores).sum::<u32>()
+    }
+
+    /// Active VM count.
+    #[must_use]
+    pub fn active_vms(&self) -> usize {
+        self.vms.len()
+    }
+
+    /// Spawns a VM with `cores`.
+    pub fn spawn(&mut self, cores: u32) -> Result<u64, VmError> {
+        let free = self.free_cores();
+        if cores == 0 || cores > free {
+            return Err(VmError::InsufficientCores {
+                host: self.node,
+                free,
+                requested: cores,
+            });
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.vms.insert(id, Vm { id, cores });
+        Ok(id)
+    }
+
+    /// Destroys a VM, freeing its cores.
+    pub fn destroy(&mut self, id: u64) -> Result<(), VmError> {
+        self.vms
+            .remove(&id)
+            .map(|_| ())
+            .ok_or(VmError::UnknownVm(id))
+    }
+
+    /// Checks whether the host may power off — the Tokyo Tech
+    /// complication: only when no VMs remain.
+    pub fn can_power_off(&self) -> Result<(), VmError> {
+        if self.vms.is_empty() {
+            Ok(())
+        } else {
+            Err(VmError::HostBusy {
+                host: self.node,
+                active: self.vms.len(),
+            })
+        }
+    }
+
+    /// Utilization of the host's cores by VMs, `[0,1]`.
+    #[must_use]
+    pub fn core_utilization(&self) -> f64 {
+        1.0 - f64::from(self.free_cores()) / f64::from(self.total_cores.max(1))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spawn_and_destroy() {
+        let mut h = VmHost::new(NodeId(0), 32);
+        let a = h.spawn(8).unwrap();
+        let b = h.spawn(16).unwrap();
+        assert_eq!(h.free_cores(), 8);
+        assert_eq!(h.active_vms(), 2);
+        assert!((h.core_utilization() - 0.75).abs() < 1e-12);
+        h.destroy(a).unwrap();
+        assert_eq!(h.free_cores(), 16);
+        h.destroy(b).unwrap();
+        assert_eq!(h.active_vms(), 0);
+    }
+
+    #[test]
+    fn overcommit_rejected() {
+        let mut h = VmHost::new(NodeId(0), 8);
+        h.spawn(6).unwrap();
+        let err = h.spawn(4).unwrap_err();
+        assert!(matches!(
+            err,
+            VmError::InsufficientCores {
+                free: 2,
+                requested: 4,
+                ..
+            }
+        ));
+        assert!(h.spawn(0).is_err());
+    }
+
+    #[test]
+    fn unknown_vm() {
+        let mut h = VmHost::new(NodeId(0), 8);
+        assert!(matches!(h.destroy(99), Err(VmError::UnknownVm(99))));
+    }
+
+    #[test]
+    fn shutdown_blocked_by_active_vms() {
+        let mut h = VmHost::new(NodeId(3), 32);
+        let vm = h.spawn(4).unwrap();
+        let err = h.can_power_off().unwrap_err();
+        assert!(matches!(err, VmError::HostBusy { active: 1, .. }));
+        h.destroy(vm).unwrap();
+        assert!(h.can_power_off().is_ok());
+    }
+
+    #[test]
+    fn vm_ids_unique() {
+        let mut h = VmHost::new(NodeId(0), 32);
+        let a = h.spawn(1).unwrap();
+        h.destroy(a).unwrap();
+        let b = h.spawn(1).unwrap();
+        assert_ne!(a, b, "ids are never reused");
+    }
+}

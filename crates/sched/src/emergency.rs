@@ -1,0 +1,131 @@
+//! Emergency power response.
+//!
+//! Table I, RIKEN production: "Automated emergency job killing if power
+//! limit exceeded." When the system draw crosses `limit_watts`, the engine
+//! kills the youngest running jobs until the projected draw is below the
+//! limit minus a hysteresis margin (so a single breach doesn't oscillate).
+
+use epa_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Which running jobs the response kills first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum VictimOrder {
+    /// Kill the most recently started jobs first (least sunk cost).
+    #[default]
+    Youngest,
+    /// Kill the highest-draw jobs first (fewest kills per shed watt; the
+    /// choice that pairs well with checkpointing since long-running hogs
+    /// have checkpoints to fall back on).
+    MostPowerful,
+}
+
+/// Emergency-response configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EmergencyPolicy {
+    /// Hard power limit in IT watts; crossing it triggers the response.
+    pub limit_watts: f64,
+    /// Hysteresis: the response drives draw below
+    /// `limit_watts × (1 − hysteresis_fraction)`.
+    pub hysteresis_fraction: f64,
+    /// When set, the response is armed only inside `[start, end)` — the
+    /// shape of a demand-response compliance window or a contractual
+    /// peak-hours limit. `None` = always armed.
+    pub window: Option<(SimTime, SimTime)>,
+    /// After a response, hold all new job starts for this long. Prevents
+    /// the kill–restart thrash loop: without a cooldown the scheduler
+    /// refills the machine on the very next round and breaches again.
+    pub start_cooldown: SimDuration,
+    /// Kill ordering.
+    pub victim_order: VictimOrder,
+}
+
+impl EmergencyPolicy {
+    /// Creates an always-armed policy with a 5% hysteresis and no
+    /// cooldown (legacy instantaneous behaviour).
+    #[must_use]
+    pub fn new(limit_watts: f64) -> Self {
+        EmergencyPolicy {
+            limit_watts,
+            hysteresis_fraction: 0.05,
+            window: None,
+            start_cooldown: SimDuration::ZERO,
+            victim_order: VictimOrder::Youngest,
+        }
+    }
+
+    /// Creates a policy armed only inside `[start, end)`.
+    #[must_use]
+    pub fn windowed(limit_watts: f64, start: SimTime, end: SimTime) -> Self {
+        EmergencyPolicy {
+            limit_watts,
+            hysteresis_fraction: 0.05,
+            window: Some((start, end)),
+            start_cooldown: SimDuration::ZERO,
+            victim_order: VictimOrder::Youngest,
+        }
+    }
+
+    /// Sets the post-response start cooldown.
+    #[must_use]
+    pub fn with_cooldown(mut self, cooldown: SimDuration) -> Self {
+        self.start_cooldown = cooldown;
+        self
+    }
+
+    /// Sets the victim ordering.
+    #[must_use]
+    pub fn with_victim_order(mut self, order: VictimOrder) -> Self {
+        self.victim_order = order;
+        self
+    }
+
+    /// True when the response is armed at `t`.
+    #[must_use]
+    pub fn armed_at(&self, t: SimTime) -> bool {
+        match self.window {
+            None => true,
+            Some((start, end)) => t >= start && t < end,
+        }
+    }
+
+    /// The draw level the response aims for after a breach.
+    #[must_use]
+    pub fn target_watts(&self) -> f64 {
+        self.limit_watts * (1.0 - self.hysteresis_fraction.clamp(0.0, 1.0))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn target_below_limit() {
+        let p = EmergencyPolicy::new(1000.0);
+        assert!((p.target_watts() - 950.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hysteresis_clamped() {
+        let p = EmergencyPolicy {
+            limit_watts: 1000.0,
+            hysteresis_fraction: 2.0,
+            window: None,
+            start_cooldown: SimDuration::ZERO,
+            victim_order: VictimOrder::Youngest,
+        };
+        assert_eq!(p.target_watts(), 0.0);
+    }
+
+    #[test]
+    fn window_arms_and_disarms() {
+        let p =
+            EmergencyPolicy::windowed(1000.0, SimTime::from_hours(10.0), SimTime::from_hours(14.0));
+        assert!(!p.armed_at(SimTime::from_hours(9.0)));
+        assert!(p.armed_at(SimTime::from_hours(10.0)));
+        assert!(p.armed_at(SimTime::from_hours(13.9)));
+        assert!(!p.armed_at(SimTime::from_hours(14.0)));
+        assert!(EmergencyPolicy::new(1.0).armed_at(SimTime::from_days(99.0)));
+    }
+}

@@ -1,0 +1,28 @@
+//! Error types for the scheduling framework.
+
+use thiserror::Error;
+
+/// Errors from the scheduling engine and policies.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum SchedError {
+    /// A decision referenced a job that is not queued.
+    #[error("job {0} is not in the queue")]
+    UnknownJob(u64),
+
+    /// A policy or engine configuration was invalid.
+    #[error("invalid scheduler configuration: {0}")]
+    InvalidConfig(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            SchedError::UnknownJob(3).to_string(),
+            "job 3 is not in the queue"
+        );
+    }
+}

@@ -1,0 +1,193 @@
+//! Inter-system power-budget sharing.
+//!
+//! Table I, Tokyo Tech technology development: "Inter-system power
+//! capping. TSUBAME2 and TSUBAME3 will need to share the facility power
+//! budget." The coordinator owns the facility's IT budget and splits it
+//! between systems; each system's engine runs with its share as its
+//! `power_budget_watts`. Re-splits happen between simulation episodes
+//! (coarse-grained coordination, matching the ~30 min enforcement windows
+//! reported in the survey).
+
+use epa_power::error::PowerError;
+use serde::{Deserialize, Serialize};
+
+/// How the shared budget is split.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SplitRule {
+    /// Fixed fractions per system (must sum to ≤ 1).
+    Fixed,
+    /// Proportional to each system's reported demand.
+    DemandProportional,
+}
+
+/// Coordinates one facility budget across multiple systems.
+#[derive(Debug, Clone)]
+pub struct InterSystemCoordinator {
+    total_watts: f64,
+    fixed_fractions: Vec<f64>,
+    rule: SplitRule,
+}
+
+impl InterSystemCoordinator {
+    /// Creates a coordinator with fixed fractions (used by
+    /// [`SplitRule::Fixed`]; also the fallback when demand is zero).
+    pub fn new(
+        total_watts: f64,
+        fixed_fractions: Vec<f64>,
+        rule: SplitRule,
+    ) -> Result<Self, PowerError> {
+        if total_watts <= 0.0 {
+            return Err(PowerError::InvalidConfig(
+                "total budget must be positive".into(),
+            ));
+        }
+        if fixed_fractions.is_empty() {
+            return Err(PowerError::InvalidConfig("need at least one system".into()));
+        }
+        let sum: f64 = fixed_fractions.iter().sum();
+        if fixed_fractions.iter().any(|&f| f < 0.0) || sum > 1.0 + 1e-9 {
+            return Err(PowerError::InvalidConfig(format!(
+                "fractions must be non-negative and sum to <= 1, sum = {sum}"
+            )));
+        }
+        Ok(InterSystemCoordinator {
+            total_watts,
+            fixed_fractions,
+            rule,
+        })
+    }
+
+    /// Number of coordinated systems.
+    #[must_use]
+    pub fn systems(&self) -> usize {
+        self.fixed_fractions.len()
+    }
+
+    /// The facility IT budget.
+    #[must_use]
+    pub fn total_watts(&self) -> f64 {
+        self.total_watts
+    }
+
+    /// Computes each system's share for the next enforcement window.
+    /// `demands` are each system's reported wants in watts (same length
+    /// as the system count).
+    ///
+    /// # Panics
+    /// Panics if `demands.len()` differs from the system count.
+    #[must_use]
+    pub fn split(&self, demands: &[f64]) -> Vec<f64> {
+        assert_eq!(demands.len(), self.systems(), "demand vector length");
+        match self.rule {
+            SplitRule::Fixed => self
+                .fixed_fractions
+                .iter()
+                .map(|f| f * self.total_watts)
+                .collect(),
+            SplitRule::DemandProportional => {
+                let total_demand: f64 = demands.iter().map(|d| d.max(0.0)).sum();
+                if total_demand <= 0.0 {
+                    return self
+                        .fixed_fractions
+                        .iter()
+                        .map(|f| f * self.total_watts)
+                        .collect();
+                }
+                // Cap each share at its demand; redistribute the surplus to
+                // still-hungry systems proportionally (single water-fill pass
+                // repeated to fixpoint).
+                let mut share: Vec<f64> = demands
+                    .iter()
+                    .map(|d| self.total_watts * d.max(0.0) / total_demand)
+                    .collect();
+                for _ in 0..demands.len() {
+                    let mut surplus = 0.0;
+                    let mut hungry_demand = 0.0;
+                    for (s, d) in share.iter_mut().zip(demands) {
+                        if *s > *d {
+                            surplus += *s - *d;
+                            *s = *d;
+                        } else if *s < *d {
+                            hungry_demand += d - *s;
+                        }
+                    }
+                    if surplus <= 1e-9 || hungry_demand <= 1e-9 {
+                        break;
+                    }
+                    for (s, d) in share.iter_mut().zip(demands) {
+                        if *s < *d {
+                            *s += surplus * (*d - *s) / hungry_demand;
+                        }
+                    }
+                }
+                share
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_split() {
+        let c = InterSystemCoordinator::new(1000.0, vec![0.6, 0.4], SplitRule::Fixed).unwrap();
+        assert_eq!(c.split(&[9999.0, 1.0]), vec![600.0, 400.0]);
+    }
+
+    #[test]
+    fn proportional_split_follows_demand() {
+        let c = InterSystemCoordinator::new(1000.0, vec![0.5, 0.5], SplitRule::DemandProportional)
+            .unwrap();
+        let s = c.split(&[300.0, 900.0]);
+        assert!((s[0] - 250.0).abs() < 1e-9);
+        assert!((s[1] - 750.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn proportional_caps_at_demand_when_budget_exceeds_demand() {
+        let c = InterSystemCoordinator::new(1000.0, vec![0.5, 0.5], SplitRule::DemandProportional)
+            .unwrap();
+        // Total demand (400) below budget: everyone gets exactly their
+        // demand, the surplus stays unallocated.
+        let s = c.split(&[100.0, 300.0]);
+        assert!((s[0] - 100.0).abs() < 1e-6);
+        assert!((s[1] - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn proportional_rations_scarce_budget() {
+        let c = InterSystemCoordinator::new(1000.0, vec![0.5, 0.5], SplitRule::DemandProportional)
+            .unwrap();
+        // Total demand 2100 > budget: pure proportional rationing.
+        let s = c.split(&[100.0, 2000.0]);
+        assert!((s[0] - 1000.0 * 100.0 / 2100.0).abs() < 1e-6);
+        assert!((s[1] - 1000.0 * 2000.0 / 2100.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_demand_falls_back_to_fixed() {
+        let c = InterSystemCoordinator::new(1000.0, vec![0.7, 0.3], SplitRule::DemandProportional)
+            .unwrap();
+        assert_eq!(c.split(&[0.0, 0.0]), vec![700.0, 300.0]);
+    }
+
+    #[test]
+    fn split_never_exceeds_total() {
+        let c = InterSystemCoordinator::new(1000.0, vec![0.5, 0.5], SplitRule::DemandProportional)
+            .unwrap();
+        for demands in [[100.0, 100.0], [800.0, 900.0], [1500.0, 0.0]] {
+            let s = c.split(&demands);
+            assert!(s.iter().sum::<f64>() <= 1000.0 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(InterSystemCoordinator::new(0.0, vec![1.0], SplitRule::Fixed).is_err());
+        assert!(InterSystemCoordinator::new(100.0, vec![], SplitRule::Fixed).is_err());
+        assert!(InterSystemCoordinator::new(100.0, vec![0.8, 0.4], SplitRule::Fixed).is_err());
+        assert!(InterSystemCoordinator::new(100.0, vec![-0.1, 0.5], SplitRule::Fixed).is_err());
+    }
+}

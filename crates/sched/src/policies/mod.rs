@@ -1,0 +1,15 @@
+//! Scheduling policies: baselines and EPA variants.
+
+pub mod backfill;
+pub mod energy_aware;
+pub mod fcfs;
+pub mod overprovision;
+pub mod power_aware;
+pub mod power_sharing;
+
+pub use backfill::{ConservativeBackfill, EasyBackfill};
+pub use energy_aware::{EnergyAwareScheduler, SchedulingGoal};
+pub use fcfs::Fcfs;
+pub use overprovision::OverprovisionScheduler;
+pub use power_aware::PowerAwareBackfill;
+pub use power_sharing::PowerSharingManager;

@@ -1,0 +1,222 @@
+//! Over-provisioning with moldable jobs (Sarood et al., Patki et al.).
+//!
+//! The machine has more nodes than the power budget can feed at full
+//! tilt. The scheduler picks, per moldable job, the node count whose
+//! *power-constrained throughput* is best: more nodes at lower per-node
+//! power (cap) versus fewer nodes uncapped. This policy implements the
+//! greedy variant: for the head-of-queue jobs, choose the configuration
+//! with the best predicted node-seconds-per-joule among those that fit
+//! both free nodes and power headroom.
+
+use crate::view::{Decision, Policy, SchedView};
+use epa_workload::job::Job;
+
+/// Moldable-configuration selection under a power budget.
+#[derive(Debug, Clone, Copy)]
+pub struct OverprovisionScheduler {
+    /// Cap candidates per node, as fractions of the prediction (1.0 =
+    /// uncapped, 0.8 = cap at 80% predicted power, …).
+    pub cap_levels: [f64; 3],
+}
+
+impl Default for OverprovisionScheduler {
+    fn default() -> Self {
+        OverprovisionScheduler {
+            cap_levels: [1.0, 0.85, 0.7],
+        }
+    }
+}
+
+impl Policy for OverprovisionScheduler {
+    fn name(&self) -> &str {
+        "overprovision-moldable"
+    }
+
+    fn schedule(&mut self, view: &SchedView<'_>, queue: &[Job]) -> Vec<Decision> {
+        let mut free = view.free_nodes;
+        let mut headroom = view.power_headroom_watts;
+        let mut out = Vec::new();
+        for job in queue {
+            let predicted = (view.predicted_watts_per_node)(job);
+            let mut best: Option<(f64, Decision, u32, f64)> = None; // (score, d, nodes, watts)
+            let candidates: Vec<u32> = match &job.moldable {
+                Some(m) => m.candidate_nodes(),
+                None => vec![job.nodes],
+            };
+            for n in candidates {
+                if n > free || n == 0 {
+                    continue;
+                }
+                let runtime = match &job.moldable {
+                    Some(m) => m.runtime_on(n, job.nodes, job.base_runtime),
+                    None => job.base_runtime,
+                };
+                for cap_frac in self.cap_levels {
+                    // Throttling from the cap: approximate with the DVFS
+                    // law — power scales ~f³ on the dynamic share, runtime
+                    // inflates ~1/f on the cpu-bound share.
+                    let watts = predicted * cap_frac;
+                    let slowdown = if cap_frac >= 1.0 {
+                        1.0
+                    } else {
+                        // Invert the cube law for the frequency ratio.
+                        let fr = cap_frac.powf(1.0 / 3.0);
+                        let beta = job.app.mean_cpu_boundness();
+                        beta / fr + (1.0 - beta)
+                    };
+                    let total_watts = watts * f64::from(n);
+                    if total_watts > headroom {
+                        continue;
+                    }
+                    let eff_runtime = runtime.as_secs() * slowdown;
+                    // Score: work per energy — node-seconds of *useful*
+                    // (reference-point) work per joule spent.
+                    let useful = job.node_seconds();
+                    let energy = total_watts * eff_runtime;
+                    if energy <= 0.0 {
+                        continue;
+                    }
+                    let score = useful / energy;
+                    let d = Decision::Start {
+                        job: job.id,
+                        nodes_override: job.moldable.as_ref().map(|_| n),
+                        freq_ghz: None,
+                        node_cap_watts: if cap_frac < 1.0 { Some(watts) } else { None },
+                    };
+                    if best.as_ref().is_none_or(|(s, ..)| score > *s) {
+                        best = Some((score, d, n, total_watts));
+                    }
+                }
+            }
+            if let Some((_, d, n, w)) = best {
+                free -= n;
+                headroom -= w;
+                out.push(d);
+            }
+            // Unlike FCFS we continue down the queue (power-constrained
+            // scheduling is about packing the budget).
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_cluster::node::NodeSpec;
+    use epa_power::dvfs::DvfsModel;
+    use epa_simcore::time::{SimDuration, SimTime};
+    use epa_workload::job::JobBuilder;
+    use epa_workload::moldable::MoldableConfig;
+
+    fn dvfs() -> DvfsModel {
+        DvfsModel::new(NodeSpec::typical_xeon())
+    }
+
+    fn view<'a>(
+        free: u32,
+        headroom: f64,
+        dvfs: &'a DvfsModel,
+        predict: &'a dyn Fn(&Job) -> f64,
+    ) -> SchedView<'a> {
+        SchedView {
+            now: SimTime::ZERO,
+            free_nodes: free,
+            off_nodes: 0,
+            total_nodes: 128,
+            running: &[],
+            power_headroom_watts: headroom,
+            power_budget_watts: headroom,
+            system_watts: 0.0,
+            temperature_c: 20.0,
+            dvfs,
+            predicted_watts_per_node: predict,
+        }
+    }
+
+    #[test]
+    fn rigid_job_within_budget_starts_plain() {
+        let d = dvfs();
+        let predict = |_: &Job| 200.0;
+        let queue = vec![JobBuilder::new(1).nodes(4).build()];
+        let mut p = OverprovisionScheduler::default();
+        let v = view(16, 10_000.0, &d, &predict);
+        let decisions = p.schedule(&v, &queue);
+        assert_eq!(decisions.len(), 1);
+    }
+
+    #[test]
+    fn moldable_job_shrinks_under_tight_budget() {
+        let d = dvfs();
+        let predict = |_: &Job| 200.0;
+        let queue = vec![JobBuilder::new(1)
+            .nodes(16)
+            .runtime(SimDuration::from_hours(1.0))
+            .estimate(SimDuration::from_hours(24.0))
+            .moldable(MoldableConfig::new(2, 32, 0.05))
+            .build()];
+        let mut p = OverprovisionScheduler::default();
+        // Budget fits only ~4 nodes at 200 W.
+        let v = view(32, 850.0, &d, &predict);
+        let decisions = p.schedule(&v, &queue);
+        assert_eq!(decisions.len(), 1, "job should shrink to fit");
+        match &decisions[0] {
+            Decision::Start {
+                nodes_override: Some(n),
+                ..
+            } => assert!(*n <= 4, "nodes {n}"),
+            other => panic!("expected moldable override, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nothing_fits_nothing_starts() {
+        let d = dvfs();
+        let predict = |_: &Job| 200.0;
+        let queue = vec![JobBuilder::new(1).nodes(4).build()];
+        let mut p = OverprovisionScheduler::default();
+        let v = view(16, 100.0, &d, &predict);
+        assert!(p.schedule(&v, &queue).is_empty());
+    }
+
+    #[test]
+    fn packs_multiple_jobs_into_budget() {
+        let d = dvfs();
+        let predict = |_: &Job| 200.0;
+        let queue = vec![
+            JobBuilder::new(1).nodes(2).build(),
+            JobBuilder::new(2).nodes(2).build(),
+            JobBuilder::new(3).nodes(2).build(),
+        ];
+        let mut p = OverprovisionScheduler::default();
+        // Headroom for about two uncapped 2-node jobs (or three capped).
+        let v = view(16, 900.0, &d, &predict);
+        let decisions = p.schedule(&v, &queue);
+        assert!(decisions.len() >= 2, "packed {decisions:?}");
+    }
+
+    #[test]
+    fn caps_annotated_when_capped_configuration_wins() {
+        let d = dvfs();
+        let predict = |_: &Job| 300.0;
+        // Memory-bound job: capping barely slows it, so capped configs have
+        // strictly better work-per-joule.
+        let queue = vec![JobBuilder::new(1)
+            .nodes(4)
+            .app(epa_workload::job::AppProfile::memory_bound("stream"))
+            .build()];
+        let mut p = OverprovisionScheduler::default();
+        let v = view(16, 10_000.0, &d, &predict);
+        let decisions = p.schedule(&v, &queue);
+        assert_eq!(decisions.len(), 1);
+        match &decisions[0] {
+            Decision::Start {
+                node_cap_watts: Some(c),
+                ..
+            } => {
+                assert!(*c < 300.0, "cap {c}");
+            }
+            other => panic!("expected capped start, got {other:?}"),
+        }
+    }
+}

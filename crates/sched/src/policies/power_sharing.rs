@@ -1,0 +1,275 @@
+//! Dynamic power sharing (Ellsworth et al., SC'15).
+//!
+//! A fixed system budget is divided among running jobs; jobs that draw
+//! less than their share donate the surplus to a pool, which is
+//! redistributed to power-hungry jobs each enforcement period. The survey
+//! cites this as the RAPL-based alternative to static uniform caps — the
+//! E4 experiment reproduces the headline result that dynamic sharing
+//! beats static partitioning on throughput.
+//!
+//! This module is the *allocation calculator*; it is driven either by the
+//! engine (on power ticks) or standalone in experiments.
+
+use epa_workload::job::JobId;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// Per-job power demand and minimum floor.
+#[derive(Debug, Clone, Copy, Serialize)]
+pub struct JobPowerNeed {
+    /// Watts the job would draw unthrottled.
+    pub demand_watts: f64,
+    /// Watts below which the job cannot run (min-frequency draw).
+    pub floor_watts: f64,
+}
+
+/// The dynamic power-sharing calculator.
+#[derive(Debug, Clone)]
+pub struct PowerSharingManager {
+    budget_watts: f64,
+}
+
+impl PowerSharingManager {
+    /// Creates a manager over a system budget.
+    #[must_use]
+    pub fn new(budget_watts: f64) -> Self {
+        PowerSharingManager { budget_watts }
+    }
+
+    /// The budget.
+    #[must_use]
+    pub fn budget_watts(&self) -> f64 {
+        self.budget_watts
+    }
+
+    /// Static uniform allocation: every job gets `budget / n`, clamped to
+    /// its demand (the baseline Ellsworth improves on).
+    #[must_use]
+    pub fn allocate_static(&self, needs: &BTreeMap<JobId, JobPowerNeed>) -> BTreeMap<JobId, f64> {
+        let n = needs.len().max(1) as f64;
+        let share = self.budget_watts / n;
+        needs
+            .iter()
+            .map(|(&id, need)| (id, share.min(need.demand_watts)))
+            .collect()
+    }
+
+    /// Dynamic allocation: floors first, then water-fill the remaining
+    /// budget toward demands. Jobs that need less than the uniform share
+    /// free power for hungry jobs.
+    ///
+    /// Returns the per-job watts; the sum never exceeds the budget. When
+    /// even the floors do not fit, floors are scaled proportionally (the
+    /// caller decides whether to suspend jobs instead).
+    #[must_use]
+    pub fn allocate_dynamic(&self, needs: &BTreeMap<JobId, JobPowerNeed>) -> BTreeMap<JobId, f64> {
+        if needs.is_empty() {
+            return BTreeMap::new();
+        }
+        let floor_sum: f64 = needs.values().map(|n| n.floor_watts).sum();
+        if floor_sum > self.budget_watts {
+            let scale = self.budget_watts / floor_sum;
+            return needs
+                .iter()
+                .map(|(&id, n)| (id, n.floor_watts * scale))
+                .collect();
+        }
+        // Max-min water-fill above floors toward demands: repeatedly give
+        // every still-hungry job an equal share, capping at its demand.
+        // Terminates in ≤ n rounds (each round sates at least one job or
+        // exhausts the budget).
+        let mut alloc: BTreeMap<JobId, f64> =
+            needs.iter().map(|(&id, n)| (id, n.floor_watts)).collect();
+        let mut remaining = self.budget_watts - floor_sum;
+        for _ in 0..=needs.len() {
+            if remaining <= 1e-9 {
+                break;
+            }
+            let hungry: Vec<JobId> = needs
+                .iter()
+                .filter(|(id, n)| n.demand_watts - alloc[id] > 1e-9)
+                .map(|(&id, _)| id)
+                .collect();
+            if hungry.is_empty() {
+                break;
+            }
+            let share = remaining / hungry.len() as f64;
+            for id in hungry {
+                let gap = needs[&id].demand_watts - alloc[&id];
+                let give = share.min(gap);
+                *alloc.get_mut(&id).expect("present") += give;
+                remaining -= give;
+            }
+        }
+        alloc
+    }
+
+    /// Throughput proxy: Σ granted/demand — the fraction of full-speed
+    /// progress the job mix achieves under an allocation (1.0 per job =
+    /// unthrottled). A job granted less than its floor cannot run at all
+    /// (hardware has a minimum operating point) and contributes zero —
+    /// this is what makes naive static partitioning lose: it hands
+    /// unusable sub-floor slices to big jobs. Used by experiment E4.
+    #[must_use]
+    pub fn progress_score(
+        needs: &BTreeMap<JobId, JobPowerNeed>,
+        alloc: &BTreeMap<JobId, f64>,
+    ) -> f64 {
+        needs
+            .iter()
+            .map(|(id, n)| {
+                let got = alloc.get(id).copied().unwrap_or(0.0);
+                if got + 1e-9 < n.floor_watts {
+                    0.0
+                } else {
+                    (got / n.demand_watts).min(1.0)
+                }
+            })
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn needs(v: &[(u64, f64, f64)]) -> BTreeMap<JobId, JobPowerNeed> {
+        v.iter()
+            .map(|&(id, demand, floor)| {
+                (
+                    JobId(id),
+                    JobPowerNeed {
+                        demand_watts: demand,
+                        floor_watts: floor,
+                    },
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn static_uniform_wastes_surplus() {
+        let m = PowerSharingManager::new(900.0);
+        // Job 1 needs only 100; static gives everyone 300 (capped at
+        // demand), leaving job 2 and 3 throttled at 300 while 200 W idles.
+        let n = needs(&[(1, 100.0, 50.0), (2, 500.0, 150.0), (3, 500.0, 150.0)]);
+        let alloc = m.allocate_static(&n);
+        assert_eq!(alloc[&JobId(1)], 100.0);
+        assert_eq!(alloc[&JobId(2)], 300.0);
+        assert_eq!(alloc[&JobId(3)], 300.0);
+        let used: f64 = alloc.values().sum();
+        assert!(used < 900.0 - 100.0, "static leaves surplus unused");
+    }
+
+    #[test]
+    fn dynamic_redistributes_surplus() {
+        let m = PowerSharingManager::new(900.0);
+        let n = needs(&[(1, 100.0, 50.0), (2, 500.0, 150.0), (3, 500.0, 150.0)]);
+        let alloc = m.allocate_dynamic(&n);
+        assert!((alloc[&JobId(1)] - 100.0).abs() < 1e-6);
+        assert!((alloc[&JobId(2)] - 400.0).abs() < 1e-6);
+        assert!((alloc[&JobId(3)] - 400.0).abs() < 1e-6);
+        let used: f64 = alloc.values().sum();
+        assert!((used - 900.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn dynamic_beats_static_on_progress() {
+        let m = PowerSharingManager::new(900.0);
+        let n = needs(&[(1, 100.0, 50.0), (2, 500.0, 150.0), (3, 500.0, 150.0)]);
+        let ps = PowerSharingManager::progress_score(&n, &m.allocate_static(&n));
+        let pd = PowerSharingManager::progress_score(&n, &m.allocate_dynamic(&n));
+        assert!(pd > ps, "dynamic {pd} vs static {ps}");
+    }
+
+    #[test]
+    fn budget_never_exceeded() {
+        let m = PowerSharingManager::new(500.0);
+        let n = needs(&[(1, 400.0, 100.0), (2, 400.0, 100.0), (3, 400.0, 100.0)]);
+        for alloc in [m.allocate_static(&n), m.allocate_dynamic(&n)] {
+            let used: f64 = alloc.values().sum();
+            assert!(used <= 500.0 + 1e-6, "used {used}");
+        }
+    }
+
+    #[test]
+    fn floors_respected_when_feasible() {
+        let m = PowerSharingManager::new(600.0);
+        let n = needs(&[(1, 400.0, 200.0), (2, 400.0, 200.0)]);
+        let alloc = m.allocate_dynamic(&n);
+        assert!(alloc[&JobId(1)] >= 200.0);
+        assert!(alloc[&JobId(2)] >= 200.0);
+    }
+
+    #[test]
+    fn infeasible_floors_scaled() {
+        let m = PowerSharingManager::new(300.0);
+        let n = needs(&[(1, 400.0, 200.0), (2, 400.0, 200.0)]);
+        let alloc = m.allocate_dynamic(&n);
+        let used: f64 = alloc.values().sum();
+        assert!((used - 300.0).abs() < 1e-6);
+        assert!((alloc[&JobId(1)] - 150.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn saturated_demands_stop_filling() {
+        let m = PowerSharingManager::new(10_000.0);
+        let n = needs(&[(1, 300.0, 100.0), (2, 300.0, 100.0)]);
+        let alloc = m.allocate_dynamic(&n);
+        assert!((alloc[&JobId(1)] - 300.0).abs() < 1e-6);
+        assert!((alloc[&JobId(2)] - 300.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn empty_needs() {
+        let m = PowerSharingManager::new(100.0);
+        assert!(m.allocate_dynamic(&BTreeMap::new()).is_empty());
+        assert!(m.allocate_static(&BTreeMap::new()).is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// Dynamic allocation never exceeds the budget, never exceeds any
+        /// job's demand (when floors fit), and never starves a job below a
+        /// feasible floor.
+        #[test]
+        fn dynamic_allocation_sound(
+            budget in 100.0f64..5000.0,
+            jobs in proptest::collection::vec((50.0f64..600.0, 0.1f64..0.9), 1..20),
+        ) {
+            let needs: BTreeMap<JobId, JobPowerNeed> = jobs
+                .iter()
+                .enumerate()
+                .map(|(i, &(demand, floor_frac))| {
+                    (JobId(i as u64), JobPowerNeed {
+                        demand_watts: demand,
+                        floor_watts: demand * floor_frac,
+                    })
+                })
+                .collect();
+            let m = PowerSharingManager::new(budget);
+            let alloc = m.allocate_dynamic(&needs);
+            let used: f64 = alloc.values().sum();
+            prop_assert!(used <= budget + 1e-6);
+            let floor_sum: f64 = needs.values().map(|n| n.floor_watts).sum();
+            if floor_sum <= budget {
+                for (id, need) in &needs {
+                    prop_assert!(alloc[id] >= need.floor_watts - 1e-6);
+                    prop_assert!(alloc[id] <= need.demand_watts + 1e-6);
+                }
+            }
+            // Dynamic never leaves budget unused while any job is hungry.
+            let used: f64 = alloc.values().sum();
+            let demand_sum: f64 = needs.values().map(|n| n.demand_watts).sum();
+            prop_assert!(
+                (used - budget.min(demand_sum)).abs() < 1e-4 * (1.0 + budget),
+                "used {} vs min(budget {}, demand {})", used, budget, demand_sum
+            );
+        }
+    }
+}

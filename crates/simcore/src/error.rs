@@ -1,0 +1,40 @@
+//! Error types for the simulation kernel.
+
+use thiserror::Error;
+
+/// Errors produced by the simulation kernel and shared numeric utilities.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum SimError {
+    /// An operation referenced a simulation entity that does not exist.
+    #[error("unknown entity: {0}")]
+    UnknownEntity(String),
+
+    /// An operation was attempted in a state that does not allow it.
+    #[error("invalid state: {0}")]
+    InvalidState(String),
+
+    /// A configuration value was out of its admissible range.
+    #[error("invalid configuration: {0}")]
+    InvalidConfig(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert_eq!(
+            SimError::UnknownEntity("node 7".into()).to_string(),
+            "unknown entity: node 7"
+        );
+        assert_eq!(
+            SimError::InvalidState("already booted".into()).to_string(),
+            "invalid state: already booted"
+        );
+        assert_eq!(
+            SimError::InvalidConfig("negative cap".into()).to_string(),
+            "invalid configuration: negative cap"
+        );
+    }
+}

@@ -1,0 +1,208 @@
+//! String-keyed metrics registry.
+//!
+//! Every layer of the framework (power substrate, scheduler policies,
+//! resource manager) records counters, gauges, and traces under
+//! hierarchical names like `"sched/backfilled_jobs"` or
+//! `"power/system_watts"`. The registry is the single collection point the
+//! survey engine reads when answering quantitative questionnaire items
+//! (Q3 throughput, Q7 results).
+
+use crate::series::TimeSeries;
+use crate::stats::{OnlineStats, Percentiles};
+use crate::time::SimTime;
+use serde::Serialize;
+use std::collections::BTreeMap;
+
+/// A registry of named counters, distributions, and time series.
+///
+/// Uses `BTreeMap` so that report iteration order is deterministic.
+#[derive(Debug, Default)]
+pub struct MetricsRegistry {
+    counters: BTreeMap<String, u64>,
+    stats: BTreeMap<String, OnlineStats>,
+    distributions: BTreeMap<String, Percentiles>,
+    series: BTreeMap<String, TimeSeries>,
+}
+
+/// A point-in-time snapshot of scalar metrics, serializable for reports.
+#[derive(Debug, Clone, Serialize)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: BTreeMap<String, u64>,
+    /// Mean of each observed distribution by name.
+    pub means: BTreeMap<String, f64>,
+}
+
+impl MetricsRegistry {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by `n`, creating it at zero if absent.
+    pub fn incr(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += n;
+    }
+
+    /// Reads a counter (0 when never written).
+    #[must_use]
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records an observation into both the moment accumulator and the
+    /// exact-percentile sample store for `name`.
+    pub fn observe(&mut self, name: &str, x: f64) {
+        self.stats.entry(name.to_owned()).or_default().push(x);
+        self.distributions
+            .entry(name.to_owned())
+            .or_default()
+            .push(x);
+    }
+
+    /// Moment accumulator for `name`, if any observations were recorded.
+    #[must_use]
+    pub fn stats(&self, name: &str) -> Option<&OnlineStats> {
+        self.stats.get(name)
+    }
+
+    /// Mutable access to the percentile store for `name`.
+    pub fn distribution_mut(&mut self, name: &str) -> Option<&mut Percentiles> {
+        self.distributions.get_mut(name)
+    }
+
+    /// Appends a change point to the time series `name`.
+    pub fn trace(&mut self, name: &str, t: SimTime, value: f64) {
+        self.series
+            .entry(name.to_owned())
+            .or_default()
+            .push(t, value);
+    }
+
+    /// The time series recorded under `name`, if any.
+    #[must_use]
+    pub fn series(&self, name: &str) -> Option<&TimeSeries> {
+        self.series.get(name)
+    }
+
+    /// Names of all recorded counters.
+    pub fn counter_names(&self) -> impl Iterator<Item = &str> {
+        self.counters.keys().map(String::as_str)
+    }
+
+    /// Names of all recorded series.
+    pub fn series_names(&self) -> impl Iterator<Item = &str> {
+        self.series.keys().map(String::as_str)
+    }
+
+    /// Produces a serializable snapshot of counters and distribution means.
+    #[must_use]
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: self.counters.clone(),
+            means: self
+                .stats
+                .iter()
+                .map(|(k, v)| (k.clone(), v.mean()))
+                .collect(),
+        }
+    }
+
+    /// Merges another registry into this one (counters add, observations
+    /// pool, series must not collide).
+    ///
+    /// # Panics
+    /// Panics if both registries recorded a series under the same name —
+    /// series merging is ambiguous for step functions.
+    pub fn merge(&mut self, other: MetricsRegistry) {
+        for (k, v) in other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, v) in other.stats {
+            self.stats.entry(k).or_default().merge(&v);
+        }
+        for (k, v) in other.distributions {
+            let dst = self.distributions.entry(k).or_default();
+            dst.extend(v.samples().iter().copied());
+        }
+        for (k, v) in other.series {
+            assert!(
+                !self.series.contains_key(&k),
+                "series '{k}' recorded by both registries; merge is ambiguous"
+            );
+            self.series.insert(k, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut m = MetricsRegistry::new();
+        m.incr("jobs/completed", 1);
+        m.incr("jobs/completed", 2);
+        assert_eq!(m.counter("jobs/completed"), 3);
+        assert_eq!(m.counter("missing"), 0);
+    }
+
+    #[test]
+    fn observations_feed_stats_and_percentiles() {
+        let mut m = MetricsRegistry::new();
+        for i in 1..=9 {
+            m.observe("wait", f64::from(i));
+        }
+        assert!((m.stats("wait").unwrap().mean() - 5.0).abs() < 1e-12);
+        let p = m.distribution_mut("wait").unwrap();
+        assert_eq!(p.quantile(0.5), Some(5.0));
+    }
+
+    #[test]
+    fn traces_are_series() {
+        let mut m = MetricsRegistry::new();
+        m.trace("watts", SimTime::ZERO, 100.0);
+        m.trace("watts", SimTime::from_secs(10.0), 200.0);
+        let s = m.series("watts").unwrap();
+        assert!((s.integrate(SimTime::ZERO, SimTime::from_secs(20.0)) - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_is_deterministic() {
+        let mut m = MetricsRegistry::new();
+        m.incr("b", 1);
+        m.incr("a", 1);
+        m.observe("x", 2.0);
+        let snap = m.snapshot();
+        let keys: Vec<_> = snap.counters.keys().cloned().collect();
+        assert_eq!(keys, vec!["a".to_string(), "b".to_string()]);
+        assert_eq!(snap.means["x"], 2.0);
+    }
+
+    #[test]
+    fn merge_pools_counters_and_stats() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.incr("c", 1);
+        b.incr("c", 2);
+        a.observe("x", 1.0);
+        b.observe("x", 3.0);
+        b.trace("s", SimTime::ZERO, 1.0);
+        a.merge(b);
+        assert_eq!(a.counter("c"), 3);
+        assert!((a.stats("x").unwrap().mean() - 2.0).abs() < 1e-12);
+        assert!(a.series("s").is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "ambiguous")]
+    fn merge_series_collision_panics() {
+        let mut a = MetricsRegistry::new();
+        let mut b = MetricsRegistry::new();
+        a.trace("s", SimTime::ZERO, 1.0);
+        b.trace("s", SimTime::ZERO, 2.0);
+        a.merge(b);
+    }
+}

@@ -1,0 +1,247 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! The exact [`crate::stats::Percentiles`] store keeps every sample; at
+//! telemetry rates (one reading per node per second, for weeks) that is
+//! wasteful. The P² algorithm (Jain & Chlamtac, 1985) tracks a single
+//! quantile with five markers in O(1) memory — the standard choice in
+//! monitoring pipelines like the ones STFC's Table II row describes.
+//!
+//! Accuracy versus the exact estimator is quantified by the
+//! `telemetry`-group benches and a property test here.
+
+use serde::{Deserialize, Serialize};
+
+/// P² estimator for a single quantile.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimates).
+    heights: [f64; 5],
+    /// Marker positions (1-based ranks).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired-position increments per observation.
+    increments: [f64; 5],
+    count: u64,
+}
+
+impl P2Quantile {
+    /// Creates an estimator for quantile `q` in `(0, 1)`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1)`.
+    #[must_use]
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1), got {q}");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+        }
+    }
+
+    /// The tracked quantile.
+    #[must_use]
+    pub fn q(&self) -> f64 {
+        self.q
+    }
+
+    /// Number of observations so far.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Adds one observation.
+    pub fn push(&mut self, x: f64) {
+        debug_assert!(x.is_finite());
+        if self.count < 5 {
+            self.heights[self.count as usize] = x;
+            self.count += 1;
+            if self.count == 5 {
+                self.heights
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+            }
+            return;
+        }
+        self.count += 1;
+
+        // Find the cell k such that heights[k] <= x < heights[k+1].
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if x >= self.heights[i] && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+
+        for i in (k + 1)..5 {
+            self.positions[i] += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the three middle markers if they drifted.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let right_gap = self.positions[i + 1] - self.positions[i];
+            let left_gap = self.positions[i - 1] - self.positions[i];
+            if (d >= 1.0 && right_gap > 1.0) || (d <= -1.0 && left_gap < -1.0) {
+                let sign = d.signum();
+                let candidate = self.parabolic(i, sign);
+                self.heights[i] =
+                    if self.heights[i - 1] < candidate && candidate < self.heights[i + 1] {
+                        candidate
+                    } else {
+                        self.linear(i, sign)
+                    };
+                self.positions[i] += sign;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, sign: f64) -> f64 {
+        let n = &self.positions;
+        let h = &self.heights;
+        h[i] + sign / (n[i + 1] - n[i - 1])
+            * ((n[i] - n[i - 1] + sign) * (h[i + 1] - h[i]) / (n[i + 1] - n[i])
+                + (n[i + 1] - n[i] - sign) * (h[i] - h[i - 1]) / (n[i] - n[i - 1]))
+    }
+
+    fn linear(&self, i: usize, sign: f64) -> f64 {
+        let j = if sign > 0.0 { i + 1 } else { i - 1 };
+        self.heights[i]
+            + sign * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// The current quantile estimate (`None` before any observation).
+    #[must_use]
+    pub fn estimate(&self) -> Option<f64> {
+        match self.count {
+            0 => None,
+            n if n < 5 => {
+                // Exact for the warm-up prefix.
+                let mut xs = self.heights[..n as usize].to_vec();
+                xs.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+                let pos = self.q * (xs.len() - 1) as f64;
+                let i = pos.floor() as usize;
+                let frac = pos - i as f64;
+                let hi = xs[(i + 1).min(xs.len() - 1)];
+                Some(xs[i] + frac * (hi - xs[i]))
+            }
+            _ => Some(self.heights[2]),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SimRng;
+
+    #[test]
+    fn warmup_is_exact() {
+        let mut p = P2Quantile::new(0.5);
+        assert_eq!(p.estimate(), None);
+        p.push(10.0);
+        assert_eq!(p.estimate(), Some(10.0));
+        p.push(20.0);
+        assert_eq!(p.estimate(), Some(15.0));
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let mut p = P2Quantile::new(0.5);
+        let mut rng = SimRng::new(1);
+        for _ in 0..50_000 {
+            p.push(rng.uniform());
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median estimate {est}");
+    }
+
+    #[test]
+    fn p90_of_exponential_stream() {
+        let mut p = P2Quantile::new(0.9);
+        let mut rng = SimRng::new(2);
+        for _ in 0..50_000 {
+            p.push(rng.exponential(1.0));
+        }
+        // True p90 of Exp(1) is ln(10).
+        let est = p.estimate().unwrap();
+        assert!(
+            (est - std::f64::consts::LN_10).abs() < 0.12,
+            "p90 estimate {est}"
+        );
+    }
+
+    #[test]
+    fn tracks_sorted_input() {
+        let mut p = P2Quantile::new(0.25);
+        for i in 1..=10_000 {
+            p.push(f64::from(i));
+        }
+        let est = p.estimate().unwrap();
+        assert!((est - 2500.0).abs() < 150.0, "p25 estimate {est}");
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn invalid_quantile_rejected() {
+        let _ = P2Quantile::new(1.0);
+    }
+
+    #[test]
+    fn count_tracks() {
+        let mut p = P2Quantile::new(0.5);
+        for i in 0..7 {
+            p.push(f64::from(i));
+        }
+        assert_eq!(p.count(), 7);
+        assert_eq!(p.q(), 0.5);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// On moderately sized random streams, the P² estimate lands within
+        /// the sample range and within a loose band of the exact quantile.
+        #[test]
+        fn close_to_exact(
+            xs in proptest::collection::vec(0.0f64..1000.0, 100..600),
+            qi in 1usize..10,
+        ) {
+            let q = qi as f64 / 10.0;
+            let mut p = P2Quantile::new(q);
+            for &x in &xs { p.push(x); }
+            let est = p.estimate().unwrap();
+            let mut sorted = xs.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let lo = sorted[0];
+            let hi = sorted[sorted.len() - 1];
+            prop_assert!(est >= lo - 1e-9 && est <= hi + 1e-9, "estimate out of range");
+            let exact = sorted[((q * (sorted.len() - 1) as f64).round() as usize).min(sorted.len()-1)];
+            let spread = (hi - lo).max(1e-9);
+            prop_assert!((est - exact).abs() <= spread * 0.25,
+                "estimate {} vs exact {} (spread {})", est, exact, spread);
+        }
+    }
+}

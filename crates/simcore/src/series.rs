@@ -1,0 +1,310 @@
+//! Time series with piecewise-constant semantics.
+//!
+//! Power traces in this framework are *step functions*: a node draws a
+//! constant wattage between two state-change events. [`TimeSeries`]
+//! stores `(t, value)` change points and provides exact integration
+//! (energy = ∫ P dt), time-weighted averages, and resampling for
+//! telemetry-style reporting.
+
+use crate::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// A piecewise-constant time series: the value set at `t_i` holds on
+/// `[t_i, t_{i+1})`. Change points must be appended in non-decreasing
+/// time order.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Creates a series with an initial value at t = 0.
+    #[must_use]
+    pub fn with_initial(value: f64) -> Self {
+        TimeSeries {
+            points: vec![(SimTime::ZERO, value)],
+        }
+    }
+
+    /// Appends a change point. Equal-time appends overwrite the previous
+    /// value at that instant (last write wins), matching event semantics
+    /// where several updates may land on one timestamp.
+    ///
+    /// # Panics
+    /// Panics if `t` is earlier than the last change point.
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        debug_assert!(value.is_finite());
+        if let Some(&(last_t, last_v)) = self.points.last() {
+            assert!(t >= last_t, "time series must be appended in order");
+            if t == last_t {
+                let last = self.points.last_mut().expect("nonempty");
+                last.1 = value;
+                return;
+            }
+            // Skip redundant points to keep traces compact.
+            if last_v == value {
+                return;
+            }
+        }
+        self.points.push((t, value));
+    }
+
+    /// Number of stored change points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when no change points are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The value in effect at time `t` (the most recent change point at or
+    /// before `t`). `None` before the first change point.
+    #[must_use]
+    pub fn value_at(&self, t: SimTime) -> Option<f64> {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&t)) {
+            Ok(i) => Some(self.points[i].1),
+            Err(0) => None,
+            Err(i) => Some(self.points[i - 1].1),
+        }
+    }
+
+    /// The last change point, if any.
+    #[must_use]
+    pub fn last(&self) -> Option<(SimTime, f64)> {
+        self.points.last().copied()
+    }
+
+    /// Exact integral of the step function over `[a, b]`.
+    ///
+    /// Intervals before the first change point contribute zero. For a power
+    /// trace in watts this returns joules.
+    #[must_use]
+    pub fn integrate(&self, a: SimTime, b: SimTime) -> f64 {
+        assert!(b >= a, "integration bounds reversed");
+        if self.points.is_empty() || b == a {
+            return 0.0;
+        }
+        let mut acc = 0.0;
+        for (i, &(t_i, v_i)) in self.points.iter().enumerate() {
+            let seg_start = t_i.max(a);
+            let seg_end = match self.points.get(i + 1) {
+                Some(&(t_next, _)) => t_next.min(b),
+                None => b,
+            };
+            if seg_end > seg_start {
+                acc += v_i * (seg_end - seg_start).as_secs();
+            }
+            if t_i >= b {
+                break;
+            }
+        }
+        acc
+    }
+
+    /// Time-weighted mean over `[a, b]` counting only time at or after the
+    /// first change point.
+    #[must_use]
+    pub fn time_weighted_mean(&self, a: SimTime, b: SimTime) -> f64 {
+        if self.points.is_empty() || b <= a {
+            return 0.0;
+        }
+        let eff_start = self.points[0].0.max(a);
+        if b <= eff_start {
+            return 0.0;
+        }
+        self.integrate(a, b) / (b - eff_start).as_secs()
+    }
+
+    /// Maximum value attained on `[a, b]` (considering the value in effect
+    /// at `a`). `None` if the series has no value anywhere on the interval.
+    #[must_use]
+    pub fn max_on(&self, a: SimTime, b: SimTime) -> Option<f64> {
+        let mut best: Option<f64> = self.value_at(a);
+        for &(t, v) in &self.points {
+            if t > b {
+                break;
+            }
+            if t >= a {
+                best = Some(best.map_or(v, |m| m.max(v)));
+            }
+        }
+        best
+    }
+
+    /// Samples the series at a fixed interval over `[a, b]`, producing
+    /// telemetry-style `(t, value)` rows. Times before the first change
+    /// point sample as 0.
+    #[must_use]
+    pub fn resample(&self, a: SimTime, b: SimTime, dt: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(!dt.is_zero(), "resample interval must be positive");
+        let mut out = Vec::new();
+        let mut t = a;
+        while t <= b {
+            out.push((t, self.value_at(t).unwrap_or(0.0)));
+            t += dt;
+        }
+        out
+    }
+
+    /// Iterates over the raw change points.
+    pub fn iter(&self) -> impl Iterator<Item = (SimTime, f64)> + '_ {
+        self.points.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn value_at_steps() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(10.0), 100.0);
+        ts.push(t(20.0), 200.0);
+        assert_eq!(ts.value_at(t(5.0)), None);
+        assert_eq!(ts.value_at(t(10.0)), Some(100.0));
+        assert_eq!(ts.value_at(t(15.0)), Some(100.0));
+        assert_eq!(ts.value_at(t(20.0)), Some(200.0));
+        assert_eq!(ts.value_at(t(1e6)), Some(200.0));
+    }
+
+    #[test]
+    fn equal_time_push_overwrites() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(10.0), 100.0);
+        ts.push(t(10.0), 150.0);
+        assert_eq!(ts.len(), 1);
+        assert_eq!(ts.value_at(t(10.0)), Some(150.0));
+    }
+
+    #[test]
+    fn redundant_points_skipped() {
+        let mut ts = TimeSeries::with_initial(5.0);
+        ts.push(t(10.0), 5.0);
+        ts.push(t(20.0), 6.0);
+        assert_eq!(ts.len(), 2);
+    }
+
+    #[test]
+    fn integrate_simple_rectangle() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0.0), 100.0);
+        assert!((ts.integrate(t(0.0), t(10.0)) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_steps() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0.0), 100.0);
+        ts.push(t(10.0), 200.0);
+        // [0,10) at 100 + [10,20] at 200 = 1000 + 2000
+        assert!((ts.integrate(t(0.0), t(20.0)) - 3000.0).abs() < 1e-9);
+        // Partial window [5, 15]
+        assert!((ts.integrate(t(5.0), t(15.0)) - (500.0 + 1000.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn integrate_before_first_point_is_zero() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(100.0), 50.0);
+        assert_eq!(ts.integrate(t(0.0), t(100.0)), 0.0);
+        assert!((ts.integrate(t(0.0), t(102.0)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn time_weighted_mean_ignores_undefined_prefix() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(10.0), 100.0);
+        // Over [0, 20]: integral 1000 over effective 10 s.
+        assert!((ts.time_weighted_mean(t(0.0), t(20.0)) - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_on_window() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0.0), 1.0);
+        ts.push(t(10.0), 5.0);
+        ts.push(t(20.0), 2.0);
+        assert_eq!(ts.max_on(t(0.0), t(30.0)), Some(5.0));
+        assert_eq!(ts.max_on(t(12.0), t(15.0)), Some(5.0)); // value in effect
+        assert_eq!(ts.max_on(t(21.0), t(25.0)), Some(2.0));
+    }
+
+    #[test]
+    fn resample_grid() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(5.0), 10.0);
+        let rows = ts.resample(t(0.0), t(10.0), SimDuration::from_secs(5.0));
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0].1, 0.0);
+        assert_eq!(rows[1].1, 10.0);
+        assert_eq!(rows[2].1, 10.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "appended in order")]
+    fn out_of_order_push_panics() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(10.0), 1.0);
+        ts.push(t(5.0), 2.0);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    proptest! {
+        /// Integration is additive over adjacent windows:
+        /// ∫[a,c] = ∫[a,b] + ∫[b,c].
+        #[test]
+        fn integral_additivity(
+            steps in proptest::collection::vec((0.0f64..100.0, 0.0f64..500.0), 1..40),
+            cuts in proptest::collection::vec(0.0f64..120.0, 2..3),
+        ) {
+            let mut ts = TimeSeries::new();
+            let mut clock = 0.0;
+            for (dt, v) in steps {
+                clock += dt;
+                ts.push(t(clock), v);
+            }
+            let mut sorted = cuts.clone();
+            sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            let (a, c) = (sorted[0], sorted[sorted.len() - 1]);
+            let b = (a + c) / 2.0;
+            let whole = ts.integrate(t(a), t(c));
+            let parts = ts.integrate(t(a), t(b)) + ts.integrate(t(b), t(c));
+            prop_assert!((whole - parts).abs() < 1e-6 * (1.0 + whole.abs()));
+        }
+
+        /// The integral of a constant-valued series over [a,b] equals
+        /// value * overlap with the defined region.
+        #[test]
+        fn constant_series_integral(v in 0.0f64..1e4, start in 0.0f64..100.0, len in 0.0f64..100.0) {
+            let mut ts = TimeSeries::new();
+            ts.push(t(start), v);
+            let b = start + len;
+            let got = ts.integrate(t(0.0), t(b));
+            prop_assert!((got - v * len).abs() < 1e-6 * (1.0 + got.abs()));
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! CEA (Bruyères-le-Châtel, France).
+//!
+//! Table I:
+//! - Research: `mpi_yield_when_idle`; BULL power capping and DVFS.
+//! - Tech development: power-adaptive scheduling in SLURM with BULL;
+//!   "layout logic" in SLURM — know which PDUs/chillers a node depends
+//!   on and avoid scheduling jobs onto them before maintenance.
+//! - Production: manually shutting down nodes to shift the power budget
+//!   between systems.
+//!
+//! Model: fat-tree cluster with an explicit PDU/chiller layout and
+//! scheduled maintenance windows; power-aware SLURM-style policy with
+//! DVFS fitting; a long-threshold (manual-like) shutdown policy.
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_sched::shutdown::ShutdownPolicy;
+use epa_simcore::time::{SimDuration, SimTime};
+use epa_workload::generator::WorkloadParams;
+
+/// Builds the CEA site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "CEA cluster (scaled)".into(),
+        cabinets: 24,
+        nodes_per_cabinet: 16, // 384 nodes
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: 500.0,
+    };
+    let nominal = system.nominal_watts();
+    let workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0xcea);
+    SiteConfig {
+        meta: SiteMeta {
+            key: "cea".into(),
+            name: "CEA".into(),
+            country: "France".into(),
+            lat: 48.61,
+            lon: 2.18,
+            motivation: "Shift a fixed power budget between systems; keep jobs off equipment about to undergo maintenance".into(),
+            products: vec!["SLURM".into(), "BULL/Atos power tooling".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.3,
+            cooling_capacity_watts: nominal * 1.4,
+            base_pue: 1.35,
+            pue_per_degree: 0.008,
+            reference_temp_c: 12.0,
+            supplies: vec![SupplySource {
+                name: "grid (nuclear-heavy)".into(),
+                capacity_watts: nominal * 1.4,
+                cost_per_mwh: 55.0,
+            }],
+            weather: WeatherModel {
+                mean_c: 11.5,
+                seasonal_amplitude_c: 8.0,
+                diurnal_amplitude_c: 5.0,
+                noise_std_c: 1.8,
+                start_day_of_year: 60,
+                seed: seed ^ 0xcea,
+            },
+        },
+        workload,
+        policy: PolicyKind::PowerAware { dvfs_fitting: true },
+        power_budget_watts: Some(nominal * 0.85),
+        shutdown: Some(ShutdownPolicy {
+            // "Manually shutting down nodes": slow, conservative policy.
+            idle_threshold: SimDuration::from_hours(2.0),
+            shutdown_time: SimDuration::from_mins(5.0),
+            boot_time: SimDuration::from_mins(10.0),
+            min_idle_reserve: 8,
+            season: None,
+        }),
+        emergency: None,
+        limit_gate: None,
+        layout_aware: true,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::EnergyAwareFrequency,
+                "Investigating mpi_yield_when_idle; BULL power capping and DVFS",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::PowerCapping,
+                "Developing power-adaptive scheduling in SLURM together with BULL",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::FacilityIntegration,
+                "SLURM 'layout logic': know which PDUs/chillers a node depends on and avoid scheduling onto them before maintenance",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::NodeShutdown,
+                "Manually shutting down nodes to shift power budget between systems",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cea_is_layout_aware() {
+        let c = config(1);
+        c.validate().unwrap();
+        assert!(c.layout_aware);
+        assert!(matches!(
+            c.policy,
+            PolicyKind::PowerAware { dvfs_fitting: true }
+        ));
+    }
+}

@@ -1,0 +1,118 @@
+//! CINECA (Bologna, Italy).
+//!
+//! Table II:
+//! - Research: scalable power monitoring used to predict per-job power
+//!   and generate predictive models for node power and temperature
+//!   evolution (with the University of Bologna).
+//! - Tech development: EPA job scheduling support in SLURM with E4;
+//!   tracking BULL's and SchedMD's EPA SLURM work.
+//! - Production: EPA job scheduling on the Eurora system (now
+//!   decommissioned) using PBS Pro, with Altair.
+//!
+//! Model: the MS3 site — "do less when it's too hot": a job-limiting
+//! gate keyed to the Bologna summer, plus the prediction pipeline
+//! (Borghesi et al. are the University of Bologna authors the survey
+//! cites).
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_sched::limiting::JobLimitGate;
+use epa_simcore::time::SimTime;
+use epa_workload::generator::WorkloadParams;
+
+/// Builds the CINECA site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "Eurora-class cluster (scaled)".into(),
+        cabinets: 16,
+        nodes_per_cabinet: 16, // 256 nodes
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: 350.0,
+    };
+    let nominal = system.nominal_watts();
+    let workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0xc1ca);
+    SiteConfig {
+        meta: SiteMeta {
+            key: "cineca".into(),
+            name: "CINECA".into(),
+            country: "Italy".into(),
+            lat: 44.50,
+            lon: 11.34,
+            motivation: "Thermal and power stress in Bologna summers; research partnership with University of Bologna on prediction-driven EPA scheduling".into(),
+            products: vec!["PBS Professional (Altair)".into(), "SLURM (with E4)".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.25,
+            cooling_capacity_watts: nominal * 1.25,
+            base_pue: 1.35,
+            pue_per_degree: 0.012,
+            reference_temp_c: 14.0,
+            supplies: vec![SupplySource {
+                name: "grid".into(),
+                capacity_watts: nominal * 1.4,
+                cost_per_mwh: 170.0,
+            }],
+            weather: WeatherModel {
+                mean_c: 14.5,
+                seasonal_amplitude_c: 11.0,
+                diurnal_amplitude_c: 6.0,
+                noise_std_c: 1.5,
+                start_day_of_year: 170, // summer: MS3 active
+                seed: seed ^ 0xc1,
+            },
+        },
+        workload,
+        policy: PolicyKind::EasyBackfill,
+        power_budget_watts: None,
+        shutdown: None,
+        emergency: None,
+        limit_gate: Some(JobLimitGate {
+            normal_limit: 64,
+            hot_limit: 24,
+            hot_threshold_c: 28.0,
+        }),
+        layout_aware: false,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::PowerPrediction,
+                "Scalable power monitoring used to predict per-job power and generate predictive models for node power and temperature evolution (with University of Bologna)",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::PowerCapping,
+                "Developing EPA job scheduling support in SLURM together with E4; tracking BULL and SchedMD EPA SLURM work",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::JobLimiting,
+                "EPA job scheduling on the Eurora system (now decommissioned) using PBS Pro, collaboration with Altair — MS3: do less when it's too hot",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cineca_gates_on_heat() {
+        let c = config(1);
+        c.validate().unwrap();
+        let g = c.limit_gate.as_ref().unwrap();
+        assert!(g.hot_limit < g.normal_limit);
+        assert!(c
+            .capabilities
+            .iter()
+            .any(|x| x.mechanism == Mechanism::JobLimiting));
+    }
+}

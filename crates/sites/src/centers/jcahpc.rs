@@ -1,0 +1,127 @@
+//! JCAHPC (Kashiwa, Japan) — Oakforest-PACS.
+//!
+//! Joint Center for Advanced HPC, University of Tsukuba + University of
+//! Tokyo. Table II:
+//! - Research: activities to facilitate production development.
+//! - Production: power caps for groups of nodes via the resource manager
+//!   (Fujitsu proprietary); manual emergency response (admin sets a
+//!   power cap); post-job energy-use reports to users.
+//!
+//! Model: a KNL machine (Oakforest-PACS was the largest KNL system),
+//! group-level capping expressed as a power budget, a *manual* emergency
+//! policy (higher trigger, larger hysteresis — a human reacts late and
+//! conservatively), and user energy reports.
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_sched::emergency::EmergencyPolicy;
+use epa_simcore::time::SimTime;
+use epa_workload::generator::WorkloadParams;
+
+/// Builds the JCAHPC site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "Oakforest-PACS (scaled)".into(),
+        cabinets: 32,
+        nodes_per_cabinet: 16, // 512 nodes standing in for 8,208 KNL
+        node: NodeSpec::typical_knl(),
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: 2_500.0,
+    };
+    let nominal = system.nominal_watts();
+    let workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0x1ca);
+    SiteConfig {
+        meta: SiteMeta {
+            key: "jcahpc".into(),
+            name: "JCAHPC (U. Tsukuba + U. Tokyo)".into(),
+            country: "Japan".into(),
+            lat: 35.90,
+            lon: 139.94,
+            motivation: "Operate Japan's largest KNL system within contracted power; give users visibility into the energy their jobs consume".into(),
+            products: vec!["Fujitsu proprietary RM".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.3,
+            cooling_capacity_watts: nominal * 1.35,
+            base_pue: 1.25,
+            pue_per_degree: 0.011,
+            reference_temp_c: 15.0,
+            supplies: vec![SupplySource {
+                name: "grid".into(),
+                capacity_watts: nominal * 1.4,
+                cost_per_mwh: 125.0,
+            }],
+            weather: WeatherModel {
+                mean_c: 15.5,
+                seasonal_amplitude_c: 11.0,
+                diurnal_amplitude_c: 5.0,
+                noise_std_c: 1.5,
+                start_day_of_year: 150,
+                seed: seed ^ 0x1c,
+            },
+        },
+        workload,
+        policy: PolicyKind::EasyBackfill,
+        power_budget_watts: Some(nominal * 0.92), // group caps via the RM
+        shutdown: None,
+        emergency: Some(EmergencyPolicy {
+            // Manual response: triggers only at a clear breach and cuts
+            // deep so the admin doesn't have to act twice.
+            limit_watts: nominal * 1.02,
+            hysteresis_fraction: 0.12,
+            window: None,
+            // A human responds, then watches for a while before allowing
+            // new starts.
+            start_cooldown: epa_simcore::time::SimDuration::from_mins(30.0),
+            victim_order: epa_sched::emergency::VictimOrder::Youngest,
+        }),
+        limit_gate: None,
+        layout_aware: false,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::Monitoring,
+                "Activities to facilitate production development",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::PowerCapping,
+                "Ability to set power caps for groups of nodes via the resource manager (Fujitsu proprietary product)",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::EmergencyResponse,
+                "Manual emergency response: admin sets power cap",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::UserReporting,
+                "Delivering post-job energy use reports to users",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jcahpc_manual_emergency_is_conservative() {
+        let c = config(1);
+        c.validate().unwrap();
+        let e = c.emergency.as_ref().unwrap();
+        assert!(e.hysteresis_fraction > 0.1, "manual = deep cut");
+        assert!(c
+            .capabilities
+            .iter()
+            .any(|x| x.mechanism == Mechanism::UserReporting && x.stage == Stage::Production));
+    }
+}

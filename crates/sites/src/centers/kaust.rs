@@ -1,0 +1,143 @@
+//! KAUST (Thuwal, Saudi Arabia) — Shaheen II, Cray XC40.
+//!
+//! Table I:
+//! - Research: monitoring and managing power under data-center power and
+//!   cooling limits.
+//! - Tech development: detecting power-hungry applications; optimal
+//!   power-limit strategy for users.
+//! - Production: static CAPMC power capping — 30% of nodes uncapped, 70%
+//!   capped at 270 W; SLURM Dynamic Power Management (SDPM) interfacing
+//!   with CAPMC (developed with SchedMD).
+//!
+//! Model: dragonfly XC40, hot desert climate (high PUE sensitivity),
+//! power-aware policy under a budget reflecting the 70/30 static cap mix.
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::{CpuSpec, NodeSpec};
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_simcore::time::SimTime;
+use epa_workload::generator::WorkloadParams;
+
+/// The production cap KAUST programs on 70% of Shaheen's nodes, watts.
+pub const KAUST_NODE_CAP_WATTS: f64 = 270.0;
+
+/// Fraction of nodes carrying the static cap.
+pub const KAUST_CAPPED_FRACTION: f64 = 0.7;
+
+/// Builds the KAUST site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "Shaheen II (scaled)".into(),
+        cabinets: 36,
+        nodes_per_cabinet: 16, // 576 nodes standing in for 6,174
+        node: NodeSpec {
+            cpu: CpuSpec {
+                cores: 32,
+                min_freq_ghz: 1.2,
+                base_freq_ghz: 2.3,
+                max_freq_ghz: 2.9,
+                freq_steps: 16,
+            },
+            memory_gib: 128,
+            idle_watts: 95.0,
+            nominal_watts: 320.0,
+            peak_watts: 425.0,
+            off_watts: 9.0,
+        },
+        topology: Topology::Dragonfly {
+            nodes_per_router: 4,
+            routers_per_group: 16,
+        },
+        peak_tflops: 720.0,
+    };
+    let n = f64::from(system.total_nodes());
+    // Effective budget implied by the 70/30 static cap policy:
+    // 70% at 270 W + 30% at nominal.
+    let budget = n
+        * (KAUST_CAPPED_FRACTION * KAUST_NODE_CAP_WATTS
+            + (1.0 - KAUST_CAPPED_FRACTION) * system.node.nominal_watts);
+    let nominal = system.nominal_watts();
+    let workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0x5a0d1);
+    SiteConfig {
+        meta: SiteMeta {
+            key: "kaust".into(),
+            name: "KAUST Supercomputing Laboratory".into(),
+            country: "Saudi Arabia".into(),
+            lat: 22.31,
+            lon: 39.10,
+            motivation: "Operate within fixed data-center power and cooling limits in a hot climate; keep Shaheen and legacy systems inside one envelope".into(),
+            products: vec!["SLURM (SDPM, with SchedMD)".into(), "Cray CAPMC".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.25,
+            cooling_capacity_watts: nominal * 1.25,
+            base_pue: 1.4,
+            pue_per_degree: 0.015, // desert: cooling very temperature-sensitive
+            reference_temp_c: 28.0,
+            supplies: vec![SupplySource {
+                name: "grid".into(),
+                capacity_watts: nominal * 1.5,
+                cost_per_mwh: 50.0,
+            }],
+            weather: WeatherModel {
+                mean_c: 29.0,
+                seasonal_amplitude_c: 7.0,
+                diurnal_amplitude_c: 7.0,
+                noise_std_c: 1.0,
+                start_day_of_year: 100,
+                seed: seed ^ 0x5a,
+            },
+        },
+        workload,
+        policy: PolicyKind::PowerAware { dvfs_fitting: false },
+        power_budget_watts: Some(budget),
+        shutdown: None,
+        emergency: None,
+        limit_gate: None,
+        layout_aware: false,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::Monitoring,
+                "Monitoring and managing power usage under data center power and cooling limits",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::PowerPrediction,
+                "Analyzing and detecting most power hungry applications in production; developing optimal power limit constraint strategy for users",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::PowerCapping,
+                "Static power capping via Cray CAPMC: 30% of nodes uncapped, 70% capped at 270 W",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::PowerCapping,
+                "SLURM Dynamic Power Management (SDPM) interfacing with Cray CAPMC (developed with SchedMD)",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kaust_budget_reflects_static_cap_mix() {
+        let c = config(1);
+        c.validate().unwrap();
+        let n = f64::from(c.system.total_nodes());
+        let expect = n * (0.7 * 270.0 + 0.3 * 320.0);
+        assert!((c.power_budget_watts.unwrap() - expect).abs() < 1e-6);
+        // The budget is a real constraint: below uncapped nominal.
+        assert!(c.power_budget_watts.unwrap() < c.system.nominal_watts());
+    }
+}

@@ -1,0 +1,128 @@
+//! LRZ (Garching, Germany) — SuperMUC.
+//!
+//! Table I:
+//! - Research: merging SLURM and GEOPM; scheduling for power instead of
+//!   energy; linking the scheduler with IT infrastructure + cooling
+//!   (delay jobs when the infrastructure is inefficient).
+//! - Tech development: energy-aware scheduling in SLURM, like today's
+//!   LoadLeveler capability.
+//! - Production: first run of a new app characterized for frequency,
+//!   runtime, and energy; administrator selects the goal — energy to
+//!   solution or best performance; energy-aware LoadLeveler (with IBM),
+//!   ported to LSF.
+//!
+//! Model: the canonical energy-aware site — [`PolicyKind::EnergyAware`]
+//! with the energy-to-solution goal; tag-history characterization is the
+//! engine's prediction store. European energy prices make the motivation
+//! (Q1 = cost) concrete: LRZ's electricity is the most expensive in the
+//! survey cohort.
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_simcore::time::SimTime;
+use epa_workload::generator::WorkloadParams;
+
+/// Builds the LRZ site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "SuperMUC (scaled)".into(),
+        cabinets: 28,
+        nodes_per_cabinet: 16, // 448 nodes standing in for 9,216
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: 3200.0,
+    };
+    let nominal = system.nominal_watts();
+    let workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0x142);
+    SiteConfig {
+        meta: SiteMeta {
+            key: "lrz".into(),
+            name: "Leibniz Supercomputing Centre".into(),
+            country: "Germany".into(),
+            lat: 48.26,
+            lon: 11.67,
+            motivation: "Minimize energy-to-solution: German electricity prices make energy the dominant operating cost; warm-water cooling and energy budgets in procurement".into(),
+            products: vec!["IBM LoadLeveler (energy-aware)".into(), "LSF".into(), "SLURM (planned)".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.3,
+            cooling_capacity_watts: nominal * 1.4,
+            base_pue: 1.15, // warm-water cooling
+            pue_per_degree: 0.006,
+            reference_temp_c: 10.0,
+            supplies: vec![SupplySource {
+                name: "grid".into(),
+                capacity_watts: nominal * 1.4,
+                cost_per_mwh: 180.0, // the survey cohort's highest
+            }],
+            weather: WeatherModel {
+                mean_c: 9.5,
+                seasonal_amplitude_c: 9.5,
+                diurnal_amplitude_c: 5.0,
+                noise_std_c: 2.0,
+                start_day_of_year: 60,
+                seed: seed ^ 0x14,
+            },
+        },
+        workload,
+        policy: PolicyKind::EnergyAware { energy_goal: true },
+        power_budget_watts: None,
+        shutdown: None,
+        emergency: None,
+        limit_gate: None,
+        layout_aware: false,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::EnergyAwareFrequency,
+                "Investigating merging SLURM and GEOPM for system energy & power control; scheduling for power instead of energy",
+            ),
+            Capability::new(
+                Stage::Research,
+                Mechanism::FacilityIntegration,
+                "Linking job scheduler with IT infrastructure + cooling; scheduler may delay jobs when infrastructure is inefficient",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::EnergyAwareFrequency,
+                "Adding energy-aware scheduling capabilities to SLURM, similar to LoadLeveler today",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::PowerPrediction,
+                "First time a new app runs it is characterized for frequency, runtime and energy",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::EnergyAwareFrequency,
+                "Administrator selects scheduling goal: energy to solution or best performance (LoadLeveler with IBM, ported to LSF)",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lrz_runs_energy_goal() {
+        let c = config(1);
+        c.validate().unwrap();
+        assert!(matches!(
+            c.policy,
+            PolicyKind::EnergyAware { energy_goal: true }
+        ));
+        assert!(
+            c.facility.supplies[0].cost_per_mwh > 150.0,
+            "expensive power is the motivation"
+        );
+    }
+}

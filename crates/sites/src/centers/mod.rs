@@ -1,0 +1,11 @@
+//! The nine surveyed centers, in the survey's §III listing order.
+
+pub mod cea;
+pub mod cineca;
+pub mod jcahpc;
+pub mod kaust;
+pub mod lrz;
+pub mod riken;
+pub mod stfc;
+pub mod tokyo_tech;
+pub mod trinity;

@@ -1,0 +1,146 @@
+//! RIKEN (Kobe, Japan) — the K computer.
+//!
+//! Table I:
+//! - Research: integrating job-scheduler info with the grid vs. gas
+//!   turbine supply decision.
+//! - Tech development: power-aware job scheduling for Post-K with Fujitsu.
+//! - Production: 3 days for large jobs each month; automated emergency
+//!   job killing if the power limit is exceeded; pre-run power estimates
+//!   based on temperature.
+//!
+//! Model: a torus machine (Tofu is 6-D; we use the 3-D model),
+//! capability-heavy workload, dual supply (grid + gas co-generation),
+//! emergency policy armed, temperature-scaled prediction.
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_sched::emergency::EmergencyPolicy;
+use epa_simcore::time::SimTime;
+use epa_workload::distributions::SizeDistribution;
+use epa_workload::generator::WorkloadParams;
+
+/// Builds the RIKEN site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "K computer (scaled)".into(),
+        cabinets: 32,
+        nodes_per_cabinet: 16, // 512 nodes standing in for 82,944
+        node: NodeSpec {
+            // SPARC64 VIIIfx-flavoured envelope: low peak, narrow range.
+            cpu: epa_cluster::node::CpuSpec {
+                cores: 8,
+                min_freq_ghz: 1.6,
+                base_freq_ghz: 2.0,
+                max_freq_ghz: 2.0,
+                freq_steps: 4,
+            },
+            memory_gib: 16,
+            idle_watts: 60.0,
+            nominal_watts: 110.0,
+            peak_watts: 130.0,
+            off_watts: 5.0,
+        },
+        topology: Topology::Torus3D { dims: (8, 8, 8) },
+        peak_tflops: 1000.0,
+    };
+    let idle_floor = system.idle_watts();
+    let nominal = system.nominal_watts();
+    let mut workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0x117ce1);
+    workload.sizes = SizeDistribution::capability(system.total_nodes());
+    SiteConfig {
+        meta: SiteMeta {
+            key: "riken".into(),
+            name: "RIKEN AICS".into(),
+            country: "Japan".into(),
+            lat: 34.65,
+            lon: 135.22,
+            motivation: "Stay under the facility power contract while maximizing capability throughput; exploit on-site gas co-generation".into(),
+            products: vec!["Fujitsu proprietary scheduler".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.4,
+            cooling_capacity_watts: nominal * 1.6,
+            base_pue: 1.3,
+            pue_per_degree: 0.01,
+            reference_temp_c: 16.0,
+            supplies: vec![
+                SupplySource {
+                    name: "gas-turbine".into(),
+                    capacity_watts: nominal * 0.8,
+                    cost_per_mwh: 70.0,
+                },
+                SupplySource {
+                    name: "grid".into(),
+                    capacity_watts: nominal,
+                    cost_per_mwh: 120.0,
+                },
+            ],
+            weather: WeatherModel {
+                mean_c: 16.5,
+                seasonal_amplitude_c: 11.0,
+                diurnal_amplitude_c: 4.0,
+                noise_std_c: 1.5,
+                start_day_of_year: 150,
+                seed: seed ^ 0x57ea,
+            },
+        },
+        workload,
+        policy: PolicyKind::EasyBackfill,
+        power_budget_watts: Some((nominal * 0.95).max(idle_floor * 1.2)),
+        shutdown: None,
+        emergency: Some(EmergencyPolicy::new(nominal * 0.98)),
+        limit_gate: None,
+        layout_aware: false,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::FacilityIntegration,
+                "Integrating job scheduler info with decision to use grid vs. gas turbine energy",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::PowerCapping,
+                "Power-aware job scheduling for Post-K, with Fujitsu",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::EmergencyResponse,
+                "Automated emergency job killing if power limit exceeded",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::PowerPrediction,
+                "Pre-run estimate of power usage of each job, based on temperature",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::FacilityIntegration,
+                "3 days for large jobs each month",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn riken_validates_and_has_dual_supply() {
+        let c = config(1);
+        c.validate().unwrap();
+        assert_eq!(c.facility.supplies.len(), 2);
+        assert!(c.emergency.is_some());
+        assert!(c
+            .capabilities
+            .iter()
+            .any(|x| x.mechanism == Mechanism::EmergencyResponse));
+    }
+}

@@ -1,0 +1,122 @@
+//! STFC Hartree Centre (Daresbury, United Kingdom).
+//!
+//! Table II:
+//! - Research: IBM/LSF energy-aware scheduling on a small (360-node)
+//!   system; PowerAPI-based interface for application power measurement;
+//!   power-aware policies via GEOPM + job scheduler.
+//! - Tech development: user power-consumption reporting at the job level.
+//! - Production: continuous power/energy monitoring at data-center,
+//!   machine, and job levels.
+//!
+//! Model: the survey's smallest system (360 nodes, kept at true scale);
+//! energy-aware policy in its experimental configuration; monitoring is
+//! the production capability.
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_simcore::time::SimTime;
+use epa_workload::generator::WorkloadParams;
+
+/// Builds the STFC site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "Hartree cluster".into(),
+        cabinets: 20,
+        nodes_per_cabinet: 18, // exactly the 360 nodes Table II reports
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 18 },
+        peak_tflops: 250.0,
+    };
+    let nominal = system.nominal_watts();
+    let mut workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0x57fc);
+    // A research-leaning centre: smaller, shorter jobs.
+    workload.runtimes.median = epa_simcore::time::SimDuration::from_mins(40.0);
+    SiteConfig {
+        meta: SiteMeta {
+            key: "stfc".into(),
+            name: "STFC Hartree Centre".into(),
+            country: "United Kingdom".into(),
+            lat: 53.34,
+            lon: -2.64,
+            motivation: "Industrial-facing energy-efficiency research: quantify and bill the energy each job consumes, at every level of the stack".into(),
+            products: vec!["IBM LSF (energy-aware)".into(), "PowerAPI".into(), "GEOPM".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.4,
+            cooling_capacity_watts: nominal * 1.5,
+            base_pue: 1.3,
+            pue_per_degree: 0.007,
+            reference_temp_c: 10.0,
+            supplies: vec![SupplySource {
+                name: "grid".into(),
+                capacity_watts: nominal * 1.5,
+                cost_per_mwh: 160.0,
+            }],
+            weather: WeatherModel {
+                mean_c: 10.0,
+                seasonal_amplitude_c: 6.5,
+                diurnal_amplitude_c: 4.0,
+                noise_std_c: 2.2,
+                start_day_of_year: 60,
+                seed: seed ^ 0x57,
+            },
+        },
+        workload,
+        policy: PolicyKind::EnergyAware { energy_goal: true },
+        power_budget_watts: None,
+        shutdown: None,
+        emergency: None,
+        limit_gate: None,
+        layout_aware: false,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::EnergyAwareFrequency,
+                "IBM/LSF energy-aware scheduling experimented with on a small-scale (360 node) system",
+            ),
+            Capability::new(
+                Stage::Research,
+                Mechanism::Monitoring,
+                "Programmable PowerAPI-based interface for application power measurements of code segments (with interface to JSRM)",
+            ),
+            Capability::new(
+                Stage::Research,
+                Mechanism::EnergyAwareFrequency,
+                "Investigation of power-aware policies using higher-level abstractions, e.g. GEOPM and the job scheduler",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::UserReporting,
+                "Deployment of a reporting tool for user power consumption at the job level (fine and coarse granularity)",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::Monitoring,
+                "Continuously collecting power and energy monitoring info at data center, machine, and job levels",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stfc_is_360_nodes() {
+        let c = config(1);
+        c.validate().unwrap();
+        assert_eq!(c.system.total_nodes(), 360);
+        assert!(c
+            .capabilities
+            .iter()
+            .any(|x| x.mechanism == Mechanism::Monitoring && x.stage == Stage::Production));
+    }
+}

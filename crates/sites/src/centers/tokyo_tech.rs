@@ -1,0 +1,147 @@
+//! Tokyo Institute of Technology (Tokyo, Japan) — TSUBAME.
+//!
+//! Table I:
+//! - Tech development: inter-system power capping (TSUBAME2 + TSUBAME3
+//!   share the facility budget).
+//! - Production: RM dynamically boots/shuts down nodes to stay under the
+//!   power cap (summer only, ~30 min window), cooperating with PBS Pro
+//!   (NEC implemented); shuts down long-idle nodes; VM splitting
+//!   (complicates shutdown); user efficiency marks; post-job energy
+//!   reports.
+//!
+//! Model: GPU-dense fat-tree machine, capacity workload, summer-seasonal
+//! shutdown policy with a boot/shutdown cost, power budget, user reports
+//! rendered by the runner.
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::{CpuSpec, NodeSpec};
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_sched::shutdown::ShutdownPolicy;
+use epa_simcore::time::{SimDuration, SimTime};
+use epa_workload::generator::WorkloadParams;
+
+/// Builds the Tokyo Tech site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "TSUBAME3 (scaled)".into(),
+        cabinets: 18,
+        nodes_per_cabinet: 16, // 288 nodes standing in for 540 GPU nodes
+        node: NodeSpec {
+            cpu: CpuSpec {
+                cores: 28,
+                min_freq_ghz: 1.2,
+                base_freq_ghz: 2.4,
+                max_freq_ghz: 3.0,
+                freq_steps: 12,
+            },
+            memory_gib: 256,
+            idle_watts: 160.0, // GPUs idle hot
+            nominal_watts: 900.0,
+            peak_watts: 1200.0,
+            off_watts: 12.0,
+        },
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: 12_000.0,
+    };
+    let nominal = system.nominal_watts();
+    let workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0x70c10);
+    SiteConfig {
+        meta: SiteMeta {
+            key: "tokyo-tech".into(),
+            name: "Tokyo Institute of Technology (GSIC)".into(),
+            country: "Japan".into(),
+            lat: 35.60,
+            lon: 139.68,
+            motivation: "Stay under the campus power cap through Japan's post-2011 summer power constraints; share budget across TSUBAME generations".into(),
+            products: vec!["PBS Professional".into(), "NEC custom RM".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.2,
+            cooling_capacity_watts: nominal * 1.3,
+            base_pue: 1.2,
+            pue_per_degree: 0.012,
+            reference_temp_c: 16.0,
+            supplies: vec![SupplySource {
+                name: "grid".into(),
+                capacity_watts: nominal * 1.3,
+                cost_per_mwh: 130.0,
+            }],
+            weather: WeatherModel {
+                mean_c: 16.0,
+                seasonal_amplitude_c: 11.5,
+                diurnal_amplitude_c: 5.0,
+                noise_std_c: 1.5,
+                start_day_of_year: 170, // start in summer: policy active
+                seed: seed ^ 0x70,
+            },
+        },
+        workload,
+        policy: PolicyKind::EasyBackfill,
+        power_budget_watts: Some(nominal * 0.8),
+        shutdown: Some(ShutdownPolicy {
+            idle_threshold: SimDuration::from_mins(20.0),
+            shutdown_time: SimDuration::from_mins(3.0),
+            boot_time: SimDuration::from_mins(8.0),
+            min_idle_reserve: 4,
+            season: Some((152, 244)), // summer only
+        }),
+        emergency: None,
+        limit_gate: None,
+        layout_aware: false,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::Monitoring,
+                "Activities to facilitate production development; analyze archived power/energy info for EPA scheduling",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::InterSystemSharing,
+                "Inter-system power capping: TSUBAME2 and TSUBAME3 share the facility power budget",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::UserReporting,
+                "Gives users mark on how well they used power and energy",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::NodeShutdown,
+                "RM dynamically boots/shuts down nodes to stay under power cap (summer only, ~30 min window); shuts down long-idle nodes",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::UserReporting,
+                "Energy use provided to users at end of every job",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::TopologyAware,
+                "Uses virtual machines to split compute nodes (complicates physical node shutdown)",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokyo_tech_has_summer_shutdown() {
+        let c = config(1);
+        c.validate().unwrap();
+        let sd = c.shutdown.as_ref().unwrap();
+        assert_eq!(sd.season, Some((152, 244)));
+        assert!(c
+            .capabilities
+            .iter()
+            .any(|x| x.mechanism == Mechanism::NodeShutdown && x.stage == Stage::Production));
+    }
+}

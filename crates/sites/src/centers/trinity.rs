@@ -1,0 +1,120 @@
+//! Trinity — LANL + Sandia (Los Alamos, United States), Cray XC40.
+//!
+//! Table II:
+//! - Research: analyzing power monitoring info to assess EPA scheduling
+//!   potential; gathering traces for evaluating EPA approaches.
+//! - Tech development: EPA job scheduling for MOAB/Torque with Adaptive
+//!   (interfacing CAPMC and Power API); Power API implementation with
+//!   Cray. Trinity now runs SLURM; the MOAB work remains available.
+//! - Production: Cray CAPMC power-capping infrastructure, out-of-band
+//!   control, admin-settable system-wide and node-level caps.
+//!
+//! Model: a large dragonfly XC machine (Haswell + KNL partitions — we
+//! use the KNL node envelope for the larger partition), power-aware
+//! policy with an administrator system cap.
+
+use crate::config::{PolicyKind, SiteConfig, SiteMeta};
+use crate::taxonomy::{Capability, Mechanism, Stage};
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::SystemSpec;
+use epa_cluster::topology::Topology;
+use epa_power::facility::{FacilityConfig, SupplySource, WeatherModel};
+use epa_simcore::time::SimTime;
+use epa_workload::distributions::SizeDistribution;
+use epa_workload::generator::WorkloadParams;
+
+/// Builds the Trinity site model.
+#[must_use]
+pub fn config(seed: u64) -> SiteConfig {
+    let system = SystemSpec {
+        name: "Trinity KNL partition (scaled)".into(),
+        cabinets: 48,
+        nodes_per_cabinet: 16, // 768 nodes standing in for ~9,900 KNL
+        node: NodeSpec::typical_knl(),
+        topology: Topology::Dragonfly {
+            nodes_per_router: 4,
+            routers_per_group: 16,
+        },
+        peak_tflops: 11_000.0,
+    };
+    let nominal = system.nominal_watts();
+    let mut workload = WorkloadParams::typical(system.total_nodes(), seed ^ 0x717);
+    // NNSA capability mission: large jobs dominate.
+    workload.sizes = SizeDistribution::capability(system.total_nodes());
+    SiteConfig {
+        meta: SiteMeta {
+            key: "trinity".into(),
+            name: "Trinity (LANL + Sandia, ACES)".into(),
+            country: "United States".into(),
+            lat: 35.88,
+            lon: -106.30,
+            motivation: "Prepare for power-limited exascale procurement: understand and control a ~10 MW machine's draw under facility limits".into(),
+            products: vec!["SLURM".into(), "MOAB/Torque (Adaptive)".into(), "Cray CAPMC".into(), "Power API".into()],
+        },
+        system,
+        facility: FacilityConfig {
+            site_budget_watts: nominal * 1.25,
+            cooling_capacity_watts: nominal * 1.35,
+            base_pue: 1.25,
+            pue_per_degree: 0.009,
+            reference_temp_c: 12.0, // high desert
+            supplies: vec![SupplySource {
+                name: "grid".into(),
+                capacity_watts: nominal * 1.4,
+                cost_per_mwh: 65.0,
+            }],
+            weather: WeatherModel {
+                mean_c: 11.0,
+                seasonal_amplitude_c: 10.0,
+                diurnal_amplitude_c: 9.0, // high-desert diurnal swing
+                noise_std_c: 1.5,
+                start_day_of_year: 100,
+                seed: seed ^ 0x71,
+            },
+        },
+        workload,
+        policy: PolicyKind::PowerAware { dvfs_fitting: false },
+        power_budget_watts: Some(nominal * 0.9), // admin system-wide cap
+        shutdown: None,
+        emergency: None,
+        limit_gate: None,
+        layout_aware: false,
+        horizon: SimTime::from_days(7.0),
+        capabilities: vec![
+            Capability::new(
+                Stage::Research,
+                Mechanism::Monitoring,
+                "Analyzing power monitoring info to assess potential of EPA scheduling; gathering traces for evaluating EPA approaches",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::PowerCapping,
+                "EPA job scheduling developed with Adaptive for MOAB/Torque, interfacing Cray CAPMC and Power API (Trinity now on SLURM; MOAB work remains available)",
+            ),
+            Capability::new(
+                Stage::TechDevelopment,
+                Mechanism::Monitoring,
+                "Developed Power API implementation with Cray, utilized by MOAB/Torque for EPA job scheduling",
+            ),
+            Capability::new(
+                Stage::Production,
+                Mechanism::PowerCapping,
+                "Cray CAPMC power capping infrastructure: out-of-band control, admin-settable system-wide and node-level caps (all Cray XC systems)",
+            ),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trinity_has_admin_cap_and_knl_nodes() {
+        let c = config(1);
+        c.validate().unwrap();
+        assert!(c.power_budget_watts.is_some());
+        assert_eq!(c.system.node.cpu.cores, 68);
+        assert!(c.meta.lon < -100.0, "US site");
+    }
+}

@@ -1,0 +1,170 @@
+//! Site configuration: everything a site model declares.
+
+use crate::taxonomy::Capability;
+use epa_cluster::system::SystemSpec;
+use epa_power::facility::FacilityConfig;
+use epa_sched::emergency::EmergencyPolicy;
+use epa_sched::limiting::JobLimitGate;
+use epa_sched::shutdown::ShutdownPolicy;
+use epa_simcore::time::SimTime;
+use epa_workload::generator::WorkloadParams;
+use serde::{Deserialize, Serialize};
+
+/// Which scheduling policy family the site runs in production.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Plain FCFS.
+    Fcfs,
+    /// EASY backfilling, no power logic.
+    EasyBackfill,
+    /// Power-aware backfilling with budget admission (+ optional DVFS).
+    PowerAware {
+        /// Lower frequencies to fit the budget.
+        dvfs_fitting: bool,
+    },
+    /// Energy-aware frequency selection.
+    EnergyAware {
+        /// True = energy-to-solution goal, false = performance goal.
+        energy_goal: bool,
+    },
+    /// Moldable over-provisioning under a budget.
+    Overprovision,
+}
+
+/// Descriptive metadata (Q2 context + Figure 2 geography).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SiteMeta {
+    /// Stable key ("riken", "kaust", …).
+    pub key: String,
+    /// Display name.
+    pub name: String,
+    /// Country.
+    pub country: String,
+    /// Latitude, degrees north.
+    pub lat: f64,
+    /// Longitude, degrees east.
+    pub lon: f64,
+    /// Q1 motivation summary (one line).
+    pub motivation: String,
+    /// Vendor / product context (Q5b): the JSRM products involved.
+    pub products: Vec<String>,
+}
+
+/// A full site model.
+#[derive(Debug, Clone)]
+pub struct SiteConfig {
+    /// Metadata.
+    pub meta: SiteMeta,
+    /// The machine (scaled ~10× down from the real system).
+    pub system: SystemSpec,
+    /// The facility.
+    pub facility: FacilityConfig,
+    /// The workload.
+    pub workload: WorkloadParams,
+    /// Production scheduling policy.
+    pub policy: PolicyKind,
+    /// IT power budget for admission, if the site runs one.
+    pub power_budget_watts: Option<f64>,
+    /// Idle-shutdown policy, if deployed.
+    pub shutdown: Option<ShutdownPolicy>,
+    /// Emergency response, if deployed.
+    pub emergency: Option<EmergencyPolicy>,
+    /// Job-limiting gate, if deployed.
+    pub limit_gate: Option<JobLimitGate>,
+    /// Whether the site runs layout-aware scheduling (CEA).
+    pub layout_aware: bool,
+    /// Simulated span for the site run.
+    pub horizon: SimTime,
+    /// Tables I/II capability rows.
+    pub capabilities: Vec<Capability>,
+}
+
+impl SiteConfig {
+    /// Validates the configuration end to end.
+    pub fn validate(&self) -> Result<(), String> {
+        self.system.validate()?;
+        self.facility.validate().map_err(|e| e.to_string())?;
+        if self.capabilities.is_empty() {
+            return Err("site must declare at least one capability".into());
+        }
+        if let Some(b) = self.power_budget_watts {
+            if b <= 0.0 {
+                return Err("power budget must be positive".into());
+            }
+            if b < self.system.idle_watts() {
+                return Err(format!(
+                    "budget {} W below idle floor {} W — nothing could ever run",
+                    b,
+                    self.system.idle_watts()
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::taxonomy::{Mechanism, Stage};
+    use epa_cluster::node::NodeSpec;
+    use epa_cluster::topology::Topology;
+
+    fn minimal() -> SiteConfig {
+        SiteConfig {
+            meta: SiteMeta {
+                key: "x".into(),
+                name: "X".into(),
+                country: "Y".into(),
+                lat: 0.0,
+                lon: 0.0,
+                motivation: "test".into(),
+                products: vec![],
+            },
+            system: SystemSpec {
+                name: "sys".into(),
+                cabinets: 2,
+                nodes_per_cabinet: 8,
+                node: NodeSpec::typical_xeon(),
+                topology: Topology::FatTree { arity: 8 },
+                peak_tflops: 1.0,
+            },
+            facility: epa_power::facility::FacilityConfig::simple(1e6),
+            workload: epa_workload::generator::WorkloadParams::typical(16, 1),
+            policy: PolicyKind::EasyBackfill,
+            power_budget_watts: None,
+            shutdown: None,
+            emergency: None,
+            limit_gate: None,
+            layout_aware: false,
+            horizon: SimTime::from_days(1.0),
+            capabilities: vec![Capability::new(
+                Stage::Production,
+                Mechanism::Monitoring,
+                "test",
+            )],
+        }
+    }
+
+    #[test]
+    fn minimal_validates() {
+        minimal().validate().unwrap();
+    }
+
+    #[test]
+    fn empty_capabilities_rejected() {
+        let mut c = minimal();
+        c.capabilities.clear();
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn budget_below_idle_floor_rejected() {
+        let mut c = minimal();
+        // 16 nodes × 90 W idle = 1440 W floor.
+        c.power_budget_watts = Some(1000.0);
+        assert!(c.validate().is_err());
+        c.power_budget_watts = Some(5000.0);
+        assert!(c.validate().is_ok());
+    }
+}

@@ -1,0 +1,101 @@
+//! # epa-sites — models of the nine surveyed HPC centers
+//!
+//! One module per center interviewed by the EE HPC WG EPA JSRM team
+//! (survey §III): RIKEN, Tokyo Tech, CEA, KAUST, LRZ, STFC, Trinity
+//! (LANL+Sandia), CINECA, and JCAHPC. Each site model wires the machine,
+//! facility, workload, and the exact EPA JSRM capabilities its Tables
+//! I/II row reports, at a scale reduced ~10× so a full site-week
+//! simulates in seconds.
+//!
+//! [`taxonomy`] holds the capability taxonomy (Research / Technology
+//! Development / Production × mechanism) that the survey's Tables I and
+//! II are organized around; [`runner`] executes a [`SiteConfig`] and
+//! produces the [`runner::SiteReport`] the `epa-core` survey engine
+//! consumes.
+
+pub mod centers;
+pub mod config;
+pub mod runner;
+pub mod taxonomy;
+
+pub use config::{SiteConfig, SiteMeta};
+pub use runner::{run_site, SiteReport};
+pub use taxonomy::{Capability, Mechanism, Stage};
+
+/// All nine surveyed sites, in the survey's listing order.
+#[must_use]
+pub fn all_sites(seed: u64) -> Vec<SiteConfig> {
+    vec![
+        centers::riken::config(seed),
+        centers::tokyo_tech::config(seed),
+        centers::cea::config(seed),
+        centers::kaust::config(seed),
+        centers::lrz::config(seed),
+        centers::stfc::config(seed),
+        centers::trinity::config(seed),
+        centers::cineca::config(seed),
+        centers::jcahpc::config(seed),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nine_sites_in_survey_order() {
+        let sites = all_sites(1);
+        assert_eq!(sites.len(), 9);
+        let names: Vec<&str> = sites.iter().map(|s| s.meta.key.as_str()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "riken",
+                "tokyo-tech",
+                "cea",
+                "kaust",
+                "lrz",
+                "stfc",
+                "trinity",
+                "cineca",
+                "jcahpc"
+            ]
+        );
+    }
+
+    #[test]
+    fn all_sites_validate() {
+        for site in all_sites(1) {
+            site.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", site.meta.key));
+        }
+    }
+
+    #[test]
+    fn geography_spans_three_regions() {
+        let sites = all_sites(1);
+        let asia = sites.iter().filter(|s| s.meta.lon > 60.0).count();
+        let europe = sites
+            .iter()
+            .filter(|s| s.meta.lon > -20.0 && s.meta.lon < 60.0)
+            .count();
+        let america = sites.iter().filter(|s| s.meta.lon < -60.0).count();
+        assert!(asia >= 3, "Japan ×3 + KAUST");
+        assert!(europe >= 4, "CEA, LRZ, STFC, CINECA");
+        assert_eq!(america, 1, "Trinity");
+    }
+
+    #[test]
+    fn every_site_has_production_capability() {
+        // §V: "all sites have some type of production deployment".
+        for site in all_sites(1) {
+            assert!(
+                site.capabilities
+                    .iter()
+                    .any(|c| c.stage == Stage::Production),
+                "{} lacks production capability",
+                site.meta.key
+            );
+        }
+    }
+}

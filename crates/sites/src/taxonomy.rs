@@ -1,0 +1,171 @@
+//! The capability taxonomy behind Tables I and II.
+//!
+//! The survey organizes every center's answers into three *stages* —
+//! Research Activities, Technology Development with Intent to Deploy, and
+//! Production Development — crossed with the *mechanism* the capability
+//! uses. [`Mechanism`] enumerates every distinct technique appearing in
+//! Tables I/II; each site declares its capabilities as
+//! (stage, mechanism, description) triples, and the survey engine builds
+//! the cross-site analysis from them.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Deployment stage of a capability (the three Table I/II columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Exploratory research activity.
+    Research,
+    /// Technology development with intent to deploy.
+    TechDevelopment,
+    /// Deployed in production.
+    Production,
+}
+
+impl Stage {
+    /// All stages in table-column order.
+    pub const ALL: [Stage; 3] = [Stage::Research, Stage::TechDevelopment, Stage::Production];
+
+    /// Column header used in the table renderers.
+    #[must_use]
+    pub fn header(self) -> &'static str {
+        match self {
+            Stage::Research => "Research Activities",
+            Stage::TechDevelopment => "Technology Development with Intent to Deploy",
+            Stage::Production => "Production Development",
+        }
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.header())
+    }
+}
+
+/// The EPA JSRM mechanisms appearing across Tables I and II.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Mechanism {
+    /// Static or dynamic hardware power capping (CAPMC, RAPL, Fujitsu).
+    PowerCapping,
+    /// DVFS / frequency selection for energy goals.
+    EnergyAwareFrequency,
+    /// Idle or demand-driven node shutdown and boot.
+    NodeShutdown,
+    /// Automated or manual emergency power response (job killing).
+    EmergencyResponse,
+    /// Power/energy prediction of jobs before execution.
+    PowerPrediction,
+    /// Scheduling informed by facility state (supply, cooling, layout).
+    FacilityIntegration,
+    /// Budget sharing between systems.
+    InterSystemSharing,
+    /// Limiting concurrent jobs under power/thermal stress.
+    JobLimiting,
+    /// Per-job energy reporting / user feedback (marks).
+    UserReporting,
+    /// System-wide power/energy monitoring infrastructure.
+    Monitoring,
+    /// Moldable jobs / over-provisioning under a budget.
+    Overprovisioning,
+    /// Topology-aware or application-aware placement (Q6).
+    TopologyAware,
+}
+
+impl Mechanism {
+    /// All mechanisms, stable order for reports.
+    pub const ALL: [Mechanism; 12] = [
+        Mechanism::PowerCapping,
+        Mechanism::EnergyAwareFrequency,
+        Mechanism::NodeShutdown,
+        Mechanism::EmergencyResponse,
+        Mechanism::PowerPrediction,
+        Mechanism::FacilityIntegration,
+        Mechanism::InterSystemSharing,
+        Mechanism::JobLimiting,
+        Mechanism::UserReporting,
+        Mechanism::Monitoring,
+        Mechanism::Overprovisioning,
+        Mechanism::TopologyAware,
+    ];
+
+    /// Short label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Mechanism::PowerCapping => "power-capping",
+            Mechanism::EnergyAwareFrequency => "energy-aware-frequency",
+            Mechanism::NodeShutdown => "node-shutdown",
+            Mechanism::EmergencyResponse => "emergency-response",
+            Mechanism::PowerPrediction => "power-prediction",
+            Mechanism::FacilityIntegration => "facility-integration",
+            Mechanism::InterSystemSharing => "inter-system-sharing",
+            Mechanism::JobLimiting => "job-limiting",
+            Mechanism::UserReporting => "user-reporting",
+            Mechanism::Monitoring => "monitoring",
+            Mechanism::Overprovisioning => "overprovisioning",
+            Mechanism::TopologyAware => "topology-aware",
+        }
+    }
+}
+
+impl fmt::Display for Mechanism {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One capability row: what a site does, at which stage, with which
+/// mechanism.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Capability {
+    /// Deployment stage.
+    pub stage: Stage,
+    /// Mechanism classification.
+    pub mechanism: Mechanism,
+    /// The free-text description, paraphrasing the Tables I/II cell.
+    pub description: String,
+}
+
+impl Capability {
+    /// Convenience constructor.
+    #[must_use]
+    pub fn new(stage: Stage, mechanism: Mechanism, description: &str) -> Self {
+        Capability {
+            stage,
+            mechanism,
+            description: description.to_owned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stages_ordered_and_labeled() {
+        assert_eq!(Stage::ALL.len(), 3);
+        assert!(Stage::Research < Stage::Production);
+        assert!(Stage::Production.header().contains("Production"));
+    }
+
+    #[test]
+    fn mechanisms_unique_labels() {
+        let labels: std::collections::HashSet<&str> =
+            Mechanism::ALL.iter().map(|m| m.label()).collect();
+        assert_eq!(labels.len(), Mechanism::ALL.len());
+    }
+
+    #[test]
+    fn capability_construction() {
+        let c = Capability::new(
+            Stage::Production,
+            Mechanism::PowerCapping,
+            "static 270 W caps",
+        );
+        assert_eq!(c.stage, Stage::Production);
+        assert_eq!(c.mechanism.label(), "power-capping");
+        assert_eq!(format!("{}", c.mechanism), "power-capping");
+    }
+}

@@ -1,0 +1,200 @@
+//! Job arrival processes.
+//!
+//! Submissions at real centers follow strong diurnal and weekly cycles:
+//! users submit during working hours, far less at night and on weekends.
+//! We model a non-homogeneous Poisson process by thinning: a base
+//! exponential inter-arrival draw modulated by an hour-of-day × day-of-week
+//! intensity profile.
+
+use epa_simcore::rng::SimRng;
+use epa_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Arrival process configurations.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum ArrivalProcess {
+    /// Homogeneous Poisson with the given mean arrivals per hour.
+    Poisson {
+        /// Mean arrival rate, jobs per hour.
+        rate_per_hour: f64,
+    },
+    /// Poisson modulated by diurnal and weekly factors.
+    DiurnalPoisson {
+        /// Peak (working-hours) arrival rate, jobs per hour.
+        peak_rate_per_hour: f64,
+        /// Night intensity as a fraction of peak, `[0,1]`.
+        night_fraction: f64,
+        /// Weekend intensity as a fraction of the weekday level, `[0,1]`.
+        weekend_fraction: f64,
+    },
+}
+
+impl ArrivalProcess {
+    /// Instantaneous intensity (jobs/hour) at simulation time `t`.
+    #[must_use]
+    pub fn intensity(&self, t: SimTime) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_hour } => rate_per_hour,
+            ArrivalProcess::DiurnalPoisson {
+                peak_rate_per_hour,
+                night_fraction,
+                weekend_fraction,
+            } => {
+                let hour = t.hour_of_day();
+                // Working window 08:00–20:00 at peak, smooth shoulders.
+                let diurnal = if (8.0..20.0).contains(&hour) {
+                    1.0
+                } else {
+                    night_fraction.clamp(0.0, 1.0)
+                };
+                let weekday = t.day_index() % 7; // day 0 = Monday
+                let weekly = if weekday >= 5 {
+                    weekend_fraction.clamp(0.0, 1.0)
+                } else {
+                    1.0
+                };
+                peak_rate_per_hour * diurnal * weekly
+            }
+        }
+    }
+
+    /// Peak intensity over any time (the thinning envelope).
+    #[must_use]
+    pub fn peak_intensity(&self) -> f64 {
+        match *self {
+            ArrivalProcess::Poisson { rate_per_hour } => rate_per_hour,
+            ArrivalProcess::DiurnalPoisson {
+                peak_rate_per_hour, ..
+            } => peak_rate_per_hour,
+        }
+    }
+
+    /// Generates arrival times in `[0, horizon)` by Lewis–Shedler thinning.
+    #[must_use]
+    pub fn generate(&self, horizon: SimTime, rng: &mut SimRng) -> Vec<SimTime> {
+        let lambda_max = self.peak_intensity();
+        if lambda_max <= 0.0 {
+            return Vec::new();
+        }
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO;
+        loop {
+            // Candidate inter-arrival from the envelope process (hours).
+            let gap_hours = rng.exponential(lambda_max);
+            t += SimDuration::from_hours(gap_hours);
+            if t >= horizon {
+                break;
+            }
+            // Accept with probability intensity(t)/lambda_max.
+            if rng.uniform() < self.intensity(t) / lambda_max {
+                out.push(t);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn poisson_rate_matches() {
+        let p = ArrivalProcess::Poisson {
+            rate_per_hour: 10.0,
+        };
+        let mut rng = SimRng::new(1);
+        let horizon = SimTime::from_days(30.0);
+        let arrivals = p.generate(horizon, &mut rng);
+        let expected = 10.0 * 24.0 * 30.0;
+        let got = arrivals.len() as f64;
+        assert!(
+            (got - expected).abs() < expected * 0.1,
+            "expected ~{expected}, got {got}"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_in_horizon() {
+        let p = ArrivalProcess::Poisson {
+            rate_per_hour: 20.0,
+        };
+        let mut rng = SimRng::new(2);
+        let horizon = SimTime::from_days(3.0);
+        let arrivals = p.generate(horizon, &mut rng);
+        for w in arrivals.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert!(arrivals.iter().all(|&t| t < horizon));
+    }
+
+    #[test]
+    fn diurnal_day_busier_than_night() {
+        let p = ArrivalProcess::DiurnalPoisson {
+            peak_rate_per_hour: 12.0,
+            night_fraction: 0.2,
+            weekend_fraction: 1.0,
+        };
+        let mut rng = SimRng::new(3);
+        let arrivals = p.generate(SimTime::from_days(60.0), &mut rng);
+        let day = arrivals
+            .iter()
+            .filter(|t| (8.0..20.0).contains(&t.hour_of_day()))
+            .count();
+        let night = arrivals.len() - day;
+        assert!(
+            day as f64 > 3.0 * night as f64,
+            "day {day} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn weekend_quieter_than_weekday() {
+        let p = ArrivalProcess::DiurnalPoisson {
+            peak_rate_per_hour: 12.0,
+            night_fraction: 1.0,
+            weekend_fraction: 0.25,
+        };
+        let mut rng = SimRng::new(4);
+        let arrivals = p.generate(SimTime::from_days(70.0), &mut rng);
+        let weekend = arrivals.iter().filter(|t| t.day_index() % 7 >= 5).count();
+        let weekday = arrivals.len() - weekend;
+        // 5 weekday days vs 2 weekend days at 25% intensity:
+        // expect weekday/weekend ≈ 5 / (2·0.25) = 10.
+        let ratio = weekday as f64 / weekend.max(1) as f64;
+        assert!(ratio > 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn zero_rate_yields_no_arrivals() {
+        let p = ArrivalProcess::Poisson { rate_per_hour: 0.0 };
+        let mut rng = SimRng::new(5);
+        assert!(p.generate(SimTime::from_days(10.0), &mut rng).is_empty());
+    }
+
+    #[test]
+    fn determinism_per_seed() {
+        let p = ArrivalProcess::Poisson { rate_per_hour: 5.0 };
+        let a = p.generate(SimTime::from_days(2.0), &mut SimRng::new(7));
+        let b = p.generate(SimTime::from_days(2.0), &mut SimRng::new(7));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn intensity_profile() {
+        let p = ArrivalProcess::DiurnalPoisson {
+            peak_rate_per_hour: 10.0,
+            night_fraction: 0.1,
+            weekend_fraction: 0.5,
+        };
+        // Monday 12:00.
+        assert_eq!(p.intensity(SimTime::from_hours(12.0)), 10.0);
+        // Monday 03:00.
+        assert_eq!(p.intensity(SimTime::from_hours(3.0)), 1.0);
+        // Saturday 12:00 (day 5).
+        assert_eq!(
+            p.intensity(SimTime::from_days(5.0) + epa_simcore::time::SimDuration::from_hours(12.0)),
+            5.0
+        );
+    }
+}

@@ -1,0 +1,252 @@
+//! Job size and runtime distributions.
+//!
+//! Shapes follow the workload-modeling literature the survey's Q3 builds
+//! on (Feitelson's workload book, Mu'alem & Feitelson for estimate
+//! inaccuracy):
+//!
+//! - **Sizes**: log-uniform over `[min, max]` with a strong bias toward
+//!   powers of two, plus a capability spike at full-machine scale for
+//!   capability-dominated sites (RIKEN's monthly large-job days).
+//! - **Runtimes**: log-normal, truncated to `[min, max]`.
+//! - **Estimates**: users multiply the true runtime by a random factor
+//!   ≥ 1 (often the queue limit), modeled as `1 + Exp(·)` with a point
+//!   mass at "exactly right".
+
+use epa_simcore::rng::SimRng;
+use epa_simcore::time::SimDuration;
+use serde::{Deserialize, Serialize};
+
+/// Job size (node count) distribution.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SizeDistribution {
+    /// Smallest job size in nodes.
+    pub min_nodes: u32,
+    /// Largest job size in nodes (usually the machine size).
+    pub max_nodes: u32,
+    /// Probability that a size snaps to the nearest power of two.
+    pub pow2_bias: f64,
+    /// Probability of a full-machine capability job.
+    pub capability_fraction: f64,
+}
+
+impl SizeDistribution {
+    /// A capacity-style mix: mostly small jobs, few large.
+    #[must_use]
+    pub fn capacity(max_nodes: u32) -> Self {
+        SizeDistribution {
+            min_nodes: 1,
+            max_nodes,
+            pow2_bias: 0.7,
+            capability_fraction: 0.005,
+        }
+    }
+
+    /// A capability-style mix: larger typical sizes, frequent full-machine
+    /// runs.
+    #[must_use]
+    pub fn capability(max_nodes: u32) -> Self {
+        SizeDistribution {
+            min_nodes: (max_nodes / 64).max(1),
+            max_nodes,
+            pow2_bias: 0.8,
+            capability_fraction: 0.08,
+        }
+    }
+
+    /// Draws one job size.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SimRng) -> u32 {
+        let max = self.max_nodes.max(self.min_nodes);
+        if rng.bernoulli(self.capability_fraction) {
+            return max;
+        }
+        let lo = f64::from(self.min_nodes.max(1)).ln();
+        let hi = f64::from(max).ln();
+        let raw = rng.uniform_range(lo, hi.max(lo + f64::EPSILON)).exp();
+        let mut n = raw.round().clamp(f64::from(self.min_nodes), f64::from(max)) as u32;
+        if rng.bernoulli(self.pow2_bias) {
+            let p2 = nearest_power_of_two(n);
+            n = p2.clamp(self.min_nodes, max);
+        }
+        n.max(1)
+    }
+}
+
+/// Runtime distribution: truncated log-normal.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeDistribution {
+    /// Median runtime.
+    pub median: SimDuration,
+    /// Log-space sigma (1.0–1.5 reproduces the heavy right tail of real
+    /// traces).
+    pub sigma: f64,
+    /// Floor.
+    pub min: SimDuration,
+    /// Ceiling (the queue's walltime limit).
+    pub max: SimDuration,
+}
+
+impl RuntimeDistribution {
+    /// A typical mixed workload: median 1 h, 10 min..24 h.
+    #[must_use]
+    pub fn typical() -> Self {
+        RuntimeDistribution {
+            median: SimDuration::from_hours(1.0),
+            sigma: 1.2,
+            min: SimDuration::from_mins(10.0),
+            max: SimDuration::from_hours(24.0),
+        }
+    }
+
+    /// Draws one true runtime.
+    #[must_use]
+    pub fn sample(&self, rng: &mut SimRng) -> SimDuration {
+        let mu = self.median.as_secs().max(1.0).ln();
+        let x = rng.log_normal(mu, self.sigma.max(0.0));
+        SimDuration::from_secs(x.clamp(self.min.as_secs(), self.max.as_secs()))
+    }
+
+    /// Draws a user walltime estimate for a true runtime: with probability
+    /// `accurate_fraction` the estimate is the runtime padded 5%; otherwise
+    /// it is inflated by `1 + Exp(1/overestimate_mean)`, capped at `max`.
+    #[must_use]
+    pub fn sample_estimate(
+        &self,
+        true_runtime: SimDuration,
+        accurate_fraction: f64,
+        overestimate_mean: f64,
+        rng: &mut SimRng,
+    ) -> SimDuration {
+        let factor = if rng.bernoulli(accurate_fraction.clamp(0.0, 1.0)) {
+            1.05
+        } else {
+            1.0 + rng.exponential(1.0 / overestimate_mean.max(1e-6))
+        };
+        let est = true_runtime.as_secs() * factor;
+        SimDuration::from_secs(est.min(self.max.as_secs()).max(true_runtime.as_secs()))
+    }
+}
+
+fn nearest_power_of_two(n: u32) -> u32 {
+    if n <= 1 {
+        return 1;
+    }
+    let lower = 1u32 << (31 - n.leading_zeros());
+    let upper = lower.saturating_mul(2);
+    if n - lower <= upper - n {
+        lower
+    } else {
+        upper
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearest_pow2() {
+        assert_eq!(nearest_power_of_two(1), 1);
+        assert_eq!(nearest_power_of_two(3), 2); // ties break low
+        assert_eq!(nearest_power_of_two(5), 4);
+        assert_eq!(nearest_power_of_two(6), 4); // ties break low
+        assert_eq!(nearest_power_of_two(7), 8);
+        assert_eq!(nearest_power_of_two(48), 32); // ties break low
+        assert_eq!(nearest_power_of_two(40), 32);
+    }
+
+    #[test]
+    fn sizes_in_range() {
+        let d = SizeDistribution::capacity(1024);
+        let mut rng = SimRng::new(1);
+        for _ in 0..5000 {
+            let n = d.sample(&mut rng);
+            assert!((1..=1024).contains(&n));
+        }
+    }
+
+    #[test]
+    fn capability_mix_has_full_machine_jobs() {
+        let d = SizeDistribution::capability(512);
+        let mut rng = SimRng::new(2);
+        let full = (0..5000).filter(|_| d.sample(&mut rng) == 512).count();
+        assert!(full > 100, "expected frequent capability jobs, got {full}");
+    }
+
+    #[test]
+    fn capacity_mix_mostly_small() {
+        let d = SizeDistribution::capacity(1024);
+        let mut rng = SimRng::new(3);
+        let sizes: Vec<u32> = (0..5000).map(|_| d.sample(&mut rng)).collect();
+        let small = sizes.iter().filter(|&&n| n <= 64).count();
+        assert!(
+            small as f64 > 0.5 * sizes.len() as f64,
+            "small {small}/{}",
+            sizes.len()
+        );
+    }
+
+    #[test]
+    fn pow2_bias_shapes_distribution() {
+        let d = SizeDistribution {
+            min_nodes: 1,
+            max_nodes: 1024,
+            pow2_bias: 1.0,
+            capability_fraction: 0.0,
+        };
+        let mut rng = SimRng::new(4);
+        for _ in 0..1000 {
+            let n = d.sample(&mut rng);
+            assert!(n.is_power_of_two(), "{n} not a power of two");
+        }
+    }
+
+    #[test]
+    fn runtimes_clamped() {
+        let d = RuntimeDistribution::typical();
+        let mut rng = SimRng::new(5);
+        for _ in 0..5000 {
+            let r = d.sample(&mut rng);
+            assert!(r >= d.min && r <= d.max);
+        }
+    }
+
+    #[test]
+    fn runtime_median_approx() {
+        let d = RuntimeDistribution::typical();
+        let mut rng = SimRng::new(6);
+        let mut xs: Vec<f64> = (0..20000).map(|_| d.sample(&mut rng).as_secs()).collect();
+        xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let median = xs[xs.len() / 2];
+        let expect = d.median.as_secs();
+        assert!(
+            (median - expect).abs() < expect * 0.15,
+            "median {median} vs {expect}"
+        );
+    }
+
+    #[test]
+    fn estimates_never_below_runtime() {
+        let d = RuntimeDistribution::typical();
+        let mut rng = SimRng::new(7);
+        for _ in 0..2000 {
+            let r = d.sample(&mut rng);
+            let e = d.sample_estimate(r, 0.3, 1.0, &mut rng);
+            assert!(e >= r);
+            assert!(e <= d.max.max(r));
+        }
+    }
+
+    #[test]
+    fn estimates_inflate_on_average() {
+        let d = RuntimeDistribution::typical();
+        let mut rng = SimRng::new(8);
+        let r = SimDuration::from_hours(1.0);
+        let mean: f64 = (0..5000)
+            .map(|_| d.sample_estimate(r, 0.0, 1.0, &mut rng).as_secs())
+            .sum::<f64>()
+            / 5000.0;
+        // 1 + Exp(mean 1) → factor mean ≈ 2.
+        assert!(mean > 1.6 * r.as_secs(), "mean {mean}");
+    }
+}

@@ -1,0 +1,34 @@
+//! Error types for workload handling.
+
+use thiserror::Error;
+
+/// Errors from workload generation and trace parsing.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum WorkloadError {
+    /// A trace line could not be parsed.
+    #[error("SWF parse error at line {line}: {message}")]
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+
+    /// Invalid workload parameters.
+    #[error("invalid workload parameters: {0}")]
+    InvalidParams(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        let e = WorkloadError::Parse {
+            line: 3,
+            message: "bad field".into(),
+        };
+        assert_eq!(e.to_string(), "SWF parse error at line 3: bad field");
+    }
+}

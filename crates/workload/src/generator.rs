@@ -1,0 +1,361 @@
+//! Workload generation: assembling jobs from arrivals, sizes, runtimes,
+//! and application mixes.
+//!
+//! [`WorkloadParams`] describes a site's workload the way Q3 answers do:
+//! throughput, job-size mix (capability vs capacity), runtime scale, user
+//! population, and application mix. [`WorkloadGenerator::generate`]
+//! produces a reproducible job list; [`WorkloadSummary`] computes the
+//! exact Q3(e) percentile report.
+
+use crate::arrival::ArrivalProcess;
+use crate::distributions::{RuntimeDistribution, SizeDistribution};
+use crate::job::{AppProfile, Job, JobId};
+use crate::moldable::MoldableConfig;
+use epa_simcore::rng::SimRng;
+use epa_simcore::stats::{Percentiles, SummaryStats};
+use epa_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// Full description of a site's synthetic workload.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadParams {
+    /// Arrival process.
+    pub arrivals: ArrivalProcess,
+    /// Size distribution.
+    pub sizes: SizeDistribution,
+    /// Runtime distribution.
+    pub runtimes: RuntimeDistribution,
+    /// Number of distinct users.
+    pub users: u32,
+    /// Fraction of jobs with accurate walltime estimates.
+    pub accurate_estimate_fraction: f64,
+    /// Mean of the exponential over-estimation factor.
+    pub overestimate_mean: f64,
+    /// Application mix: (profile, weight).
+    pub app_mix: Vec<(AppProfile, f64)>,
+    /// Fraction of jobs that are moldable.
+    pub moldable_fraction: f64,
+    /// Probability that a submission is a *campaign*: the user submits a
+    /// batch of similar jobs at once (parameter sweeps are the bread and
+    /// butter of capacity workloads).
+    pub campaign_probability: f64,
+    /// Campaign size range `[min, max]` (inclusive), replicas of the
+    /// seed job with staggered submission.
+    pub campaign_size: (u32, u32),
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl WorkloadParams {
+    /// A balanced default workload for a machine of `max_nodes`.
+    #[must_use]
+    pub fn typical(max_nodes: u32, seed: u64) -> Self {
+        WorkloadParams {
+            arrivals: ArrivalProcess::DiurnalPoisson {
+                peak_rate_per_hour: 12.0,
+                night_fraction: 0.25,
+                weekend_fraction: 0.5,
+            },
+            sizes: SizeDistribution::capacity(max_nodes),
+            runtimes: RuntimeDistribution::typical(),
+            users: 64,
+            accurate_estimate_fraction: 0.25,
+            overestimate_mean: 1.5,
+            app_mix: vec![
+                (AppProfile::balanced("mixed"), 0.5),
+                (AppProfile::compute_bound("dense-la"), 0.25),
+                (AppProfile::memory_bound("stencil"), 0.25),
+            ],
+            moldable_fraction: 0.2,
+            campaign_probability: 0.06,
+            campaign_size: (3, 10),
+            seed,
+        }
+    }
+}
+
+/// Generates job lists from parameters.
+#[derive(Debug, Clone)]
+pub struct WorkloadGenerator {
+    params: WorkloadParams,
+}
+
+impl WorkloadGenerator {
+    /// Creates a generator.
+    #[must_use]
+    pub fn new(params: WorkloadParams) -> Self {
+        WorkloadGenerator { params }
+    }
+
+    /// The parameters.
+    #[must_use]
+    pub fn params(&self) -> &WorkloadParams {
+        &self.params
+    }
+
+    /// Generates all jobs submitted in `[0, horizon)`, sorted by submit
+    /// time, ids dense from `first_id`. Campaign submissions expand one
+    /// arrival into a staggered batch of similar jobs.
+    #[must_use]
+    pub fn generate(&self, horizon: SimTime, first_id: u64) -> Vec<Job> {
+        let root = SimRng::new(self.params.seed);
+        let mut arr_rng = root.stream("arrivals");
+        let mut attr_rng = root.stream("attributes");
+        let arrivals = self.params.arrivals.generate(horizon, &mut arr_rng);
+        let weights: Vec<f64> = self.params.app_mix.iter().map(|(_, w)| *w).collect();
+        let mut out: Vec<Job> = Vec::with_capacity(arrivals.len());
+        for submit in arrivals {
+            let nodes = self.params.sizes.sample(&mut attr_rng);
+            let runtime = self.params.runtimes.sample(&mut attr_rng);
+            let estimate = self.params.runtimes.sample_estimate(
+                runtime,
+                self.params.accurate_estimate_fraction,
+                self.params.overestimate_mean,
+                &mut attr_rng,
+            );
+            let app = if weights.is_empty() {
+                AppProfile::balanced("generic")
+            } else {
+                self.params.app_mix[attr_rng.choose_weighted(&weights)]
+                    .0
+                    .clone()
+            };
+            let moldable = if attr_rng.bernoulli(self.params.moldable_fraction) && nodes > 1 {
+                Some(MoldableConfig::new(
+                    (nodes / 4).max(1),
+                    nodes.saturating_mul(2).min(self.params.sizes.max_nodes),
+                    attr_rng.uniform_range(0.02, 0.15),
+                ))
+            } else {
+                None
+            };
+            let user = attr_rng.uniform_usize(0, self.params.users.max(1) as usize) as u32;
+            let seed_job = Job {
+                id: JobId(first_id + out.len() as u64),
+                user,
+                app,
+                submit,
+                nodes,
+                walltime_estimate: estimate,
+                base_runtime: runtime,
+                priority: 0,
+                moldable,
+            };
+            let replicas = if attr_rng.bernoulli(self.params.campaign_probability.clamp(0.0, 1.0)) {
+                let (lo, hi) = self.params.campaign_size;
+                let hi = hi.max(lo).max(1);
+                attr_rng.uniform_usize(lo.max(1) as usize, hi as usize + 1)
+            } else {
+                1
+            };
+            for r in 0..replicas {
+                let mut j = seed_job.clone();
+                j.id = JobId(first_id + out.len() as u64);
+                // Same user and app; runtimes jitter ±10%; submissions
+                // stagger a few seconds apart (one submit script).
+                j.submit = submit + SimDuration::from_secs(r as f64 * 2.0);
+                if r > 0 {
+                    let jitter = attr_rng.uniform_range(0.9, 1.1);
+                    j.base_runtime =
+                        SimDuration::from_secs(seed_job.base_runtime.as_secs() * jitter);
+                    if j.walltime_estimate < j.base_runtime {
+                        j.walltime_estimate = j.base_runtime;
+                    }
+                }
+                out.push(j);
+            }
+        }
+        // Campaign staggering can leapfrog the next arrival; restore
+        // submit order and dense ids.
+        out.sort_by(|a, b| a.submit.cmp(&b.submit).then(a.id.cmp(&b.id)));
+        for (i, j) in out.iter_mut().enumerate() {
+            j.id = JobId(first_id + i as u64);
+        }
+        out
+    }
+}
+
+/// The Q3 summary of a workload: counts plus Q3(e) percentiles.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct WorkloadSummary {
+    /// Number of jobs.
+    pub jobs: u64,
+    /// Jobs per (simulated) month of the covered span.
+    pub jobs_per_month: f64,
+    /// Node-count percentiles (Q3e "job size").
+    pub size: SummaryStats,
+    /// True-runtime percentiles in seconds (Q3e "wallclock time").
+    pub runtime_secs: SummaryStats,
+    /// Fraction of total node-seconds in jobs using ≥ half the machine
+    /// ("capability share", Q3d).
+    pub capability_share: f64,
+}
+
+impl WorkloadSummary {
+    /// Computes the summary; `machine_nodes` defines the capability
+    /// threshold, `span` the covered interval for throughput.
+    #[must_use]
+    pub fn compute(jobs: &[Job], machine_nodes: u32, span: SimTime) -> Option<WorkloadSummary> {
+        if jobs.is_empty() {
+            return None;
+        }
+        let mut sizes = Percentiles::new();
+        let mut runtimes = Percentiles::new();
+        let mut total_ns = 0.0;
+        let mut cap_ns = 0.0;
+        for j in jobs {
+            sizes.push(f64::from(j.nodes));
+            runtimes.push(j.base_runtime.as_secs());
+            let ns = j.node_seconds();
+            total_ns += ns;
+            if j.nodes * 2 >= machine_nodes {
+                cap_ns += ns;
+            }
+        }
+        let months = (span.as_days() / 30.44).max(1e-9);
+        Some(WorkloadSummary {
+            jobs: jobs.len() as u64,
+            jobs_per_month: jobs.len() as f64 / months,
+            size: sizes.summary()?,
+            runtime_secs: runtimes.summary()?,
+            capability_share: if total_ns > 0.0 {
+                cap_ns / total_ns
+            } else {
+                0.0
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate_typical(seed: u64) -> Vec<Job> {
+        let params = WorkloadParams::typical(1024, seed);
+        WorkloadGenerator::new(params).generate(SimTime::from_days(7.0), 0)
+    }
+
+    #[test]
+    fn jobs_sorted_and_valid() {
+        let jobs = generate_typical(1);
+        assert!(!jobs.is_empty());
+        for w in jobs.windows(2) {
+            assert!(w[0].submit <= w[1].submit);
+        }
+        for j in &jobs {
+            j.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn ids_dense_from_first() {
+        let jobs = generate_typical(1);
+        for (i, j) in jobs.iter().enumerate() {
+            assert_eq!(j.id, JobId(i as u64));
+        }
+        let params = WorkloadParams::typical(64, 1);
+        let jobs2 = WorkloadGenerator::new(params).generate(SimTime::from_days(1.0), 100);
+        assert_eq!(jobs2[0].id, JobId(100));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate_typical(42), generate_typical(42));
+        assert_ne!(generate_typical(42), generate_typical(43));
+    }
+
+    #[test]
+    fn app_mix_respected() {
+        let jobs = generate_typical(2);
+        let tags: std::collections::HashSet<&str> =
+            jobs.iter().map(|j| j.app.tag.as_str()).collect();
+        assert!(tags.contains("mixed"));
+        assert!(tags.contains("dense-la"));
+        assert!(tags.contains("stencil"));
+    }
+
+    #[test]
+    fn moldable_fraction_approx() {
+        let jobs = generate_typical(3);
+        let moldable = jobs.iter().filter(|j| j.moldable.is_some()).count();
+        let frac = moldable as f64 / jobs.len() as f64;
+        assert!(frac > 0.05 && frac < 0.4, "fraction {frac}");
+    }
+
+    #[test]
+    fn summary_shape() {
+        let jobs = generate_typical(4);
+        let span = SimTime::from_days(7.0);
+        let s = WorkloadSummary::compute(&jobs, 1024, span).unwrap();
+        assert_eq!(s.jobs, jobs.len() as u64);
+        assert!(s.jobs_per_month > 0.0);
+        assert!(s.size.min >= 1.0);
+        assert!(s.size.max <= 1024.0);
+        assert!(s.runtime_secs.median > 0.0);
+        assert!((0.0..=1.0).contains(&s.capability_share));
+    }
+
+    #[test]
+    fn empty_summary_is_none() {
+        assert!(WorkloadSummary::compute(&[], 64, SimTime::from_days(1.0)).is_none());
+    }
+
+    #[test]
+    fn campaigns_produce_same_user_batches() {
+        let mut params = WorkloadParams::typical(256, 9);
+        params.campaign_probability = 0.5;
+        params.campaign_size = (4, 6);
+        let jobs = WorkloadGenerator::new(params).generate(SimTime::from_days(2.0), 0);
+        // Find at least one run of >= 4 consecutive submissions by the
+        // same user with the same tag within seconds of each other.
+        let mut best_run = 1;
+        let mut run = 1;
+        for w in jobs.windows(2) {
+            let close = (w[1].submit.as_secs() - w[0].submit.as_secs()) <= 2.5;
+            if close && w[0].user == w[1].user && w[0].app.tag == w[1].app.tag {
+                run += 1;
+                best_run = best_run.max(run);
+            } else {
+                run = 1;
+            }
+        }
+        assert!(best_run >= 4, "longest campaign run {best_run}");
+    }
+
+    #[test]
+    fn zero_campaign_probability_means_no_batches() {
+        let mut params = WorkloadParams::typical(256, 9);
+        params.campaign_probability = 0.0;
+        let a = WorkloadGenerator::new(params.clone()).generate(SimTime::from_days(1.0), 0);
+        params.campaign_probability = 0.5;
+        let b = WorkloadGenerator::new(params).generate(SimTime::from_days(1.0), 0);
+        assert!(
+            b.len() > a.len(),
+            "campaigns must add jobs: {} vs {}",
+            b.len(),
+            a.len()
+        );
+    }
+
+    #[test]
+    fn capability_share_rises_with_capability_mix() {
+        let mut cap_params = WorkloadParams::typical(512, 5);
+        cap_params.sizes = SizeDistribution::capability(512);
+        let cap_jobs = WorkloadGenerator::new(cap_params).generate(SimTime::from_days(7.0), 0);
+        let capacity_jobs = {
+            let mut p = WorkloadParams::typical(512, 5);
+            p.sizes = SizeDistribution::capacity(512);
+            WorkloadGenerator::new(p).generate(SimTime::from_days(7.0), 0)
+        };
+        let span = SimTime::from_days(7.0);
+        let a = WorkloadSummary::compute(&cap_jobs, 512, span).unwrap();
+        let b = WorkloadSummary::compute(&capacity_jobs, 512, span).unwrap();
+        assert!(
+            a.capability_share > b.capability_share,
+            "{} vs {}",
+            a.capability_share,
+            b.capability_share
+        );
+    }
+}

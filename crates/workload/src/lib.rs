@@ -1,0 +1,37 @@
+//! # epa-workload — jobs and workload generation
+//!
+//! Models the batch workloads the survey's Q3 asks about: what runs, what
+//! waits, how big, how long, and with what power behaviour.
+//!
+//! - [`job`] — the job model: resources, walltime estimates, application
+//!   phases (compute/memory/communication) with per-phase cpu-boundness,
+//!   user and application tags (the prediction keys the survey's related
+//!   work uses).
+//! - [`moldable`] — moldable-job configurations: alternative
+//!   (nodes, runtime) operating points under a parallel-efficiency law
+//!   (Sarood, Patki, Bailey — the over-provisioning literature).
+//! - [`arrival`] — arrival processes: Poisson with diurnal/weekly
+//!   modulation, matching real submission patterns.
+//! - [`distributions`] — size and runtime distributions: power-of-two
+//!   biased log-uniform sizes and log-normal runtimes with user walltime
+//!   over-estimation (Mu'alem & Feitelson).
+//! - [`generator`] — assembles a full synthetic workload with capability /
+//!   capacity mixes per site.
+//! - [`trace`] — a Standard-Workload-Format-compatible trace reader and
+//!   writer for interchange and replay.
+
+pub mod arrival;
+pub mod distributions;
+pub mod error;
+pub mod generator;
+pub mod job;
+pub mod moldable;
+pub mod trace;
+
+pub use arrival::ArrivalProcess;
+pub use distributions::{RuntimeDistribution, SizeDistribution};
+pub use error::WorkloadError;
+pub use generator::{WorkloadGenerator, WorkloadParams, WorkloadSummary};
+pub use job::{AppProfile, Job, JobId, Phase};
+pub use moldable::MoldableConfig;
+pub use trace::{read_swf, write_swf};

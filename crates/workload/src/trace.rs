@@ -1,0 +1,195 @@
+//! Standard Workload Format (SWF) compatible traces.
+//!
+//! The Parallel Workloads Archive's SWF is the lingua franca for job
+//! traces (one job per line, 18 whitespace-separated fields, `;` header
+//! comments). We write the fields the simulator knows and read them back;
+//! unknown/inapplicable fields carry the SWF convention value `-1`.
+//!
+//! Field mapping (1-based SWF columns):
+//! 1 job id · 2 submit (s) · 4 run time (s) · 5 allocated processors
+//! (nodes here) · 8 requested processors · 9 requested time (s) ·
+//! 12 user id · 14 application id (index into a tag table emitted in the
+//! header) — all others `-1`.
+
+use crate::error::WorkloadError;
+use crate::job::{AppProfile, Job, JobId};
+use epa_simcore::time::{SimDuration, SimTime};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Serializes jobs to SWF text.
+#[must_use]
+pub fn write_swf(jobs: &[Job]) -> String {
+    let mut app_ids: BTreeMap<&str, usize> = BTreeMap::new();
+    for j in jobs {
+        let next = app_ids.len();
+        app_ids.entry(j.app.tag.as_str()).or_insert(next);
+    }
+    let mut out = String::new();
+    out.push_str("; SWF trace written by epa-workload\n");
+    out.push_str("; Version: 2.2\n");
+    for (tag, id) in &app_ids {
+        let _ = writeln!(out, "; App: {id} {tag}");
+    }
+    for j in jobs {
+        let app = app_ids[j.app.tag.as_str()];
+        // Columns:        1   2  3   4   5  6  7   8   9 10  11  12 13  14 15 16 17 18
+        let _ = writeln!(
+            out,
+            "{} {} -1 {} {} -1 -1 {} {} -1 -1 {} -1 {} -1 -1 -1 -1",
+            j.id.0,
+            j.submit.as_secs().round() as i64,
+            j.base_runtime.as_secs().round() as i64,
+            j.nodes,
+            j.nodes,
+            j.walltime_estimate.as_secs().round() as i64,
+            j.user,
+            app,
+        );
+    }
+    out
+}
+
+/// Parses an SWF text back into jobs. Application tags are recovered from
+/// the `; App:` header lines when present; otherwise tags are `app<N>`.
+pub fn read_swf(text: &str) -> Result<Vec<Job>, WorkloadError> {
+    let mut tag_table: BTreeMap<usize, String> = BTreeMap::new();
+    let mut jobs = Vec::new();
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix(';') {
+            let rest = rest.trim();
+            if let Some(app) = rest.strip_prefix("App:") {
+                let mut it = app.split_whitespace();
+                if let (Some(id), Some(tag)) = (it.next(), it.next()) {
+                    if let Ok(id) = id.parse::<usize>() {
+                        tag_table.insert(id, tag.to_owned());
+                    }
+                }
+            }
+            continue;
+        }
+        let fields: Vec<&str> = line.split_whitespace().collect();
+        if fields.len() < 14 {
+            return Err(WorkloadError::Parse {
+                line: lineno + 1,
+                message: format!("expected >=14 SWF fields, got {}", fields.len()),
+            });
+        }
+        let parse_i64 = |idx: usize| -> Result<i64, WorkloadError> {
+            fields[idx].parse().map_err(|_| WorkloadError::Parse {
+                line: lineno + 1,
+                message: format!("field {} not an integer: '{}'", idx + 1, fields[idx]),
+            })
+        };
+        let id = parse_i64(0)?;
+        let submit = parse_i64(1)?;
+        let runtime = parse_i64(3)?;
+        let alloc = parse_i64(4)?;
+        let req_procs = parse_i64(7)?;
+        let req_time = parse_i64(8)?;
+        let user = parse_i64(11)?;
+        let app_id = parse_i64(13)?;
+
+        let nodes = if alloc > 0 { alloc } else { req_procs };
+        if nodes <= 0 || runtime <= 0 {
+            // SWF traces carry cancelled jobs with -1; skip them.
+            continue;
+        }
+        let tag = tag_table
+            .get(&(app_id.max(0) as usize))
+            .cloned()
+            .unwrap_or_else(|| format!("app{}", app_id.max(0)));
+        let est = if req_time > 0 { req_time } else { runtime };
+        jobs.push(Job {
+            id: JobId(id.max(0) as u64),
+            user: user.max(0) as u32,
+            app: AppProfile::balanced(&tag),
+            submit: SimTime::from_secs(submit.max(0) as f64),
+            nodes: nodes as u32,
+            walltime_estimate: SimDuration::from_secs(est.max(runtime) as f64),
+            base_runtime: SimDuration::from_secs(runtime as f64),
+            priority: 0,
+            moldable: None,
+        });
+    }
+    Ok(jobs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::{WorkloadGenerator, WorkloadParams};
+    use crate::job::JobBuilder;
+
+    #[test]
+    fn roundtrip_preserves_scheduling_fields() {
+        let params = WorkloadParams::typical(256, 11);
+        let jobs = WorkloadGenerator::new(params).generate(SimTime::from_days(2.0), 0);
+        let text = write_swf(&jobs);
+        let back = read_swf(&text).unwrap();
+        assert_eq!(back.len(), jobs.len());
+        for (a, b) in jobs.iter().zip(&back) {
+            assert_eq!(a.id, b.id);
+            assert_eq!(a.nodes, b.nodes);
+            assert_eq!(a.user, b.user);
+            assert_eq!(a.app.tag, b.app.tag);
+            assert!((a.submit.as_secs() - b.submit.as_secs()).abs() < 1.0);
+            assert!((a.base_runtime.as_secs() - b.base_runtime.as_secs()).abs() < 1.0);
+            assert!(
+                (a.walltime_estimate.as_secs() - b.walltime_estimate.as_secs()).abs() < 1.0
+                    || b.walltime_estimate >= b.base_runtime
+            );
+        }
+    }
+
+    #[test]
+    fn header_carries_app_tags() {
+        let jobs = vec![JobBuilder::new(1).build()];
+        let text = write_swf(&jobs);
+        assert!(text.contains("; App: 0 generic"));
+    }
+
+    #[test]
+    fn skips_cancelled_jobs() {
+        let text = "; header\n1 100 -1 -1 -1 -1 -1 4 3600 -1 -1 7 -1 0 -1 -1 -1 -1\n";
+        let jobs = read_swf(text).unwrap();
+        assert!(jobs.is_empty(), "runtime -1 should be skipped");
+    }
+
+    #[test]
+    fn parses_minimal_line() {
+        let text = "5 250 -1 1200 16 -1 -1 16 7200 -1 -1 3 -1 0 -1 -1 -1 -1\n";
+        let jobs = read_swf(text).unwrap();
+        assert_eq!(jobs.len(), 1);
+        let j = &jobs[0];
+        assert_eq!(j.id, JobId(5));
+        assert_eq!(j.nodes, 16);
+        assert_eq!(j.user, 3);
+        assert_eq!(j.base_runtime.as_secs(), 1200.0);
+        assert_eq!(j.walltime_estimate.as_secs(), 7200.0);
+    }
+
+    #[test]
+    fn short_line_is_error() {
+        let err = read_swf("1 2 3\n").unwrap_err();
+        assert!(matches!(err, WorkloadError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn garbage_field_is_error() {
+        let text = "x 250 -1 1200 16 -1 -1 16 7200 -1 -1 3 -1 0 -1 -1 -1 -1\n";
+        assert!(read_swf(text).is_err());
+    }
+
+    #[test]
+    fn estimate_never_below_runtime_after_parse() {
+        // req_time (field 9) below runtime gets clamped up.
+        let text = "1 0 -1 5000 8 -1 -1 8 100 -1 -1 0 -1 0 -1 -1 -1 -1\n";
+        let jobs = read_swf(text).unwrap();
+        assert!(jobs[0].walltime_estimate >= jobs[0].base_runtime);
+    }
+}

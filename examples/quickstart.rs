@@ -1,0 +1,76 @@
+//! Quickstart: build a machine, generate a workload, run two schedulers,
+//! and compare them — the five-minute tour of the framework.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use epa_jsrm::cluster::node::NodeSpec;
+use epa_jsrm::cluster::topology::Topology;
+use epa_jsrm::prelude::*;
+
+fn main() {
+    // 1. Describe a machine: 8 cabinets × 16 Xeon nodes on a fat-tree.
+    let spec = SystemSpec {
+        name: "quickstart-cluster".into(),
+        cabinets: 8,
+        nodes_per_cabinet: 16,
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: 100.0,
+    };
+    println!(
+        "machine: {} nodes, {} cores, idle {:.0} kW, peak {:.0} kW",
+        spec.total_nodes(),
+        spec.total_cores(),
+        spec.idle_watts() / 1e3,
+        spec.peak_watts() / 1e3
+    );
+
+    // 2. Generate two simulated days of a typical HPC workload.
+    let horizon = SimTime::from_days(2.0);
+    let params = WorkloadParams::typical(spec.total_nodes(), 42);
+    let jobs = WorkloadGenerator::new(params).generate(horizon, 0);
+    println!("workload: {} jobs over {}", jobs.len(), horizon);
+
+    // 3. Run the same workload under FCFS and under EASY backfilling.
+    for (name, run) in [
+        (
+            "fcfs",
+            run_policy(&spec, &jobs, horizon, PolicyChoice::Fcfs),
+        ),
+        (
+            "easy",
+            run_policy(&spec, &jobs, horizon, PolicyChoice::Easy),
+        ),
+    ] {
+        println!(
+            "{name:>5}: {} completed | utilization {:.1}% | mean wait {:.1} min | energy {:.2} MWh",
+            run.completed,
+            100.0 * run.utilization,
+            run.mean_wait_secs / 60.0,
+            run.energy_joules / 3.6e9
+        );
+    }
+}
+
+enum PolicyChoice {
+    Fcfs,
+    Easy,
+}
+
+fn run_policy(
+    spec: &SystemSpec,
+    jobs: &[Job],
+    horizon: SimTime,
+    choice: PolicyChoice,
+) -> SimOutcome {
+    let config = EngineConfig::new(horizon);
+    let mut fcfs = Fcfs;
+    let mut easy = EasyBackfill;
+    let policy: &mut dyn Policy = match choice {
+        PolicyChoice::Fcfs => &mut fcfs,
+        PolicyChoice::Easy => &mut easy,
+    };
+    ClusterSim::new(spec.clone().build(), jobs.to_vec(), policy, config).run()
+}

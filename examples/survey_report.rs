@@ -1,0 +1,25 @@
+//! Compile and print the full survey report: center selection, Tables I
+//! and II, the Figure 1 interaction matrix, the Figure 2 map, the
+//! cross-site analysis, and every site's Q1–Q8 responses.
+//!
+//! ```sh
+//! cargo run --release --example survey_report           # full week per site
+//! cargo run --example survey_report -- --fast           # 8 h per site
+//! ```
+
+use epa_jsrm::prelude::*;
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    let configs = epa_jsrm::sites::all_sites(2026)
+        .into_iter()
+        .map(|mut s| {
+            if fast {
+                s.horizon = SimTime::from_hours(8.0);
+            }
+            s
+        })
+        .collect();
+    let survey = SurveyReport::compile(configs);
+    println!("{}", survey.render_full());
+}

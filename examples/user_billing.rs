@@ -1,0 +1,36 @@
+//! Per-user energy billing at LRZ prices: run a site week, attribute
+//! every joule to its submitting user, price it, and grade it — the
+//! user-facing half of EPA JSRM (Tokyo Tech's marks, JCAHPC's post-job
+//! reports, STFC's reporting tool, LRZ's cost pressure).
+//!
+//! ```sh
+//! cargo run --release --example user_billing
+//! ```
+
+use epa_jsrm::prelude::*;
+use epa_jsrm::survey::billing::bill_users;
+use epa_jsrm::workload::generator::WorkloadGenerator;
+use std::collections::BTreeMap;
+
+fn main() {
+    let mut site = epa_jsrm::sites::centers::lrz::config(3);
+    site.horizon = SimTime::from_days(2.0);
+    // Regenerate the same jobs the runner will use, to map jobs → users.
+    let jobs = WorkloadGenerator::new(site.workload.clone()).generate(site.horizon, 0);
+    let user_of: BTreeMap<u64, u32> = jobs.iter().map(|j| (j.id.0, j.user)).collect();
+    let report = run_site(&site);
+
+    let price = site.facility.supplies[0].cost_per_mwh;
+    let bill = bill_users(
+        &report.outcome,
+        &user_of,
+        site.system.node.nominal_watts,
+        price,
+    );
+    println!(
+        "LRZ, 2 simulated days, {} jobs completed — top-10 users by energy:\n",
+        report.outcome.completed
+    );
+    println!("{}", bill.render(10));
+    println!("efficiency-mark totals: {:?}", bill.mark_totals());
+}

@@ -1,0 +1,208 @@
+//! Integration tests spanning the whole workspace: site runs are
+//! deterministic, physically consistent, and the survey pipeline
+//! regenerates the paper's exhibits.
+
+use epa_jsrm::prelude::*;
+use epa_jsrm::survey::tables;
+
+fn quick(key: &str, seed: u64) -> (epa_jsrm::sites::SiteConfig, SiteReport) {
+    let mut site = epa_jsrm::sites::all_sites(seed)
+        .into_iter()
+        .find(|s| s.meta.key == key)
+        .expect("site exists");
+    site.horizon = SimTime::from_hours(12.0);
+    let report = run_site(&site);
+    (site, report)
+}
+
+#[test]
+fn site_runs_are_deterministic() {
+    let (_, a) = quick("lrz", 99);
+    let (_, b) = quick("lrz", 99);
+    assert_eq!(a.outcome.completed, b.outcome.completed);
+    assert!((a.outcome.energy_joules - b.outcome.energy_joules).abs() < 1e-6);
+    assert!((a.outcome.mean_wait_secs - b.outcome.mean_wait_secs).abs() < 1e-9);
+    assert_eq!(a.interactions.total(), b.interactions.total());
+}
+
+#[test]
+fn different_seeds_differ() {
+    let (_, a) = quick("lrz", 1);
+    let (_, b) = quick("lrz", 2);
+    assert_ne!(
+        (a.outcome.completed, a.outcome.energy_joules.to_bits()),
+        (b.outcome.completed, b.outcome.energy_joules.to_bits())
+    );
+}
+
+#[test]
+fn energy_is_physically_bounded() {
+    for key in ["stfc", "kaust", "cineca"] {
+        let (site, report) = quick(key, 5);
+        let span_secs = 12.0 * 3600.0;
+        let idle_floor = site.system.idle_watts() * span_secs;
+        let peak_ceiling = site.system.peak_watts() * span_secs;
+        assert!(
+            report.outcome.energy_joules >= idle_floor * 0.5,
+            "{key}: energy below plausible idle floor"
+        );
+        assert!(
+            report.outcome.energy_joules <= peak_ceiling,
+            "{key}: energy above physical ceiling"
+        );
+        assert!(report.outcome.peak_watts <= site.system.peak_watts() * 1.001);
+    }
+}
+
+#[test]
+fn budgeted_sites_hold_their_budget() {
+    // KAUST and Trinity run hard admission budgets; the measured peak may
+    // exceed the *granted* budget only by the idle draw of non-busy nodes
+    // (grants cover running nodes; idle nodes draw idle watts).
+    for key in ["kaust", "trinity"] {
+        let (site, report) = quick(key, 5);
+        let budget = site.power_budget_watts.unwrap();
+        let slack = site.system.idle_watts();
+        assert!(
+            report.outcome.peak_watts <= budget + slack,
+            "{key}: peak {} exceeds budget {} + idle slack {}",
+            report.outcome.peak_watts,
+            budget,
+            slack
+        );
+    }
+}
+
+#[test]
+fn workload_summaries_answer_q3e() {
+    let (_, report) = quick("tokyo-tech", 5);
+    let w = report.workload.expect("workload present");
+    assert!(w.size.min >= 1.0);
+    assert!(w.size.p10 <= w.size.p25 && w.size.p25 <= w.size.median);
+    assert!(w.size.median <= w.size.p75 && w.size.p75 <= w.size.p90);
+    assert!(w.size.p90 <= w.size.max);
+    assert!(w.runtime_secs.min > 0.0);
+    assert!(w.jobs_per_month > 0.0);
+}
+
+#[test]
+fn tables_render_from_fresh_runs() {
+    let reports: Vec<SiteReport> = epa_jsrm::sites::all_sites(4)
+        .into_iter()
+        .map(|mut s| {
+            s.horizon = SimTime::from_hours(6.0);
+            run_site(&s)
+        })
+        .collect();
+    let t1 = tables::render_table1(&reports);
+    let t2 = tables::render_table2(&reports);
+    assert!(t1.contains("RIKEN"));
+    assert!(t1.contains("270 W"));
+    assert!(t2.contains("CINECA"));
+    assert!(t2.contains("post-job energy"));
+    let evidence = tables::render_evidence(&reports);
+    assert_eq!(evidence.lines().count(), 10);
+}
+
+#[test]
+fn interaction_ledger_reflects_activity() {
+    use epa_jsrm::rm::interactions::{Component, InteractionKind};
+    let (_, report) = quick("tokyo-tech", 5);
+    // Telemetry sampled hardware at every power tick.
+    assert!(
+        report.interactions.count(
+            Component::Telemetry,
+            Component::Hardware,
+            InteractionKind::PowerMonitor
+        ) > 100
+    );
+    // User submissions flowed to the scheduler.
+    assert!(
+        report.interactions.count(
+            Component::Users,
+            Component::JobScheduler,
+            InteractionKind::ResourceControl
+        ) > 0
+    );
+}
+
+#[test]
+fn swf_roundtrip_through_engine() {
+    // Jobs written to SWF, read back, and simulated produce the same
+    // outcome as the originals (within SWF's 1-second quantization).
+    use epa_jsrm::workload::trace::{read_swf, write_swf};
+    let nodes = 64u32;
+    let spec = epa_jsrm::cluster::system::SystemSpec {
+        name: "swf-test".into(),
+        cabinets: 4,
+        nodes_per_cabinet: 16,
+        node: epa_jsrm::cluster::node::NodeSpec::typical_xeon(),
+        topology: epa_jsrm::cluster::topology::Topology::FatTree { arity: 16 },
+        peak_tflops: 1.0,
+    };
+    let horizon = SimTime::from_hours(24.0);
+    let jobs = WorkloadGenerator::new(WorkloadParams::typical(nodes, 77)).generate(horizon, 0);
+    let roundtripped = read_swf(&write_swf(&jobs)).unwrap();
+    assert_eq!(jobs.len(), roundtripped.len());
+
+    let mut p1 = EasyBackfill;
+    let out1 = ClusterSim::new(
+        spec.clone().build(),
+        jobs,
+        &mut p1,
+        EngineConfig::new(horizon),
+    )
+    .run();
+    let mut p2 = EasyBackfill;
+    let out2 = ClusterSim::new(
+        spec.build(),
+        roundtripped,
+        &mut p2,
+        EngineConfig::new(horizon),
+    )
+    .run();
+    assert_eq!(out1.completed, out2.completed);
+    let diff = (out1.utilization - out2.utilization).abs();
+    assert!(
+        diff < 0.02,
+        "utilization drifted {diff} after SWF roundtrip"
+    );
+}
+
+#[test]
+fn easy_dominates_fcfs_on_heavy_load() {
+    // The E8 headline, asserted as a test: EASY utilization >= FCFS.
+    use epa_jsrm::workload::arrival::ArrivalProcess;
+    let nodes = 64u32;
+    let spec = epa_jsrm::cluster::system::SystemSpec {
+        name: "e8-test".into(),
+        cabinets: 4,
+        nodes_per_cabinet: 16,
+        node: epa_jsrm::cluster::node::NodeSpec::typical_xeon(),
+        topology: epa_jsrm::cluster::topology::Topology::FatTree { arity: 16 },
+        peak_tflops: 1.0,
+    };
+    let horizon = SimTime::from_days(2.0);
+    let mut params = WorkloadParams::typical(nodes, 31);
+    params.arrivals = ArrivalProcess::Poisson {
+        rate_per_hour: 10.0,
+    };
+    let jobs = WorkloadGenerator::new(params).generate(horizon, 0);
+    let mut fcfs = Fcfs;
+    let a = ClusterSim::new(
+        spec.clone().build(),
+        jobs.clone(),
+        &mut fcfs,
+        EngineConfig::new(horizon),
+    )
+    .run();
+    let mut easy = EasyBackfill;
+    let b = ClusterSim::new(spec.build(), jobs, &mut easy, EngineConfig::new(horizon)).run();
+    assert!(
+        b.utilization >= a.utilization - 1e-9,
+        "easy {} < fcfs {}",
+        b.utilization,
+        a.utilization
+    );
+    assert!(b.completed >= a.completed);
+}
