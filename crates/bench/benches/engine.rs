@@ -49,6 +49,21 @@ fn bench_policies(c: &mut Criterion) {
     g.bench_function("energy-aware", |b| {
         b.iter(|| black_box(run_with(&mut EnergyAwareScheduler::default(), 128, None)));
     });
+    // Failure injection exercises the node→job reverse index (victim
+    // lookup on every failure) on top of the baseline schedule loop.
+    g.bench_function("fcfs+failures", |b| {
+        b.iter(|| {
+            let jobs = jobs_for(128, 9);
+            let mut config = EngineConfig::new(SimTime::from_days(1.0));
+            config.node_mtbf = Some(epa_simcore::time::SimDuration::from_hours(2.0));
+            let mut policy = Fcfs;
+            black_box(
+                ClusterSim::new(experiment_system(128), jobs, &mut policy, config)
+                    .run()
+                    .completed,
+            )
+        });
+    });
     g.finish();
 }
 

@@ -31,6 +31,51 @@ fn bench_integration(c: &mut Criterion) {
         });
     }
     g.finish();
+
+    // Prefix-sum lookup vs the retired full scan, on a narrow window in
+    // the middle of a long trace — the allocation-energy access pattern
+    // (job window ≪ trace span) where the O(log n) path pays off.
+    let ts = trace_with(100_000);
+    let (a, b_end) = (SimTime::from_secs(50_000.0), SimTime::from_secs(50_600.0));
+    let mut g = c.benchmark_group("power/windowed-integrate-100k-trace");
+    g.bench_function("prefix-sum", |b| {
+        b.iter(|| black_box(ts.integrate(a, b_end)));
+    });
+    g.bench_function("naive-scan", |b| {
+        b.iter(|| black_box(ts.integrate_naive(a, b_end)));
+    });
+    g.finish();
+}
+
+fn bench_meter_updates(c: &mut Criterion) {
+    use epa_cluster::node::NodeId;
+    use epa_power::meter::EnergyMeter;
+
+    let nodes: Vec<NodeId> = (0..256u32).map(NodeId).collect();
+    let mut g = c.benchmark_group("power/meter-update-256-nodes");
+    g.bench_function("per-node", |b| {
+        b.iter(|| {
+            let mut m = EnergyMeter::new();
+            for step in 0..16u32 {
+                let t = SimTime::from_secs(f64::from(step) * 60.0);
+                for &n in &nodes {
+                    m.set_node_watts(n, t, 90.0 + f64::from(step));
+                }
+            }
+            black_box(m.system_watts())
+        });
+    });
+    g.bench_function("batched", |b| {
+        b.iter(|| {
+            let mut m = EnergyMeter::new();
+            for step in 0..16u32 {
+                let t = SimTime::from_secs(f64::from(step) * 60.0);
+                m.set_alloc_watts(&nodes, t, 90.0 + f64::from(step));
+            }
+            black_box(m.system_watts())
+        });
+    });
+    g.finish();
 }
 
 fn bench_rapl(c: &mut Criterion) {
@@ -80,6 +125,7 @@ fn bench_sharing(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_integration,
+    bench_meter_updates,
     bench_rapl,
     bench_capmc,
     bench_sharing

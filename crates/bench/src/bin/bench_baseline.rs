@@ -1,0 +1,99 @@
+//! Engine throughput baseline: simulates one day of a typical workload at
+//! 256, 1,024, and 4,096 nodes under EASY backfilling and writes
+//! `BENCH_engine.json` with wall-time and events/sec per size. Run after
+//! engine changes to track the hot-path budget (see DESIGN.md,
+//! "Performance notes"):
+//!
+//! ```text
+//! cargo run --release -p epa-bench --bin bench_baseline [out.json]
+//! ```
+
+use epa_bench::experiment_system;
+use epa_sched::engine::{ClusterSim, EngineConfig};
+use epa_sched::policies::backfill::EasyBackfill;
+use epa_simcore::time::SimTime;
+use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
+use serde_json::json;
+use std::time::Instant;
+
+const SIM_DAYS: f64 = 1.0;
+const REPS: usize = 3;
+
+struct SizeResult {
+    nodes: u32,
+    wall_secs: f64,
+    events: u64,
+    completed: u64,
+}
+
+fn run_once(nodes: u32) -> (f64, u64, u64) {
+    let jobs = WorkloadGenerator::new(WorkloadParams::typical(nodes, 9))
+        .generate(SimTime::from_days(SIM_DAYS), 0);
+    let mut policy = EasyBackfill;
+    let config = EngineConfig::new(SimTime::from_days(SIM_DAYS));
+    let sim = ClusterSim::new(experiment_system(nodes), jobs, &mut policy, config);
+    let t0 = Instant::now();
+    let out = sim.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let events = out
+        .counters
+        .get("sim/events_processed")
+        .copied()
+        .unwrap_or(0);
+    (wall, events, out.completed)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_engine.json".to_owned());
+    let mut results = Vec::new();
+    for nodes in [256u32, 1024, 4096] {
+        // Best-of-N wall time: the minimum is the least-noise estimate of
+        // the engine's intrinsic cost.
+        let mut best: Option<(f64, u64, u64)> = None;
+        for _ in 0..REPS {
+            let r = run_once(nodes);
+            if best.is_none_or(|b| r.0 < b.0) {
+                best = Some(r);
+            }
+        }
+        let (wall_secs, events, completed) = best.expect("REPS > 0");
+        eprintln!(
+            "{nodes:>5} nodes: {wall_secs:.3} s/simulated-day, {events} events \
+             ({:.0} events/s), {completed} jobs completed",
+            events as f64 / wall_secs.max(1e-12)
+        );
+        results.push(SizeResult {
+            nodes,
+            wall_secs,
+            events,
+            completed,
+        });
+    }
+    let rows: Vec<serde_json::Value> = results
+        .iter()
+        .map(|r| {
+            json!({
+                "nodes": r.nodes,
+                "wall_secs_per_sim_day": r.wall_secs,
+                "events": r.events,
+                "events_per_sec": r.events as f64 / r.wall_secs.max(1e-12),
+                "completed_jobs": r.completed,
+            })
+        })
+        .collect();
+    let doc = json!({
+        "bench": "engine-simulated-day",
+        "policy": "easy-backfill",
+        "sim_days": SIM_DAYS,
+        "reps": REPS,
+        "results": rows,
+    });
+    std::fs::write(
+        &out_path,
+        serde_json::to_string_pretty(&doc).expect("serializable") + "\n",
+    )
+    .expect("write bench output");
+    eprintln!("wrote {out_path}");
+}

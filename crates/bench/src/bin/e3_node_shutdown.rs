@@ -45,7 +45,9 @@ fn run(threshold_mins: Option<f64>, seed: u64) -> (f64, u64, f64) {
 
 fn main() {
     println!("E3: idle-node shutdown on a diurnal workload");
-    println!("128 nodes, 7 simulated days, nights at 10% and weekends at 30% of a moderate peak load\n");
+    println!(
+        "128 nodes, 7 simulated days, nights at 10% and weekends at 30% of a moderate peak load\n"
+    );
     let mut table =
         ResultsTable::new(&["policy", "energy MWh", "boots", "mean wait min", "saving %"]);
     let (base_e, _, base_w) = run(None, 7);

@@ -272,8 +272,10 @@ mod tests {
 
     #[test]
     fn weather_summer_hotter_than_winter() {
-        let mut w = WeatherModel::default();
-        w.noise_std_c = 0.0;
+        let w = WeatherModel {
+            noise_std_c: 0.0,
+            ..WeatherModel::default()
+        };
         let summer = WeatherModel {
             start_day_of_year: 172,
             ..w.clone()
@@ -288,8 +290,10 @@ mod tests {
 
     #[test]
     fn weather_afternoon_hotter_than_night() {
-        let mut w = WeatherModel::default();
-        w.noise_std_c = 0.0;
+        let w = WeatherModel {
+            noise_std_c: 0.0,
+            ..WeatherModel::default()
+        };
         let afternoon = SimTime::from_hours(15.0);
         let night = SimTime::from_hours(3.0);
         assert!(w.temperature_c(afternoon) > w.temperature_c(night));
@@ -370,8 +374,10 @@ mod tests {
     #[test]
     fn temperature_continuity_across_days() {
         // No giant jumps from the jitter stream across day boundaries.
-        let mut w = WeatherModel::default();
-        w.noise_std_c = 0.5;
+        let w = WeatherModel {
+            noise_std_c: 0.5,
+            ..WeatherModel::default()
+        };
         let mut t = SimTime::ZERO;
         let mut prev = w.temperature_c(t);
         for _ in 0..48 {

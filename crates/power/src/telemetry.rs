@@ -238,11 +238,15 @@ mod tests {
 
     #[test]
     fn invalid_configs_rejected() {
-        let mut cfg = TelemetryConfig::default();
-        cfg.interval = SimDuration::ZERO;
+        let cfg = TelemetryConfig {
+            interval: SimDuration::ZERO,
+            ..TelemetryConfig::default()
+        };
         assert!(Telemetry::new(cfg).is_err());
-        let mut cfg2 = TelemetryConfig::default();
-        cfg2.noise_fraction = -0.1;
+        let cfg2 = TelemetryConfig {
+            noise_fraction: -0.1,
+            ..TelemetryConfig::default()
+        };
         assert!(Telemetry::new(cfg2).is_err());
     }
 
@@ -250,8 +254,10 @@ mod tests {
     fn readings_never_negative() {
         let mut trace = TimeSeries::new();
         trace.push(t(0.0), 0.5);
-        let mut cfg = TelemetryConfig::default();
-        cfg.noise_fraction = 5.0; // extreme noise
+        let cfg = TelemetryConfig {
+            noise_fraction: 5.0, // extreme noise
+            ..TelemetryConfig::default()
+        };
         let mut tel = Telemetry::new(cfg).unwrap();
         tel.sample_trace(&trace, t(0.0), t(50.0));
         assert!(tel.readings().iter().all(|r| r.watts >= 0.0));

@@ -36,7 +36,11 @@ pub struct NodeReading {
 /// in exactly one shard, and each shard must be internally time-ordered
 /// per node (the natural output of a per-node sampler).
 #[must_use]
-pub fn collect_concurrent(machine: &str, shards: Vec<Vec<NodeReading>>, pue: f64) -> (MonitoringHierarchy, u64) {
+pub fn collect_concurrent(
+    machine: &str,
+    shards: Vec<Vec<NodeReading>>,
+    pue: f64,
+) -> (MonitoringHierarchy, u64) {
     let hierarchy = Mutex::new(MonitoringHierarchy::new(pue));
     let ingested = AtomicU64::new(0);
     let (tx, rx) = channel::bounded::<NodeReading>(1024);
@@ -99,8 +103,9 @@ mod tests {
 
     #[test]
     fn concurrent_equals_sequential() {
-        let shards: Vec<Vec<NodeReading>> =
-            (0..8).map(|n| shard(n, 200, 100.0 * f64::from(n + 1))).collect();
+        let shards: Vec<Vec<NodeReading>> = (0..8)
+            .map(|n| shard(n, 200, 100.0 * f64::from(n + 1)))
+            .collect();
         let flat: Vec<NodeReading> = shards.iter().flatten().copied().collect();
 
         let (concurrent, ingested) = collect_concurrent("m", shards, 1.2);

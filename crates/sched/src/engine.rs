@@ -240,8 +240,25 @@ pub struct ClusterSim<'p> {
     budget: Option<PowerBudget>,
     queue: JobQueue,
     running: BTreeMap<JobId, RunningJob>,
-    node_state: BTreeMap<NodeId, NodePowerState>,
-    idle_since: BTreeMap<NodeId, SimTime>,
+    /// Power state per node, indexed by `NodeId::index()` (node ids are
+    /// dense `0..total`).
+    node_state: Vec<NodePowerState>,
+    /// When each node last became idle (`None` while busy/off/booting),
+    /// indexed by `NodeId::index()`.
+    idle_since: Vec<Option<SimTime>>,
+    /// Reverse index: which running job holds each node. Lets a node
+    /// failure find its victim without scanning every running job.
+    node_owner: Vec<Option<JobId>>,
+    /// Count of nodes in `NodePowerState::Off`, maintained on every state
+    /// transition so `try_schedule` does not rescan all nodes.
+    off_count: u32,
+    /// Running-job summaries kept sorted by `(estimated_end, id)` —
+    /// exactly the order `SchedView` promises — and updated on job
+    /// start/completion instead of rebuilt and re-sorted per decision.
+    /// `granted_watts` is snapshotted at start: grant amounts are fixed
+    /// for a grant's lifetime (the engine never calls `PowerBudget::
+    /// adjust`), so the snapshot equals the live query.
+    summaries: Vec<RunningSummary>,
     booting: u32,
     jobs: Vec<Job>,
     history: HistoryStore,
@@ -252,7 +269,8 @@ pub struct ClusterSim<'p> {
     violation_accum_secs: f64,
     last_tick: SimTime,
     rng: epa_simcore::rng::SimRng,
-    down: std::collections::BTreeSet<NodeId>,
+    /// Failed (awaiting repair) flag per node, indexed by `NodeId::index()`.
+    down: Vec<bool>,
     attempts: BTreeMap<JobId, u32>,
     /// No new starts before this instant (emergency cooldown).
     start_hold_until: SimTime,
@@ -288,13 +306,9 @@ impl<'p> ClusterSim<'p> {
             sim.schedule_at(SimTime::from_secs(first), Ev::NodeFail);
         }
         let mut meter = EnergyMeter::new();
-        let mut node_state = BTreeMap::new();
-        let mut idle_since = BTreeMap::new();
-        for n in system.nodes() {
-            node_state.insert(n, NodePowerState::Idle);
-            idle_since.insert(n, SimTime::ZERO);
-            meter.set_node_watts(n, SimTime::ZERO, system.spec().node.idle_watts);
-        }
+        let n_nodes = total as usize;
+        let all_nodes: Vec<NodeId> = system.nodes().collect();
+        meter.set_alloc_watts(&all_nodes, SimTime::ZERO, system.spec().node.idle_watts);
         ClusterSim {
             config,
             system,
@@ -307,8 +321,11 @@ impl<'p> ClusterSim<'p> {
             budget,
             queue: JobQueue::new(),
             running: BTreeMap::new(),
-            node_state,
-            idle_since,
+            node_state: vec![NodePowerState::Idle; n_nodes],
+            idle_since: vec![Some(SimTime::ZERO); n_nodes],
+            node_owner: vec![None; n_nodes],
+            off_count: 0,
+            summaries: Vec::new(),
             booting: 0,
             jobs,
             history: HistoryStore::new(),
@@ -319,7 +336,7 @@ impl<'p> ClusterSim<'p> {
             violation_accum_secs: 0.0,
             last_tick: SimTime::ZERO,
             rng,
-            down: std::collections::BTreeSet::new(),
+            down: vec![false; n_nodes],
             attempts: BTreeMap::new(),
             start_hold_until: SimTime::ZERO,
             hold_resume_pending: false,
@@ -374,10 +391,7 @@ impl<'p> ClusterSim<'p> {
                     if self.attempts.get(&id).copied() == Some(attempt) {
                         if let Some(r) = self.running.get(&id) {
                             if let Some(&w) = r.phase_watts.get(phase) {
-                                let nodes = r.nodes.clone();
-                                for n in nodes {
-                                    self.meter.set_node_watts(n, t, w);
-                                }
+                                self.meter.set_alloc_watts(&r.nodes, t, w);
                                 self.metrics.incr("jobs/phase_changes", 1);
                             }
                         }
@@ -404,7 +418,7 @@ impl<'p> ClusterSim<'p> {
                     self.booting = self.booting.saturating_sub(1);
                     self.set_node_state(n, NodePowerState::Idle, t);
                     self.allocator.mark_available(n);
-                    self.idle_since.insert(n, t);
+                    self.idle_since[n.index()] = Some(t);
                     self.try_schedule();
                 }
                 Ev::ShutdownDone(n) => {
@@ -429,10 +443,10 @@ impl<'p> ClusterSim<'p> {
                     }
                 }
                 Ev::RepairDone(n) => {
-                    self.down.remove(&n);
+                    self.down[n.index()] = false;
                     self.set_node_state(n, NodePowerState::Idle, t);
                     self.allocator.mark_available(n);
-                    self.idle_since.insert(n, t);
+                    self.idle_since[n.index()] = Some(t);
                     self.metrics.incr("rm/repairs", 1);
                     self.try_schedule();
                 }
@@ -445,63 +459,78 @@ impl<'p> ClusterSim<'p> {
     /// (if any) is killed, the node goes down and is repaired after the
     /// configured repair time.
     fn on_node_fail(&mut self, t: SimTime) {
+        // Ascending node-id order, matching the old sorted-map scan, so the
+        // RNG draw sequence (and thus every seeded run) is unchanged.
         let operational: Vec<NodeId> = self
             .node_state
             .iter()
-            .filter(|(n, s)| {
-                matches!(s, NodePowerState::Idle | NodePowerState::Busy) && !self.down.contains(n)
+            .enumerate()
+            .filter(|&(i, s)| {
+                matches!(s, NodePowerState::Idle | NodePowerState::Busy) && !self.down[i]
             })
-            .map(|(&n, _)| n)
+            .map(|(i, _)| NodeId(i as u32))
             .collect();
         if operational.is_empty() {
             return;
         }
         let victim = *self.rng.choose(&operational);
         self.metrics.incr("rm/failures", 1);
-        // Kill the job occupying the node, if any.
-        let holder = self
-            .running
-            .iter()
-            .find(|(_, r)| r.nodes.contains(&victim))
-            .map(|(&id, _)| id);
-        if let Some(id) = holder {
+        // Kill the job occupying the node, if any (O(1) reverse lookup).
+        if let Some(id) = self.node_owner[victim.index()] {
             let r = self.running.remove(&id).expect("holder is running");
             self.complete(r, t, Departure::Failure);
         }
         // Take the node down (it is free/idle now).
         self.allocator.mark_unavailable(victim);
-        self.idle_since.remove(&victim);
-        self.down.insert(victim);
+        self.idle_since[victim.index()] = None;
+        self.down[victim.index()] = true;
         self.set_node_state(victim, NodePowerState::Off, t);
         self.sim
             .schedule_in(self.config.repair_time, Ev::RepairDone(victim));
         self.try_schedule();
     }
 
+    /// Transitions a node's recorded power state, keeping `off_count`
+    /// consistent. Does not touch the meter.
+    fn set_state(&mut self, node: NodeId, state: NodePowerState) {
+        let old = std::mem::replace(&mut self.node_state[node.index()], state);
+        if matches!(old, NodePowerState::Off) {
+            self.off_count -= 1;
+        }
+        if matches!(state, NodePowerState::Off) {
+            self.off_count += 1;
+        }
+    }
+
     fn set_node_state(&mut self, node: NodeId, state: NodePowerState, t: SimTime) {
-        self.node_state.insert(node, state);
+        self.set_state(node, state);
         let watts = self
             .power_model
             .watts(state, 0.0, self.system.spec().node.cpu.base_freq_ghz);
         self.meter.set_node_watts(node, t, watts);
     }
 
-    fn running_summaries(&self) -> Vec<RunningSummary> {
-        let mut v: Vec<RunningSummary> = self
-            .running
-            .values()
-            .map(|r| RunningSummary {
-                id: r.job.id,
-                nodes: r.nodes.len() as u32,
-                estimated_end: r.estimated_end,
-                watts: r.watts_per_node * r.nodes.len() as f64,
-                granted_watts: r
-                    .grant
-                    .and_then(|g| self.budget.as_ref().and_then(|b| b.grant_watts(g))),
-            })
-            .collect();
-        v.sort_by_key(|s| s.estimated_end);
-        v
+    /// Inserts a summary at its sorted position. The `(estimated_end, id)`
+    /// key reproduces the old rebuild exactly: a stable sort by
+    /// `estimated_end` over jobs iterated in id order ties by id.
+    fn summary_insert(&mut self, s: RunningSummary) {
+        let key = (s.estimated_end, s.id);
+        let pos = self
+            .summaries
+            .partition_point(|x| (x.estimated_end, x.id) < key);
+        self.summaries.insert(pos, s);
+    }
+
+    /// Removes the summary for `id` (binary search on its sort key).
+    fn summary_remove(&mut self, id: JobId, estimated_end: SimTime) {
+        let pos = self
+            .summaries
+            .partition_point(|x| (x.estimated_end, x.id) < (estimated_end, id));
+        debug_assert!(
+            self.summaries.get(pos).is_some_and(|s| s.id == id),
+            "summary for {id:?} must exist at its sort position"
+        );
+        self.summaries.remove(pos);
     }
 
     fn try_schedule(&mut self) {
@@ -517,7 +546,6 @@ impl<'p> ClusterSim<'p> {
             }
         }
         let now = self.sim.now();
-        let running = self.running_summaries();
         let headroom = self
             .budget
             .as_ref()
@@ -540,13 +568,9 @@ impl<'p> ClusterSim<'p> {
             let view = SchedView {
                 now,
                 free_nodes: self.allocator.free_count() as u32,
-                off_nodes: self
-                    .node_state
-                    .values()
-                    .filter(|s| matches!(s, NodePowerState::Off))
-                    .count() as u32,
+                off_nodes: self.off_count,
                 total_nodes: self.system.spec().total_nodes(),
-                running: &running,
+                running: &self.summaries,
                 power_headroom_watts: headroom,
                 power_budget_watts: budget_total,
                 system_watts: self.meter.system_watts(),
@@ -603,8 +627,9 @@ impl<'p> ClusterSim<'p> {
         let off: Vec<NodeId> = self
             .node_state
             .iter()
+            .enumerate()
             .filter(|(_, s)| matches!(s, NodePowerState::Off))
-            .map(|(&n, _)| n)
+            .map(|(i, _)| NodeId(i as u32))
             .take(need as usize)
             .collect();
         let now = self.sim.now();
@@ -778,10 +803,11 @@ impl<'p> ClusterSim<'p> {
 
         let first_watts = phase_watts.first().copied().unwrap_or(watts_per_node);
         for &n in &nodes {
-            self.node_state.insert(n, NodePowerState::Busy);
-            self.meter.set_node_watts(n, now, first_watts);
-            self.idle_since.remove(&n);
+            self.set_state(n, NodePowerState::Busy);
+            self.idle_since[n.index()] = None;
+            self.node_owner[n.index()] = Some(job.id);
         }
+        self.meter.set_alloc_watts(&nodes, now, first_watts);
         self.metrics.incr("jobs/started", 1);
         self.metrics
             .observe("sched/wait_secs", (now - job.submit).as_secs());
@@ -799,6 +825,13 @@ impl<'p> ClusterSim<'p> {
                     .schedule_at(t_k, Ev::PhaseChange(job.id, attempt, next));
             }
         }
+        self.summary_insert(RunningSummary {
+            id: job.id,
+            nodes: nodes.len() as u32,
+            estimated_end,
+            watts: watts_per_node * nodes.len() as f64,
+            granted_watts: grant.and_then(|g| self.budget.as_ref().and_then(|b| b.grant_watts(g))),
+        });
         self.running.insert(
             job.id,
             RunningJob {
@@ -830,13 +863,21 @@ impl<'p> ClusterSim<'p> {
     }
 
     fn complete(&mut self, r: RunningJob, t: SimTime, departure: Departure) {
+        self.summary_remove(r.job.id, r.estimated_end);
         let energy = self.meter.allocation_energy_joules(&r.nodes, r.start, t);
         let run_secs = (t - r.start).as_secs();
         self.busy_node_seconds += run_secs * r.nodes.len() as f64;
         for &n in &r.nodes {
-            self.set_node_state(n, NodePowerState::Idle, t);
-            self.idle_since.insert(n, t);
+            self.set_state(n, NodePowerState::Idle);
+            self.idle_since[n.index()] = Some(t);
+            self.node_owner[n.index()] = None;
         }
+        let idle_watts = self.power_model.watts(
+            NodePowerState::Idle,
+            0.0,
+            self.system.spec().node.cpu.base_freq_ghz,
+        );
+        self.meter.set_alloc_watts(&r.nodes, t, idle_watts);
         self.allocator.release(&r.nodes);
         if let (Some(budget), Some(g)) = (self.budget.as_mut(), r.grant) {
             let _ = budget.release(g);
@@ -955,22 +996,24 @@ impl<'p> ClusterSim<'p> {
                 let candidates: Vec<NodeId> = self
                     .idle_since
                     .iter()
-                    .filter(|(n, &since)| {
-                        matches!(self.node_state[*n], NodePowerState::Idle)
+                    .enumerate()
+                    .filter_map(|(i, since)| since.map(|s| (i, s)))
+                    .filter(|&(i, since)| {
+                        matches!(self.node_state[i], NodePowerState::Idle)
                             && (now - since) >= sd.idle_threshold
                     })
-                    .map(|(&n, _)| n)
+                    .map(|(i, _)| NodeId(i as u32))
                     .collect();
                 // Keep a reserve of idle nodes for responsiveness.
                 let idle_count = self
                     .node_state
-                    .values()
+                    .iter()
                     .filter(|s| matches!(s, NodePowerState::Idle))
                     .count() as u32;
                 let can_shut = idle_count.saturating_sub(sd.min_idle_reserve);
                 for n in candidates.into_iter().take(can_shut as usize) {
                     if self.allocator.mark_unavailable(n) {
-                        self.idle_since.remove(&n);
+                        self.idle_since[n.index()] = None;
                         self.metrics.incr("rm/shutdowns", 1);
                         // Shutdown takes effect after a short drain.
                         self.sim.schedule_in(sd.shutdown_time, Ev::ShutdownDone(n));
@@ -997,6 +1040,8 @@ impl<'p> ClusterSim<'p> {
             let denom = c.run_secs.max(10.0);
             slowdowns.push(((c.wait_secs + c.run_secs) / denom).max(1.0));
         }
+        self.metrics
+            .incr("sim/events_processed", self.sim.events_processed());
         let energy = self.meter.system_energy_joules(SimTime::ZERO, end);
         let peak = self.meter.peak_system_watts(SimTime::ZERO, end);
         let avg = self.meter.avg_system_watts(SimTime::ZERO, end);

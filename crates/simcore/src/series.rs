@@ -12,16 +12,30 @@ use serde::{Deserialize, Serialize};
 /// A piecewise-constant time series: the value set at `t_i` holds on
 /// `[t_i, t_{i+1})`. Change points must be appended in non-decreasing
 /// time order.
+///
+/// Alongside the change points the series maintains a cumulative-energy
+/// prefix-sum array: `cum[i]` is the exact integral of the step function
+/// from the first change point up to `points[i].0`. Window queries
+/// ([`integrate`](Self::integrate), [`max_on`](Self::max_on),
+/// [`time_weighted_mean`](Self::time_weighted_mean)) binary-search the
+/// change points instead of scanning the whole trace, so a query costs
+/// O(log n) (plus the window's own length for `max_on`) rather than O(n).
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct TimeSeries {
     points: Vec<(SimTime, f64)>,
+    /// `cum[i]` = ∫ from `points[0].0` to `points[i].0`; always the same
+    /// length as `points` (`cum[0]` is 0).
+    cum: Vec<f64>,
 }
 
 impl TimeSeries {
     /// Creates an empty series.
     #[must_use]
     pub fn new() -> Self {
-        TimeSeries { points: Vec::new() }
+        TimeSeries {
+            points: Vec::new(),
+            cum: Vec::new(),
+        }
     }
 
     /// Creates a series with an initial value at t = 0.
@@ -29,6 +43,7 @@ impl TimeSeries {
     pub fn with_initial(value: f64) -> Self {
         TimeSeries {
             points: vec![(SimTime::ZERO, value)],
+            cum: vec![0.0],
         }
     }
 
@@ -43,6 +58,8 @@ impl TimeSeries {
         if let Some(&(last_t, last_v)) = self.points.last() {
             assert!(t >= last_t, "time series must be appended in order");
             if t == last_t {
+                // `cum` is unaffected: cum[last] covers only up to last_t,
+                // and the segment starting there has not elapsed yet.
                 let last = self.points.last_mut().expect("nonempty");
                 last.1 = value;
                 return;
@@ -51,8 +68,25 @@ impl TimeSeries {
             if last_v == value {
                 return;
             }
+            let total = self.cum.last().expect("cum tracks points");
+            self.cum.push(total + last_v * (t - last_t).as_secs());
+        } else {
+            self.cum.push(0.0);
         }
         self.points.push((t, value));
+    }
+
+    /// Cumulative integral from the first change point to `x`, read from
+    /// the prefix-sum array in O(log n).
+    fn energy_to(&self, x: SimTime) -> f64 {
+        match self.points.binary_search_by(|&(pt, _)| pt.cmp(&x)) {
+            Ok(i) => self.cum[i],
+            Err(0) => 0.0,
+            Err(i) => {
+                let (t_prev, v_prev) = self.points[i - 1];
+                self.cum[i - 1] + v_prev * (x - t_prev).as_secs()
+            }
+        }
     }
 
     /// Number of stored change points.
@@ -84,12 +118,25 @@ impl TimeSeries {
         self.points.last().copied()
     }
 
-    /// Exact integral of the step function over `[a, b]`.
+    /// Exact integral of the step function over `[a, b]`, in O(log n) as
+    /// the difference of two prefix-sum reads.
     ///
     /// Intervals before the first change point contribute zero. For a power
     /// trace in watts this returns joules.
     #[must_use]
     pub fn integrate(&self, a: SimTime, b: SimTime) -> f64 {
+        assert!(b >= a, "integration bounds reversed");
+        if self.points.is_empty() || b == a {
+            return 0.0;
+        }
+        self.energy_to(b) - self.energy_to(a)
+    }
+
+    /// Reference O(n) implementation of [`integrate`](Self::integrate):
+    /// a direct scan over every segment. Kept for the equivalence
+    /// property tests and the naive-vs-prefix benchmarks.
+    #[must_use]
+    pub fn integrate_naive(&self, a: SimTime, b: SimTime) -> f64 {
         assert!(b >= a, "integration bounds reversed");
         if self.points.is_empty() || b == a {
             return 0.0;
@@ -127,16 +174,19 @@ impl TimeSeries {
 
     /// Maximum value attained on `[a, b]` (considering the value in effect
     /// at `a`). `None` if the series has no value anywhere on the interval.
+    ///
+    /// Costs O(log n + k) where k is the number of change points inside
+    /// the window: the window start is located by binary search instead of
+    /// scanning from the beginning of the trace.
     #[must_use]
     pub fn max_on(&self, a: SimTime, b: SimTime) -> Option<f64> {
         let mut best: Option<f64> = self.value_at(a);
-        for &(t, v) in &self.points {
+        let start = self.points.partition_point(|&(t, _)| t < a);
+        for &(t, v) in &self.points[start..] {
             if t > b {
                 break;
             }
-            if t >= a {
-                best = Some(best.map_or(v, |m| m.max(v)));
-            }
+            best = Some(best.map_or(v, |m| m.max(v)));
         }
         best
     }
@@ -262,6 +312,43 @@ mod tests {
         ts.push(t(10.0), 1.0);
         ts.push(t(5.0), 2.0);
     }
+
+    #[test]
+    fn prefix_sum_tracks_points_through_overwrite_and_skip() {
+        let mut ts = TimeSeries::new();
+        ts.push(t(0.0), 100.0);
+        ts.push(t(10.0), 100.0); // redundant, skipped
+        ts.push(t(20.0), 200.0);
+        ts.push(t(20.0), 300.0); // equal-time overwrite
+        assert_eq!(ts.len(), 2);
+        // [0,20) at 100, then 300 onward.
+        assert!((ts.integrate(t(0.0), t(30.0)) - (2000.0 + 3000.0)).abs() < 1e-9);
+        assert!(
+            (ts.integrate(t(0.0), t(30.0)) - ts.integrate_naive(t(0.0), t(30.0))).abs() < 1e-12
+        );
+    }
+
+    #[test]
+    fn integrate_matches_naive_on_window_edges() {
+        let mut ts = TimeSeries::new();
+        for i in 0..50 {
+            ts.push(t(f64::from(i) * 3.0), f64::from(i % 7) * 10.0 + 1.0);
+        }
+        for &(a, b) in &[
+            (0.0, 147.0),
+            (1.5, 1.5),
+            (10.0, 11.0),
+            (0.0, 500.0),
+            (140.0, 300.0),
+        ] {
+            let fast = ts.integrate(t(a), t(b));
+            let naive = ts.integrate_naive(t(a), t(b));
+            assert!(
+                (fast - naive).abs() < 1e-9 * (1.0 + naive.abs()),
+                "[{a},{b}]: {fast} vs {naive}"
+            );
+        }
+    }
 }
 
 #[cfg(test)]
@@ -305,6 +392,53 @@ mod proptests {
             let b = start + len;
             let got = ts.integrate(t(0.0), t(b));
             prop_assert!((got - v * len).abs() < 1e-6 * (1.0 + got.abs()));
+        }
+
+        /// The prefix-sum integral agrees with the naive full scan on
+        /// arbitrary traces and windows, including equal-time overwrites.
+        #[test]
+        fn prefix_sum_matches_naive_scan(
+            steps in proptest::collection::vec((0.0f64..20.0, 0.0f64..500.0), 1..120),
+            window in (0.0f64..2400.0, 0.0f64..2400.0),
+        ) {
+            let mut ts = TimeSeries::new();
+            let mut clock = 0.0;
+            for (dt, v) in steps {
+                clock += dt; // dt may be 0: exercises last-write-wins
+                ts.push(t(clock), v);
+            }
+            let (lo, hi) = if window.0 <= window.1 { window } else { (window.1, window.0) };
+            let fast = ts.integrate(t(lo), t(hi));
+            let naive = ts.integrate_naive(t(lo), t(hi));
+            prop_assert!(
+                (fast - naive).abs() < 1e-6 * (1.0 + naive.abs()),
+                "window [{}, {}]: prefix {} vs naive {}", lo, hi, fast, naive
+            );
+        }
+
+        /// `max_on` with the binary-searched window start agrees with a
+        /// naive scan over all change points.
+        #[test]
+        fn max_on_matches_naive_scan(
+            steps in proptest::collection::vec((0.1f64..20.0, 0.0f64..500.0), 1..60),
+            window in (0.0f64..1300.0, 0.0f64..1300.0),
+        ) {
+            let mut ts = TimeSeries::new();
+            let mut clock = 0.0;
+            for (dt, v) in steps {
+                clock += dt;
+                ts.push(t(clock), v);
+            }
+            let (lo, hi) = if window.0 <= window.1 { window } else { (window.1, window.0) };
+            let fast = ts.max_on(t(lo), t(hi));
+            let mut naive: Option<f64> = ts.value_at(t(lo));
+            for (pt, v) in ts.iter() {
+                if pt > t(hi) { break; }
+                if pt >= t(lo) {
+                    naive = Some(naive.map_or(v, |m| m.max(v)));
+                }
+            }
+            prop_assert_eq!(fast, naive);
         }
     }
 }

@@ -1,0 +1,223 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Keeps criterion's authoring surface (`Criterion`, `benchmark_group`,
+//! `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! `criterion_group!`/`criterion_main!`) but replaces the statistical
+//! machinery with a simple calibrated timer: each benchmark is warmed up,
+//! the iteration count is scaled to a ~100 ms measurement window, and the
+//! median of `sample_size` samples is printed as ns/iter.
+//!
+//! Set `CRITERION_FAST=1` to cut warm-up and samples for smoke runs.
+
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier; renders as `function/parameter`.
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with both a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: format!("{}/{parameter}", function.into()),
+        }
+    }
+
+    /// An id carrying only a parameter (grouped benches).
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        Self { id: s.to_owned() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        Self { id: s }
+    }
+}
+
+/// Measures one benchmark body via [`Bencher::iter`].
+pub struct Bencher {
+    samples: usize,
+    /// Median ns/iter, filled in by `iter`.
+    result_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`, storing the median ns/iter across samples.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up and calibration: find an iteration count that fills
+        // roughly the measurement window.
+        let calib_start = Instant::now();
+        std::hint::black_box(routine());
+        let first = calib_start.elapsed();
+        let window = if fast_mode() {
+            Duration::from_millis(10)
+        } else {
+            Duration::from_millis(100)
+        };
+        let iters = if first.is_zero() {
+            1024
+        } else {
+            (window.as_nanos() / first.as_nanos().max(1)).clamp(1, 1_000_000) as u64
+        };
+
+        let mut samples_ns = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            samples_ns.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.partial_cmp(b).expect("finite timings"));
+        self.result_ns = samples_ns[samples_ns.len() / 2];
+    }
+}
+
+fn fast_mode() -> bool {
+    std::env::var("CRITERION_FAST").is_ok_and(|v| v != "0")
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: default_samples(),
+            _criterion: self,
+        }
+    }
+
+    /// Runs a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        run_bench(&id.into().id, default_samples(), f);
+        self
+    }
+}
+
+fn default_samples() -> usize {
+    if fast_mode() {
+        3
+    } else {
+        10
+    }
+}
+
+/// A named set of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets how many timing samples to take per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark within this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        f: F,
+    ) -> &mut Self {
+        let id = id.into();
+        run_bench(&format!("{}/{}", self.name, id.id), self.sample_size, f);
+        self
+    }
+
+    /// Runs a parameterized benchmark within this group.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_bench(&format!("{}/{}", self.name, id.id), self.sample_size, |b| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// Ends the group (printing is already done per-bench).
+    pub fn finish(self) {}
+}
+
+fn run_bench<F: FnMut(&mut Bencher)>(full_id: &str, samples: usize, mut f: F) {
+    let mut bencher = Bencher {
+        samples,
+        result_ns: 0.0,
+    };
+    f(&mut bencher);
+    let ns = bencher.result_ns;
+    let human = if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    };
+    println!("bench: {full_id:<50} {human}/iter");
+}
+
+/// Declares a benchmark group runner, criterion-style.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_and_reports() {
+        std::env::set_var("CRITERION_FAST", "1");
+        let mut c = Criterion::default();
+        c.bench_function("smoke/add", |b| b.iter(|| std::hint::black_box(2u64 + 2)));
+        let mut g = c.benchmark_group("group");
+        g.sample_size(3);
+        g.bench_function("inner", |b| b.iter(|| std::hint::black_box(1u64)));
+        g.bench_with_input(BenchmarkId::from_parameter(42), &42u64, |b, &n| {
+            b.iter(|| std::hint::black_box(n * 2));
+        });
+        g.finish();
+    }
+}

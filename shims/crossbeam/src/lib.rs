@@ -1,0 +1,243 @@
+//! Offline stand-in for `crossbeam`: bounded MPMC channels (hand-rolled
+//! `Mutex` + `Condvar` queue, so both halves are `Sync` and cloneable like
+//! crossbeam's) and scoped threads over `std::thread::scope`.
+
+/// Multi-producer multi-consumer channels (subset of `crossbeam-channel`).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        state: Mutex<State<T>>,
+        /// Signaled when the queue gains an item or all senders drop.
+        not_empty: Condvar,
+        /// Signaled when the queue loses an item or all receivers drop.
+        not_full: Condvar,
+    }
+
+    struct State<T> {
+        queue: VecDeque<T>,
+        cap: usize,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Sending half; cloneable for multiple producers.
+    pub struct Sender<T>(Arc<Shared<T>>);
+
+    /// Receiving half; cloneable, and `Sync` so it can be shared by
+    /// reference across scoped threads.
+    pub struct Receiver<T>(Arc<Shared<T>>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").senders += 1;
+            Sender(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel lock");
+            st.senders -= 1;
+            if st.senders == 0 {
+                drop(st);
+                self.0.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.state.lock().expect("channel lock").receivers += 1;
+            Receiver(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut st = self.0.state.lock().expect("channel lock");
+            st.receivers -= 1;
+            if st.receivers == 0 {
+                drop(st);
+                self.0.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Blocks until the value is accepted; errors when all receivers
+        /// are gone.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            loop {
+                if st.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if st.queue.len() < st.cap {
+                    st.queue.push_back(value);
+                    drop(st);
+                    self.0.not_empty.notify_one();
+                    return Ok(());
+                }
+                st = self.0.not_full.wait(st).expect("channel lock");
+            }
+        }
+    }
+
+    /// The send-side error: the message that could not be delivered.
+    #[derive(Debug)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> Receiver<T> {
+        /// Blocks until a value arrives or all senders are dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            loop {
+                if let Some(v) = st.queue.pop_front() {
+                    drop(st);
+                    self.0.not_full.notify_one();
+                    return Ok(v);
+                }
+                if st.senders == 0 {
+                    return Err(RecvError);
+                }
+                st = self.0.not_empty.wait(st).expect("channel lock");
+            }
+        }
+
+        /// Non-blocking receive.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut st = self.0.state.lock().expect("channel lock");
+            if let Some(v) = st.queue.pop_front() {
+                drop(st);
+                self.0.not_full.notify_one();
+                return Ok(v);
+            }
+            if st.senders == 0 {
+                Err(TryRecvError::Disconnected)
+            } else {
+                Err(TryRecvError::Empty)
+            }
+        }
+    }
+
+    /// All senders dropped and the buffer is empty.
+    #[derive(Debug)]
+    pub struct RecvError;
+
+    /// Why a non-blocking receive returned nothing.
+    #[derive(Debug)]
+    pub enum TryRecvError {
+        /// No message buffered right now.
+        Empty,
+        /// No message and no senders remain.
+        Disconnected,
+    }
+
+    /// Creates a bounded channel with the given capacity.
+    #[must_use]
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            state: Mutex::new(State {
+                queue: VecDeque::with_capacity(cap.min(4096)),
+                cap: cap.max(1),
+                senders: 1,
+                receivers: 1,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+        });
+        (Sender(Arc::clone(&shared)), Receiver(shared))
+    }
+}
+
+/// Scoped threads (subset of `crossbeam-utils`' `thread` module).
+pub mod thread {
+    /// Handle passed to the scope closure; spawns borrowing threads.
+    pub struct Scope<'scope, 'env: 'scope>(&'scope std::thread::Scope<'scope, 'env>);
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope (to
+        /// allow nested spawns), matching crossbeam's signature.
+        pub fn spawn<F, T>(&self, f: F)
+        where
+            F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.0;
+            inner.spawn(move || f(&Scope(inner)));
+        }
+    }
+
+    /// Runs `f` with a scope in which borrowing threads can be spawned;
+    /// joins them all before returning. Panics in child threads propagate
+    /// (so the `Ok` is unconditional, like crossbeam's happy path).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope(s))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fan_in() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let total: u32 = thread::scope(|s| {
+            for base in 0..4u32 {
+                let tx = tx.clone();
+                s.spawn(move |_| {
+                    for i in 0..10 {
+                        tx.send(base * 10 + i).expect("receiver alive");
+                    }
+                });
+            }
+            drop(tx);
+            let mut sum = 0;
+            while let Ok(v) = rx.recv() {
+                sum += v;
+            }
+            sum
+        })
+        .expect("threads join");
+        assert_eq!(total, (0..40).sum());
+    }
+
+    #[test]
+    fn receiver_shared_by_reference() {
+        let (tx, rx) = channel::bounded::<u64>(8);
+        let sum: u64 = thread::scope(|s| {
+            s.spawn(|_| {
+                for i in 0..100u64 {
+                    tx.send(i).expect("receiver alive");
+                }
+                drop(tx);
+            });
+            // Borrow rx from the scope closure, as epa-rm does.
+            let mut acc = 0;
+            while let Ok(v) = rx.recv() {
+                acc += v;
+            }
+            acc
+        })
+        .expect("threads join");
+        assert_eq!(sum, (0..100).sum());
+    }
+
+    #[test]
+    fn try_recv_reports_disconnect() {
+        let (tx, rx) = channel::bounded::<u8>(2);
+        tx.send(9).unwrap();
+        drop(tx);
+        assert!(matches!(rx.try_recv(), Ok(9)));
+        assert!(matches!(
+            rx.try_recv(),
+            Err(channel::TryRecvError::Disconnected)
+        ));
+    }
+}

@@ -1,0 +1,43 @@
+//! Offline stand-in for `parking_lot`: a [`Mutex`] whose `lock()` does not
+//! return a poison `Result`, backed by `std::sync::Mutex`.
+
+use std::sync::MutexGuard;
+
+/// A mutex with `parking_lot`'s panic-free locking API.
+#[derive(Debug, Default)]
+pub struct Mutex<T: ?Sized>(std::sync::Mutex<T>);
+
+impl<T> Mutex<T> {
+    /// Creates a new mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex(std::sync::Mutex::new(value))
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.0.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T: ?Sized> Mutex<T> {
+    /// Acquires the lock, ignoring poisoning (matching `parking_lot`,
+    /// which has no lock poisoning).
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        self.0
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_and_mutate() {
+        let m = Mutex::new(0);
+        *m.lock() += 41;
+        *m.lock() += 1;
+        assert_eq!(m.into_inner(), 42);
+    }
+}

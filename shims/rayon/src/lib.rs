@@ -1,0 +1,45 @@
+//! Offline stand-in for `rayon`.
+//!
+//! `par_iter()` here returns a plain sequential iterator: every adapter
+//! and reduction used by the workspace (`map`, `sum`) then comes from
+//! `std::iter::Iterator`. Replication runs serially — correctness and
+//! determinism are identical, only wall-clock parallel speedup is lost,
+//! which this offline environment accepts.
+
+/// The rayon prelude: `par_iter()` entry points.
+pub mod prelude {
+    /// Types with a by-reference "parallel" iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The iterator type.
+        type Iter: Iterator;
+
+        /// Iterates the collection (sequentially in this stand-in).
+        fn par_iter(&'data self) -> Self::Iter;
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+
+    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Iter = std::slice::Iter<'data, T>;
+        fn par_iter(&'data self) -> Self::Iter {
+            self.iter()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn par_iter_matches_iter() {
+        let v = [1u64, 2, 3, 4];
+        let total: u64 = v.par_iter().map(|&x| x * 2).sum();
+        assert_eq!(total, 20);
+    }
+}

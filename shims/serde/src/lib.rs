@@ -1,0 +1,254 @@
+//! Offline stand-in for `serde`.
+//!
+//! The build environment cannot reach crates.io, so this workspace
+//! vendors a minimal serialization framework with serde's surface:
+//! `#[derive(Serialize, Deserialize)]` and the `serde_json` entry points
+//! the code calls. Serialization is direct-to-[`Value`] (the JSON data
+//! model) rather than serde's visitor architecture — equivalent output
+//! for every type this workspace serializes, a fraction of the machinery.
+//!
+//! Nothing in the workspace deserializes at runtime, so the
+//! `Deserialize` derive is accepted and expands to nothing.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+/// A JSON value tree. Object keys keep insertion order, which for derived
+/// structs is declaration order — making serialized output deterministic
+/// (the golden-snapshot tests rely on this).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept apart so `u64::MAX` survives).
+    UInt(u64),
+    /// Floating point number.
+    Float(f64),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The string to use when this value is an object key.
+    #[must_use]
+    pub fn as_key(&self) -> String {
+        match self {
+            Value::String(s) => s.clone(),
+            Value::Int(i) => i.to_string(),
+            Value::UInt(u) => u.to_string(),
+            Value::Bool(b) => b.to_string(),
+            Value::Float(f) => format!("{f}"),
+            other => panic!("unsupported JSON object key: {other:?}"),
+        }
+    }
+}
+
+/// Types that can serialize themselves into a [`Value`].
+pub trait Serialize {
+    /// Converts `self` into the JSON data model.
+    fn to_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+macro_rules! impl_serialize_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Int(i64::from(*self))
+            }
+        }
+    )*};
+}
+
+impl_serialize_int!(i8, i16, i32, i64, u8, u16, u32);
+
+impl Serialize for u64 {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self)
+    }
+}
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::UInt(*self as u64)
+    }
+}
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        Value::Int(*self as i64)
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_owned())
+    }
+}
+
+impl Serialize for char {
+    fn to_value(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_value(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_value(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_value().as_key(), v.to_value()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: Serialize, V: Serialize> Serialize for HashMap<K, V> {
+    fn to_value(&self) -> Value {
+        // Sort for deterministic output (HashMap iteration order is not).
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_value().as_key(), v.to_value()))
+            .collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Object(entries)
+    }
+}
+
+impl<T: Serialize> Serialize for BTreeSet<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+)),+) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_value(&self) -> Value {
+                Value::Array(vec![$(self.$idx.to_value()),+])
+            }
+        }
+    )+};
+}
+
+impl_serialize_tuple!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+    (A.0, B.1, C.2, D.3, E.4, F.5)
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_map_to_expected_variants() {
+        assert_eq!(3u32.to_value(), Value::Int(3));
+        assert_eq!(3u64.to_value(), Value::UInt(3));
+        assert_eq!((-3i64).to_value(), Value::Int(-3));
+        assert_eq!(1.5f64.to_value(), Value::Float(1.5));
+        assert_eq!(true.to_value(), Value::Bool(true));
+        assert_eq!("x".to_value(), Value::String("x".into()));
+        assert_eq!(Option::<u32>::None.to_value(), Value::Null);
+    }
+
+    #[test]
+    fn containers_nest() {
+        let v = vec![(1u32, 2.0f64)];
+        assert_eq!(
+            v.to_value(),
+            Value::Array(vec![Value::Array(vec![Value::Int(1), Value::Float(2.0)])])
+        );
+        let mut m = BTreeMap::new();
+        m.insert("k".to_owned(), 7u64);
+        assert_eq!(
+            m.to_value(),
+            Value::Object(vec![("k".into(), Value::UInt(7))])
+        );
+    }
+}

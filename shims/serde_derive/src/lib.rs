@@ -1,0 +1,260 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates `impl serde::Serialize` with a hand-rolled `proc_macro`
+//! token walker (no `syn`/`quote` offline). Supported shapes — the full
+//! set this workspace uses:
+//!
+//! - named-field structs → JSON objects in declaration order
+//! - newtype structs → transparent (serde's default; `#[serde(transparent)]`
+//!   is accepted and redundant)
+//! - tuple structs → JSON arrays
+//! - enums → externally tagged (serde's default): unit variants as
+//!   strings, data variants as single-key objects
+//!
+//! `#[derive(Deserialize)]` is accepted and expands to nothing: no code
+//! in this workspace deserializes at runtime.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    skip_attributes(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("serde shim: expected type name, found {other}"),
+    };
+    i += 1;
+    if matches!(&tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde shim: generic types are not supported (derive on {name})");
+    }
+
+    let body = match kind.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                struct_body(&name, named_field_idents(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                tuple_struct_body(count_top_level(g.stream()))
+            }
+            _ => "serde::Value::Null".to_owned(),
+        },
+        "enum" => {
+            let group = loop {
+                match &tokens[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g,
+                    _ => i += 1,
+                }
+            };
+            enum_body(&name, group.stream())
+        }
+        other => panic!("serde shim: cannot derive Serialize for {other}"),
+    };
+
+    let out = format!(
+        "impl serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    );
+    out.parse().expect("serde shim: generated impl parses")
+}
+
+/// Accepts `#[derive(Deserialize)]` without generating code (nothing in
+/// the workspace deserializes at runtime).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+fn struct_body(_name: &str, fields: Vec<String>) -> String {
+    let entries: Vec<String> = fields
+        .iter()
+        .map(|f| format!("(\"{f}\".to_owned(), serde::Serialize::to_value(&self.{f}))"))
+        .collect();
+    format!("serde::Value::Object(vec![{}])", entries.join(", "))
+}
+
+fn tuple_struct_body(arity: usize) -> String {
+    match arity {
+        0 => "serde::Value::Array(vec![])".to_owned(),
+        // Newtype structs are transparent, serde's default behavior.
+        1 => "serde::Serialize::to_value(&self.0)".to_owned(),
+        n => {
+            let items: Vec<String> = (0..n)
+                .map(|k| format!("serde::Serialize::to_value(&self.{k})"))
+                .collect();
+            format!("serde::Value::Array(vec![{}])", items.join(", "))
+        }
+    }
+}
+
+fn enum_body(name: &str, body: TokenStream) -> String {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut arms = String::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let vname = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_top_level(g.stream());
+                i += 1;
+                let binders: Vec<String> = (0..arity).map(|k| format!("f{k}")).collect();
+                let payload = if arity == 1 {
+                    "serde::Serialize::to_value(f0)".to_owned()
+                } else {
+                    let items: Vec<String> = binders
+                        .iter()
+                        .map(|b| format!("serde::Serialize::to_value({b})"))
+                        .collect();
+                    format!("serde::Value::Array(vec![{}])", items.join(", "))
+                };
+                arms.push_str(&format!(
+                    "{name}::{vname}({}) => serde::Value::Object(vec![(\"{vname}\".to_owned(), {payload})]),\n",
+                    binders.join(", ")
+                ));
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let fields = named_field_idents(g.stream());
+                i += 1;
+                let entries: Vec<String> = fields
+                    .iter()
+                    .map(|f| format!("(\"{f}\".to_owned(), serde::Serialize::to_value({f}))"))
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname} {{ {} }} => serde::Value::Object(vec![(\"{vname}\".to_owned(), serde::Value::Object(vec![{}]))]),\n",
+                    fields.join(", "),
+                    entries.join(", ")
+                ));
+            }
+            _ => {
+                arms.push_str(&format!(
+                    "{name}::{vname} => serde::Value::String(\"{vname}\".to_owned()),\n"
+                ));
+            }
+        }
+        // Skip an explicit discriminant, then the trailing comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    format!("match self {{\n{arms}\n}}")
+}
+
+/// Counts comma-separated items at the top level of a token stream,
+/// treating `<...>` generic argument lists as nested.
+fn count_top_level(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing = true;
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing = true;
+            }
+            _ => trailing = false,
+        }
+    }
+    if trailing {
+        count -= 1;
+    }
+    count
+}
+
+/// Extracts field identifiers (the ident before each top-level `:`) from
+/// a named-field token stream.
+fn named_field_idents(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde shim: expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(_)) = tokens.get(*i) {
+            *i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,7 @@
+//! Offline stand-in for `thiserror`: re-exports the [`Error`] derive.
+//!
+//! The derive generates `std::fmt::Display` from `#[error("...")]`
+//! attributes and an empty `std::error::Error` impl — the subset this
+//! workspace uses (no `#[from]`/`#[source]` chaining).
+
+pub use thiserror_impl::Error;

@@ -1,0 +1,410 @@
+//! Offline stand-in for `thiserror`'s derive macro.
+//!
+//! Parses the enum with a hand-rolled `proc_macro` token walker (no
+//! `syn`/`quote` available offline) and generates `Display` from each
+//! variant's `#[error("...")]` attribute plus an empty
+//! `std::error::Error` impl. Supports unit, tuple, and struct variants
+//! with positional (`{0}`) and named (`{field:.1}`, `{field:?}`)
+//! interpolation — the full surface this workspace uses.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+struct Variant {
+    name: String,
+    /// Format literal including its surrounding quotes.
+    format: String,
+    fields: Fields,
+}
+
+enum Fields {
+    Unit,
+    /// Tuple arity.
+    Tuple(usize),
+    /// Named field identifiers, in declaration order.
+    Named(Vec<String>),
+}
+
+/// Derives `Display` + `Error` from `#[error("...")]` attributes, on the
+/// variants of an enum or on a struct itself.
+#[proc_macro_derive(Error, attributes(error, from, source))]
+pub fn derive_error(input: TokenStream) -> TokenStream {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let top_format = capture_error_attr(&tokens, &mut i);
+    skip_visibility(&tokens, &mut i);
+    let kind = match &tokens[i] {
+        TokenTree::Ident(kw) => kw.to_string(),
+        other => panic!("thiserror shim: expected struct/enum, found {other}"),
+    };
+    i += 1;
+    let name = match &tokens[i] {
+        TokenTree::Ident(id) => id.to_string(),
+        other => panic!("thiserror shim: expected type name, found {other}"),
+    };
+    i += 1;
+    skip_generics(&tokens, &mut i);
+
+    if kind == "struct" {
+        let format =
+            top_format.expect("thiserror shim: struct needs a top-level #[error(..)] attribute");
+        return derive_struct_error(&name, &tokens, i, &format);
+    }
+    if kind != "enum" {
+        panic!("thiserror shim: cannot derive Error for a {kind}");
+    }
+
+    let body = loop {
+        match &tokens[i] {
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => break g.stream(),
+            _ => i += 1,
+        }
+    };
+    let variants = parse_variants(body);
+
+    let mut arms = String::new();
+    for v in &variants {
+        let fmt = &v.format;
+        match &v.fields {
+            Fields::Unit => {
+                arms.push_str(&format!("{name}::{} => ::std::write!(f, {fmt}),\n", v.name));
+            }
+            Fields::Tuple(arity) => {
+                // Rewrite positional refs {N...} to named bindings {fN...}
+                // so unused fields can be bound as `_` without tripping
+                // "argument never used" errors.
+                let rewritten = rewrite_positional(fmt);
+                let binders: Vec<String> = (0..*arity)
+                    .map(|k| {
+                        if rewritten.contains(&format!("{{f{k}")) {
+                            format!("f{k}")
+                        } else {
+                            "_".to_owned()
+                        }
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{}({}) => ::std::write!(f, {rewritten}),\n",
+                    v.name,
+                    binders.join(", ")
+                ));
+            }
+            Fields::Named(fields) => {
+                let binders: Vec<String> = fields
+                    .iter()
+                    .map(|fname| {
+                        if fmt.contains(&format!("{{{fname}")) {
+                            fname.clone()
+                        } else {
+                            format!("{fname}: _")
+                        }
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{} {{ {} }} => ::std::write!(f, {fmt}),\n",
+                    v.name,
+                    binders.join(", ")
+                ));
+            }
+        }
+    }
+
+    let out = format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+             fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 match self {{\n{arms}\n}}\n\
+             }}\n\
+         }}\n\
+         impl ::std::error::Error for {name} {{}}\n"
+    );
+    out.parse().expect("thiserror shim: generated impl parses")
+}
+
+/// Generates `Display` + `Error` for a struct with a top-level
+/// `#[error("...")]` attribute.
+fn derive_struct_error(name: &str, tokens: &[TokenTree], i: usize, format: &str) -> TokenStream {
+    let display_body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+            let fields = named_field_idents(g.stream());
+            let binders: Vec<String> = fields
+                .iter()
+                .map(|fname| {
+                    if format.contains(&format!("{{{fname}")) {
+                        fname.clone()
+                    } else {
+                        format!("{fname}: _")
+                    }
+                })
+                .collect();
+            format!(
+                "let {name} {{ {} }} = self;\n::std::write!(f, {format})",
+                binders.join(", ")
+            )
+        }
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+            let arity = count_top_level(g.stream());
+            let rewritten = rewrite_positional(format);
+            let binders: Vec<String> = (0..arity)
+                .map(|k| {
+                    if rewritten.contains(&format!("{{f{k}")) {
+                        format!("f{k}")
+                    } else {
+                        "_".to_owned()
+                    }
+                })
+                .collect();
+            format!(
+                "let {name}({}) = self;\n::std::write!(f, {rewritten})",
+                binders.join(", ")
+            )
+        }
+        // Unit struct.
+        _ => format!("::std::write!(f, {format})"),
+    };
+    let out = format!(
+        "impl ::std::fmt::Display for {name} {{\n\
+             fn fmt(&self, f: &mut ::std::fmt::Formatter<'_>) -> ::std::fmt::Result {{\n\
+                 {display_body}\n\
+             }}\n\
+         }}\n\
+         impl ::std::error::Error for {name} {{}}\n"
+    );
+    out.parse().expect("thiserror shim: generated impl parses")
+}
+
+/// Skips leading attributes, returning the literal from the last
+/// `#[error("...")]` seen (quotes included).
+fn capture_error_attr(tokens: &[TokenTree], i: &mut usize) -> Option<String> {
+    let mut format = None;
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1;
+        if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+            let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+            if let (Some(TokenTree::Ident(id)), Some(TokenTree::Group(args))) =
+                (inner.first(), inner.get(1))
+            {
+                if id.to_string() == "error" {
+                    if let Some(lit) = args.stream().into_iter().next() {
+                        format = Some(lit.to_string());
+                    }
+                }
+            }
+            *i += 1;
+        }
+    }
+    format
+}
+
+/// `{0}` → `{f0}`, `{1:.1}` → `{f1:.1}`; leaves `{{`, `}}`, and named
+/// interpolations untouched.
+fn rewrite_positional(lit: &str) -> String {
+    let chars: Vec<char> = lit.chars().collect();
+    let mut out = String::with_capacity(lit.len() + 8);
+    let mut i = 0;
+    while i < chars.len() {
+        if chars[i] == '{' {
+            if i + 1 < chars.len() && chars[i + 1] == '{' {
+                out.push_str("{{");
+                i += 2;
+                continue;
+            }
+            if i + 1 < chars.len() && chars[i + 1].is_ascii_digit() {
+                out.push('{');
+                out.push('f');
+                i += 1;
+                while i < chars.len() && chars[i].is_ascii_digit() {
+                    out.push(chars[i]);
+                    i += 1;
+                }
+                continue;
+            }
+        }
+        out.push(chars[i]);
+        i += 1;
+    }
+    out
+}
+
+fn parse_variants(body: TokenStream) -> Vec<Variant> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        let mut format = None;
+        // Attributes: capture #[error("...")], skip the rest (docs etc).
+        loop {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = tokens.get(i + 1) {
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if let Some(TokenTree::Ident(id)) = inner.first() {
+                            if id.to_string() == "error" {
+                                if let Some(TokenTree::Group(args)) = inner.get(1) {
+                                    let lit = args
+                                        .stream()
+                                        .into_iter()
+                                        .next()
+                                        .expect("error attribute has a format literal");
+                                    format = Some(lit.to_string());
+                                }
+                            }
+                        }
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                }
+                _ => break,
+            }
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("thiserror shim: expected variant name, found {other}"),
+        };
+        i += 1;
+        let fields = match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                i += 1;
+                Fields::Tuple(count_top_level(g.stream()))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                i += 1;
+                Fields::Named(named_field_idents(g.stream()))
+            }
+            _ => Fields::Unit,
+        };
+        // Consume the trailing comma, if any.
+        if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+            if p.as_char() == ',' {
+                i += 1;
+            }
+        }
+        variants.push(Variant {
+            name,
+            format: format.expect("thiserror shim: every variant needs #[error(..)]"),
+            fields,
+        });
+    }
+    variants
+}
+
+/// Counts comma-separated items at the top level of a token stream,
+/// treating `<...>` generic argument lists as nested.
+fn count_top_level(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle = 0i32;
+    let mut trailing = true; // becomes false once an item has tokens
+    for t in &tokens {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                angle += 1;
+                trailing = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                angle -= 1;
+                trailing = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                count += 1;
+                trailing = true;
+            }
+            _ => trailing = false,
+        }
+    }
+    if trailing {
+        count -= 1; // trailing comma does not open a new item
+    }
+    count
+}
+
+/// Extracts field identifiers (the ident before each top-level `:`) from
+/// a named-field token stream.
+fn named_field_idents(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        // Skip attributes and visibility before the field name.
+        skip_attributes(&tokens, &mut i);
+        skip_visibility(&tokens, &mut i);
+        if i >= tokens.len() {
+            break;
+        }
+        let name = match &tokens[i] {
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("thiserror shim: expected field name, found {other}"),
+        };
+        fields.push(name);
+        i += 1;
+        // Skip `: Type` until a top-level comma.
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+fn skip_attributes(tokens: &[TokenTree], i: &mut usize) {
+    while let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() != '#' {
+            break;
+        }
+        *i += 1; // '#'
+        if let Some(TokenTree::Group(_)) = tokens.get(*i) {
+            *i += 1; // [...]
+        }
+    }
+}
+
+fn skip_visibility(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Ident(id)) = tokens.get(*i) {
+        if id.to_string() == "pub" {
+            *i += 1;
+            if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1; // pub(crate) etc.
+                }
+            }
+        }
+    }
+}
+
+fn skip_generics(tokens: &[TokenTree], i: &mut usize) {
+    if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+        if p.as_char() == '<' {
+            let mut depth = 0i32;
+            while *i < tokens.len() {
+                if let TokenTree::Punct(p) = &tokens[*i] {
+                    match p.as_char() {
+                        '<' => depth += 1,
+                        '>' => {
+                            depth -= 1;
+                            if depth == 0 {
+                                *i += 1;
+                                return;
+                            }
+                        }
+                        _ => {}
+                    }
+                }
+                *i += 1;
+            }
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Golden determinism test: a fixed-seed simulation serializes to a
+//! byte-for-byte identical `SimOutcome` across runs and across refactors.
+//!
+//! The scenario deliberately crosses every engine subsystem whose order
+//! of operations a hot-path change could disturb: backfilling, a power
+//! budget with a demand-response resize, idle shutdown with demand boot,
+//! emergency kills with requeue + checkpointing, and node failures.
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test --test determinism_golden
+//! ```
+
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::{System, SystemSpec};
+use epa_cluster::topology::Topology;
+use epa_sched::emergency::EmergencyPolicy;
+use epa_sched::engine::{ClusterSim, EngineConfig, SimOutcome};
+use epa_sched::policies::backfill::EasyBackfill;
+use epa_sched::shutdown::ShutdownPolicy;
+use epa_simcore::time::{SimDuration, SimTime};
+use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
+
+const GOLDEN_PATH: &str = "tests/golden/sim_outcome.json";
+
+fn golden_system() -> System {
+    SystemSpec {
+        name: "golden-32".into(),
+        cabinets: 2,
+        nodes_per_cabinet: 16,
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: 32.0,
+    }
+    .build()
+}
+
+fn golden_run() -> SimOutcome {
+    let horizon = SimTime::from_days(2.0);
+    let jobs = WorkloadGenerator::new(WorkloadParams::typical(32, 42)).generate(horizon, 0);
+    let mut config = EngineConfig::new(horizon);
+    config.power_budget_watts = Some(32.0 * 290.0 * 0.7);
+    config.budget_schedule = vec![
+        (SimTime::from_hours(20.0), 32.0 * 290.0 * 0.4),
+        (SimTime::from_hours(26.0), 32.0 * 290.0 * 0.7),
+    ];
+    config.shutdown = Some(ShutdownPolicy::default());
+    config.emergency = Some(EmergencyPolicy::new(32.0 * 290.0 * 0.65));
+    config.requeue_killed = true;
+    config.checkpoint_interval = Some(SimDuration::from_mins(30.0));
+    config.node_mtbf = Some(SimDuration::from_hours(18.0));
+    config.repair_time = SimDuration::from_hours(2.0);
+    config.seed = 0xD5;
+    let mut policy = EasyBackfill;
+    ClusterSim::new(golden_system(), jobs, &mut policy, config).run()
+}
+
+fn serialize(outcome: &SimOutcome) -> String {
+    serde_json::to_string_pretty(outcome).expect("SimOutcome serializes") + "\n"
+}
+
+#[test]
+fn fixed_seed_outcome_matches_golden() {
+    let got = serialize(&golden_run());
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::create_dir_all("tests/golden").expect("mkdir golden");
+        std::fs::write(GOLDEN_PATH, &got).expect("write golden");
+        return;
+    }
+    let want = std::fs::read_to_string(GOLDEN_PATH)
+        .expect("golden file exists (regenerate with UPDATE_GOLDEN=1)");
+    assert!(
+        got == want,
+        "SimOutcome drifted from the committed golden ({} vs {} bytes). \
+         If the change is intentional, regenerate with UPDATE_GOLDEN=1.",
+        got.len(),
+        want.len()
+    );
+}
+
+#[test]
+fn fixed_seed_outcome_is_run_to_run_deterministic() {
+    assert_eq!(serialize(&golden_run()), serialize(&golden_run()));
+}
