@@ -1,0 +1,25 @@
+//! Error types for the fault-injection layer.
+
+use thiserror::Error;
+
+/// Errors from fault-model configuration.
+#[derive(Debug, Error, PartialEq, Eq)]
+pub enum FaultError {
+    /// A fault configuration was degenerate (zero rates, negative
+    /// probabilities, empty domains, …).
+    #[error("invalid fault configuration: {0}")]
+    InvalidConfig(String),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            FaultError::InvalidConfig("x".into()).to_string(),
+            "invalid fault configuration: x"
+        );
+    }
+}

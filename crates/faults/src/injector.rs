@@ -1,0 +1,345 @@
+//! The deterministic fault plan and the online fault injector.
+//!
+//! [`FaultPlan::generate`] pre-computes the correlated failure-domain
+//! schedule (which rack/PDU fails, when) as a pure function of the fault
+//! seed, so a simulation can schedule every domain event up front and two
+//! runs with the same seed replay the same schedule byte-for-byte.
+//! [`FaultInjector`] owns the *online* streams — sensor-sample faults and
+//! actuator-command faults — that must be drawn at event time.
+
+use crate::config::{FaultConfig, SensorFaultConfig};
+use crate::error::FaultError;
+use crate::retry::{execute_with_retry, AttemptReport};
+use epa_simcore::rng::SimRng;
+use epa_simcore::time::{SimDuration, SimTime};
+use serde::{Deserialize, Serialize};
+
+/// One correlated failure event: a whole failure domain (rack/PDU group)
+/// goes down at `t`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DomainEvent {
+    /// Event time.
+    pub t: SimTime,
+    /// Index of the failing domain (cabinet index in the cluster model).
+    pub domain: u32,
+    /// Repair time for the affected nodes.
+    pub repair_time: SimDuration,
+}
+
+/// The pre-generated schedule of correlated failure events.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Domain events in chronological order.
+    pub domain_events: Vec<DomainEvent>,
+}
+
+impl FaultPlan {
+    /// Generates the domain-event schedule for `num_domains` failure
+    /// domains over `[0, horizon]`. Inter-arrival times are exponential
+    /// with the configured MTBF; the failing domain is uniform.
+    #[must_use]
+    pub fn generate(config: &FaultConfig, horizon: SimTime, num_domains: u32) -> FaultPlan {
+        let Some(domain) = &config.domain else {
+            return FaultPlan::default();
+        };
+        if num_domains == 0 {
+            return FaultPlan::default();
+        }
+        let mut rng = SimRng::new(config.seed).stream("faults-domain");
+        let rate = 1.0 / domain.mtbf.as_secs().max(1e-9);
+        let mut events = Vec::new();
+        let mut t = SimTime::from_secs(rng.exponential(rate));
+        while t <= horizon {
+            let d = rng.uniform_usize(0, num_domains as usize) as u32;
+            events.push(DomainEvent {
+                t,
+                domain: d,
+                repair_time: domain.repair_time,
+            });
+            t += SimDuration::from_secs(rng.exponential(rate));
+        }
+        FaultPlan {
+            domain_events: events,
+        }
+    }
+
+    /// Number of scheduled events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.domain_events.len()
+    }
+
+    /// True when no events are scheduled.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.domain_events.is_empty()
+    }
+}
+
+/// What one telemetry sample draw produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SensorSample {
+    /// The sample went through.
+    Ok,
+    /// The sample was lost; the consumer's last reading ages.
+    Dropout,
+    /// The sensor enters a stuck-at window: it keeps reporting its last
+    /// value with fresh timestamps for the configured duration.
+    Stuck,
+}
+
+/// Online fault streams: sensor-sample and actuator-command faults.
+///
+/// All draws come from substreams of the fault seed, independent of the
+/// engine's own RNG, so enabling faults cannot perturb workload or
+/// failure-injection randomness (common-random-numbers discipline).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    config: FaultConfig,
+    sensor_rng: SimRng,
+    actuator_rng: SimRng,
+}
+
+impl FaultInjector {
+    /// Creates an injector from a validated config.
+    pub fn new(config: FaultConfig) -> Result<Self, FaultError> {
+        config.validate()?;
+        let root = SimRng::new(config.seed);
+        Ok(FaultInjector {
+            sensor_rng: root.stream("faults-sensor"),
+            actuator_rng: root.stream("faults-actuator"),
+            config,
+        })
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// The sensor sub-config, if sensor faults are enabled.
+    #[must_use]
+    pub fn sensor_config(&self) -> Option<&SensorFaultConfig> {
+        self.config.sensor.as_ref()
+    }
+
+    /// Draws the fate of one telemetry sample. Returns [`SensorSample::Ok`]
+    /// (without consuming randomness) when sensor faults are disabled.
+    pub fn sensor_sample(&mut self) -> SensorSample {
+        let Some(s) = &self.config.sensor else {
+            return SensorSample::Ok;
+        };
+        if self.sensor_rng.bernoulli(s.dropout_prob) {
+            return SensorSample::Dropout;
+        }
+        if self.sensor_rng.bernoulli(s.stuck_prob) {
+            return SensorSample::Stuck;
+        }
+        SensorSample::Ok
+    }
+
+    /// Runs one actuator command through the retry policy. Returns an
+    /// always-successful zero-delay report when actuator faults are
+    /// disabled.
+    pub fn actuate(&mut self) -> AttemptReport {
+        match &self.config.actuator {
+            Some(a) => execute_with_retry(a, &mut self.actuator_rng),
+            None => AttemptReport {
+                attempts: 1,
+                succeeded: true,
+                total_delay: SimDuration::ZERO,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ActuatorFaultConfig, DomainFaultConfig};
+
+    fn domain_config(seed: u64) -> FaultConfig {
+        FaultConfig {
+            domain: Some(DomainFaultConfig {
+                mtbf: SimDuration::from_hours(6.0),
+                repair_time: SimDuration::from_hours(2.0),
+            }),
+            sensor: None,
+            actuator: None,
+            seed,
+        }
+    }
+
+    #[test]
+    fn plan_is_deterministic_per_seed() {
+        let horizon = SimTime::from_days(7.0);
+        let a = FaultPlan::generate(&domain_config(1), horizon, 8);
+        let b = FaultPlan::generate(&domain_config(1), horizon, 8);
+        let c = FaultPlan::generate(&domain_config(2), horizon, 8);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    fn plan_respects_horizon_and_domains() {
+        let horizon = SimTime::from_days(30.0);
+        let plan = FaultPlan::generate(&domain_config(3), horizon, 4);
+        assert!(plan.len() > 50, "30 days at 6 h MTBF should yield many");
+        for e in &plan.domain_events {
+            assert!(e.t <= horizon);
+            assert!(e.domain < 4);
+        }
+        // Chronological order.
+        for w in plan.domain_events.windows(2) {
+            assert!(w[0].t <= w[1].t);
+        }
+    }
+
+    #[test]
+    fn no_domain_config_means_empty_plan() {
+        let plan = FaultPlan::generate(&FaultConfig::default(), SimTime::from_days(30.0), 8);
+        assert!(plan.is_empty());
+        let plan0 = FaultPlan::generate(&domain_config(1), SimTime::from_days(30.0), 0);
+        assert!(plan0.is_empty());
+    }
+
+    #[test]
+    fn disabled_streams_are_faultless() {
+        let mut inj = FaultInjector::new(FaultConfig::default()).unwrap();
+        for _ in 0..100 {
+            assert_eq!(inj.sensor_sample(), SensorSample::Ok);
+            let r = inj.actuate();
+            assert!(r.succeeded);
+            assert!(r.total_delay.is_zero());
+        }
+    }
+
+    #[test]
+    fn sensor_faults_mix_outcomes() {
+        let cfg = FaultConfig {
+            sensor: Some(SensorFaultConfig {
+                dropout_prob: 0.3,
+                stuck_prob: 0.3,
+                ..SensorFaultConfig::default()
+            }),
+            ..FaultConfig::default()
+        };
+        let mut inj = FaultInjector::new(cfg).unwrap();
+        let samples: Vec<SensorSample> = (0..500).map(|_| inj.sensor_sample()).collect();
+        assert!(samples.contains(&SensorSample::Ok));
+        assert!(samples.contains(&SensorSample::Dropout));
+        assert!(samples.contains(&SensorSample::Stuck));
+    }
+
+    #[test]
+    fn injector_rejects_invalid_config() {
+        let bad = FaultConfig {
+            actuator: Some(ActuatorFaultConfig {
+                fail_prob: 2.0,
+                ..ActuatorFaultConfig::default()
+            }),
+            ..FaultConfig::default()
+        };
+        assert!(FaultInjector::new(bad).is_err());
+    }
+
+    #[test]
+    fn injector_streams_deterministic() {
+        let cfg = FaultConfig {
+            sensor: Some(SensorFaultConfig::default()),
+            actuator: Some(ActuatorFaultConfig {
+                fail_prob: 0.5,
+                ..ActuatorFaultConfig::default()
+            }),
+            seed: 9,
+            ..FaultConfig::default()
+        };
+        let run = || {
+            let mut inj = FaultInjector::new(cfg.clone()).unwrap();
+            let s: Vec<SensorSample> = (0..50).map(|_| inj.sensor_sample()).collect();
+            let a: Vec<AttemptReport> = (0..50).map(|_| inj.actuate()).collect();
+            (s, a)
+        };
+        assert_eq!(run(), run());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::config::DomainFaultConfig;
+    use epa_cluster::alloc::{AllocStrategy, Allocator};
+    use epa_cluster::node::NodeId;
+    use epa_cluster::topology::Topology;
+    use proptest::prelude::*;
+    use std::collections::BTreeMap;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+        /// Capacity recovers after faults: under any generated fault
+        /// schedule, once every repair has been applied the allocator's
+        /// available-node count equals the original system size.
+        #[test]
+        fn capacity_recovers_after_all_repairs(
+            seed in any::<u64>(),
+            domains in 1u32..8,
+            nodes_per_domain in 1u32..16,
+            mtbf_h in 0.5f64..24.0,
+            repair_h in 0.5f64..12.0,
+        ) {
+            let total = domains * nodes_per_domain;
+            let config = FaultConfig {
+                domain: Some(DomainFaultConfig {
+                    mtbf: SimDuration::from_hours(mtbf_h),
+                    repair_time: SimDuration::from_hours(repair_h),
+                }),
+                seed,
+                ..FaultConfig::default()
+            };
+            let plan = FaultPlan::generate(&config, SimTime::from_days(7.0), domains);
+            let mut alloc = Allocator::new(
+                total,
+                AllocStrategy::FirstFit,
+                Topology::FatTree { arity: 8 },
+            );
+            // Replay the plan chronologically, interleaving repairs:
+            // nodes already down ride through an overlapping event.
+            let mut repairs: BTreeMap<(u64, u32), NodeId> = BTreeMap::new();
+            let mut down = vec![false; total as usize];
+            let mut seq = 0u32;
+            for event in &plan.domain_events {
+                // Apply repairs due before this event. Keys are
+                // (time.to_bits(), seq); to_bits ordering matches numeric
+                // ordering for non-negative times.
+                let due: Vec<(u64, u32)> = repairs
+                    .keys()
+                    .copied()
+                    .take_while(|&(t_bits, _)| f64::from_bits(t_bits) <= event.t.as_secs())
+                    .collect();
+                for k in due {
+                    let n = repairs.remove(&k).unwrap();
+                    down[n.index()] = false;
+                    prop_assert!(alloc.mark_available(n));
+                }
+                let lo = event.domain * nodes_per_domain;
+                for i in lo..lo + nodes_per_domain {
+                    let n = NodeId(i);
+                    if !down[n.index()] {
+                        down[n.index()] = true;
+                        prop_assert!(alloc.mark_unavailable(n));
+                        let t_repair = event.t + event.repair_time;
+                        repairs.insert((t_repair.as_secs().to_bits(), seq), n);
+                        seq += 1;
+                    }
+                }
+            }
+            // Drain every outstanding repair.
+            for (_, n) in std::mem::take(&mut repairs) {
+                prop_assert!(alloc.mark_available(n));
+            }
+            prop_assert_eq!(alloc.free_count(), total as usize);
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # epa-faults — deterministic fault injection for the EPA JSRM stack
+//!
+//! The survey's Figure 1 control loop is "heavily dependent on telemetry
+//! sensors" and on privileged actuators (RAPL/CAPMC/DVFS); production
+//! sites run it against sensors that go stale and commands that fail.
+//! This crate is the framework's fault model:
+//!
+//! - [`config::FaultConfig`] — what can go wrong: correlated failure
+//!   domains (rack/PDU events), sensor dropout/stuck-at, actuator
+//!   command failures with retry/backoff/fencing parameters.
+//! - [`injector::FaultPlan`] — the pre-generated, seed-deterministic
+//!   schedule of correlated domain events.
+//! - [`injector::FaultInjector`] — the online sensor/actuator fault
+//!   streams, drawn from substreams independent of the engine's RNG.
+//! - [`retry::execute_with_retry`] — the exponential-backoff retry
+//!   machinery actuator wrappers build on.
+//!
+//! Determinism is the design center: every fault is a pure function of
+//! the fault seed, so chaos tests can assert byte-identical outcomes and
+//! bisect regressions by seed.
+
+pub mod config;
+pub mod error;
+pub mod injector;
+pub mod retry;
+
+pub use config::{ActuatorFaultConfig, DomainFaultConfig, FaultConfig, SensorFaultConfig};
+pub use error::FaultError;
+pub use injector::{DomainEvent, FaultInjector, FaultPlan, SensorSample};
+pub use retry::{execute_with_retry, AttemptReport};

@@ -1,0 +1,110 @@
+//! Retry with exponential backoff for unreliable actuator commands.
+//!
+//! Production power actuators (CAPMC, RAPL writers, DVFS sysfs) fail
+//! transiently; resource managers retry with backoff and eventually
+//! declare the node bad. [`execute_with_retry`] simulates one command's
+//! full retry sequence as a deterministic function of the RNG stream, so
+//! identical seeds replay identical attempt histories.
+
+use crate::config::ActuatorFaultConfig;
+use epa_simcore::rng::SimRng;
+use epa_simcore::time::SimDuration;
+
+/// Outcome of one command's attempt sequence.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AttemptReport {
+    /// Total attempts made (first try + retries), at least 1.
+    pub attempts: u32,
+    /// Whether any attempt succeeded.
+    pub succeeded: bool,
+    /// Accumulated backoff latency across failed attempts. A command
+    /// that succeeds on retry k still paid the backoffs before it.
+    pub total_delay: SimDuration,
+}
+
+/// Runs one command through the retry policy: attempt, and on failure
+/// back off exponentially and retry up to `cfg.max_retries` times.
+#[must_use]
+pub fn execute_with_retry(cfg: &ActuatorFaultConfig, rng: &mut SimRng) -> AttemptReport {
+    let mut attempts = 0u32;
+    let mut delay_secs = 0.0;
+    loop {
+        attempts += 1;
+        if !rng.bernoulli(cfg.fail_prob) {
+            return AttemptReport {
+                attempts,
+                succeeded: true,
+                total_delay: SimDuration::from_secs(delay_secs),
+            };
+        }
+        if attempts > cfg.max_retries {
+            return AttemptReport {
+                attempts,
+                succeeded: false,
+                total_delay: SimDuration::from_secs(delay_secs),
+            };
+        }
+        delay_secs += cfg.backoff_delay(attempts).as_secs();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(fail_prob: f64) -> ActuatorFaultConfig {
+        ActuatorFaultConfig {
+            fail_prob,
+            max_retries: 3,
+            backoff_base: SimDuration::from_secs(1.0),
+            backoff_factor: 2.0,
+            fence_after: 3,
+        }
+    }
+
+    #[test]
+    fn reliable_commands_succeed_first_try() {
+        let mut rng = SimRng::new(1);
+        let r = execute_with_retry(&cfg(0.0), &mut rng);
+        assert!(r.succeeded);
+        assert_eq!(r.attempts, 1);
+        assert!(r.total_delay.is_zero());
+    }
+
+    #[test]
+    fn always_failing_commands_exhaust_retries() {
+        let mut rng = SimRng::new(1);
+        let r = execute_with_retry(&cfg(1.0), &mut rng);
+        assert!(!r.succeeded);
+        // First try + 3 retries.
+        assert_eq!(r.attempts, 4);
+        // Backoffs: 1 + 2 + 4 seconds.
+        assert!((r.total_delay.as_secs() - 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn retry_sequence_is_deterministic() {
+        let run = |seed| {
+            let mut rng = SimRng::new(seed);
+            (0..100)
+                .map(|_| execute_with_retry(&cfg(0.5), &mut rng))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn partial_failures_accumulate_delay() {
+        // With 50% failure some commands succeed after >= 1 retry and
+        // carry non-zero delay.
+        let mut rng = SimRng::new(42);
+        let reports: Vec<AttemptReport> = (0..200)
+            .map(|_| execute_with_retry(&cfg(0.5), &mut rng))
+            .collect();
+        assert!(reports
+            .iter()
+            .any(|r| r.succeeded && !r.total_delay.is_zero()));
+        assert!(reports.iter().any(|r| !r.succeeded));
+    }
+}

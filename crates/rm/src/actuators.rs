@@ -5,11 +5,22 @@
 //! timestamps and feeds the interaction ledger. This is the audit trail a
 //! production site needs ("has there been much non-portable work?" — Q5c
 //! asks precisely about such custom control paths).
+//!
+//! Actuators are not reliable: CAPMC calls time out, RAPL writes bounce.
+//! [`RetryingActuator`] wraps command execution in the retry-with-
+//! exponential-backoff policy of [`epa_faults::ActuatorFaultConfig`],
+//! logs every attempt to the audit log and interaction ledger, and
+//! escalates: after N *consecutive* failed cap writes on one node it
+//! reports the node for fencing (Trinity-style drain of a misbehaving
+//! node).
 
 use crate::interactions::{Component, InteractionKind, InteractionLedger};
 use epa_cluster::node::NodeId;
-use epa_simcore::time::SimTime;
+use epa_faults::{execute_with_retry, ActuatorFaultConfig};
+use epa_simcore::rng::SimRng;
+use epa_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
 
 /// A privileged control operation.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -146,6 +157,103 @@ impl ActuatorLog {
     }
 }
 
+/// Result of programming one command across a node set through the
+/// retry policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CapWriteReport {
+    /// True when every node's command eventually succeeded.
+    pub succeeded: bool,
+    /// Total attempts made across all nodes (first tries + retries).
+    pub attempts: u64,
+    /// Worst-case accumulated backoff latency over the node set — the
+    /// actuation latency the caller must pay before the command is live
+    /// everywhere (per-node sequences run in parallel).
+    pub total_delay: SimDuration,
+    /// Nodes whose command failed after all retries.
+    pub failed: Vec<NodeId>,
+    /// Nodes that crossed the consecutive-failure threshold and must be
+    /// fenced by the caller.
+    pub fence: Vec<NodeId>,
+}
+
+/// An actuator front-end that executes unreliable commands with
+/// retry/backoff, full attempt logging, and fence escalation.
+#[derive(Debug, Clone)]
+pub struct RetryingActuator {
+    config: ActuatorFaultConfig,
+    rng: SimRng,
+    /// Consecutive failed cap writes per node index.
+    consecutive_failures: BTreeMap<u32, u32>,
+}
+
+impl RetryingActuator {
+    /// Creates an actuator over its own deterministic fault stream.
+    #[must_use]
+    pub fn new(config: ActuatorFaultConfig, seed: u64) -> Self {
+        RetryingActuator {
+            config,
+            rng: SimRng::new(seed).stream("rm-actuator-faults"),
+            consecutive_failures: BTreeMap::new(),
+        }
+    }
+
+    /// The retry/escalation configuration.
+    #[must_use]
+    pub fn config(&self) -> &ActuatorFaultConfig {
+        &self.config
+    }
+
+    /// Current consecutive-failure count for a node.
+    #[must_use]
+    pub fn consecutive_failures(&self, node: NodeId) -> u32 {
+        self.consecutive_failures.get(&node.0).copied().unwrap_or(0)
+    }
+
+    /// Programs a per-node power cap (`watts`; `None` clears) on every
+    /// node in `nodes`. Each node runs its own attempt/retry sequence;
+    /// every attempt is recorded in `log` (and mirrored into `ledger`).
+    /// Nodes whose consecutive-failure count reaches the fence threshold
+    /// are returned in [`CapWriteReport::fence`] with their counters
+    /// reset (the fence/repair cycle clears the fault).
+    pub fn program_caps(
+        &mut self,
+        t: SimTime,
+        nodes: &[NodeId],
+        watts: Option<f64>,
+        log: &mut ActuatorLog,
+        ledger: &mut InteractionLedger,
+    ) -> CapWriteReport {
+        let mut report = CapWriteReport {
+            succeeded: true,
+            attempts: 0,
+            total_delay: SimDuration::ZERO,
+            failed: Vec::new(),
+            fence: Vec::new(),
+        };
+        for &node in nodes {
+            let r = execute_with_retry(&self.config, &mut self.rng);
+            for _ in 0..r.attempts {
+                log.record(t, Actuation::SetNodeCap { node, watts }, ledger);
+            }
+            report.attempts += u64::from(r.attempts);
+            report.total_delay = report.total_delay.max(r.total_delay);
+            if r.succeeded {
+                self.consecutive_failures.remove(&node.0);
+            } else {
+                report.succeeded = false;
+                report.failed.push(node);
+                let count = self.consecutive_failures.entry(node.0).or_insert(0);
+                *count += 1;
+                if *count >= self.config.fence_after {
+                    self.consecutive_failures.remove(&node.0);
+                    report.fence.push(node);
+                }
+            }
+        }
+        report
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -216,5 +324,95 @@ mod tests {
             5
         );
         assert!(!log.is_empty());
+    }
+
+    fn fault_cfg(fail_prob: f64) -> ActuatorFaultConfig {
+        ActuatorFaultConfig {
+            fail_prob,
+            max_retries: 2,
+            backoff_base: SimDuration::from_secs(1.0),
+            backoff_factor: 2.0,
+            fence_after: 3,
+        }
+    }
+
+    #[test]
+    fn reliable_actuator_logs_one_attempt_per_node() {
+        let mut act = RetryingActuator::new(fault_cfg(0.0), 7);
+        let mut log = ActuatorLog::new();
+        let mut ledger = InteractionLedger::new();
+        let nodes: Vec<NodeId> = (0..4).map(NodeId).collect();
+        let report = act.program_caps(t(5.0), &nodes, Some(200.0), &mut log, &mut ledger);
+        assert!(report.succeeded);
+        assert_eq!(report.attempts, 4);
+        assert_eq!(report.total_delay, SimDuration::ZERO);
+        assert!(report.failed.is_empty());
+        assert!(report.fence.is_empty());
+        assert_eq!(log.len(), 4);
+        assert_eq!(ledger.total(), 4);
+        assert_eq!(act.consecutive_failures(NodeId(0)), 0);
+    }
+
+    #[test]
+    fn broken_actuator_fences_after_threshold() {
+        let mut act = RetryingActuator::new(fault_cfg(1.0), 7);
+        let mut log = ActuatorLog::new();
+        let mut ledger = InteractionLedger::new();
+        let nodes = [NodeId(9)];
+        for round in 1..=2u32 {
+            let report = act.program_caps(t(1.0), &nodes, Some(150.0), &mut log, &mut ledger);
+            assert!(!report.succeeded);
+            assert_eq!(report.failed, vec![NodeId(9)]);
+            assert!(report.fence.is_empty());
+            // max_retries = 2 → 3 attempts per call, all logged.
+            assert_eq!(report.attempts, 3);
+            // Backoff 1s then 2s between the three attempts.
+            assert_eq!(report.total_delay, SimDuration::from_secs(3.0));
+            assert_eq!(act.consecutive_failures(NodeId(9)), round);
+        }
+        let report = act.program_caps(t(2.0), &nodes, Some(150.0), &mut log, &mut ledger);
+        assert_eq!(report.fence, vec![NodeId(9)]);
+        // Fencing resets the escalation counter.
+        assert_eq!(act.consecutive_failures(NodeId(9)), 0);
+        assert_eq!(log.len(), 9);
+    }
+
+    #[test]
+    fn success_resets_consecutive_failures() {
+        let mut act = RetryingActuator::new(fault_cfg(1.0), 7);
+        let mut log = ActuatorLog::new();
+        let mut ledger = InteractionLedger::new();
+        let nodes = [NodeId(2)];
+        act.program_caps(t(1.0), &nodes, None, &mut log, &mut ledger);
+        assert_eq!(act.consecutive_failures(NodeId(2)), 1);
+        // Flip to a reliable channel; the next success must clear history.
+        let mut fixed = RetryingActuator::new(fault_cfg(0.0), 7);
+        fixed.consecutive_failures = act.consecutive_failures.clone();
+        fixed.program_caps(t(2.0), &nodes, None, &mut log, &mut ledger);
+        assert_eq!(fixed.consecutive_failures(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn actuator_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let mut act = RetryingActuator::new(fault_cfg(0.4), seed);
+            let mut log = ActuatorLog::new();
+            let mut ledger = InteractionLedger::new();
+            let nodes: Vec<NodeId> = (0..16).map(NodeId).collect();
+            let mut trace = Vec::new();
+            for round in 0..8 {
+                let r = act.program_caps(
+                    t(f64::from(round)),
+                    &nodes,
+                    Some(180.0),
+                    &mut log,
+                    &mut ledger,
+                );
+                trace.push((r.attempts, r.failed.len(), r.fence.len()));
+            }
+            (trace, log.len())
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
     }
 }

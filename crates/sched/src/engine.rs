@@ -19,6 +19,7 @@
 //! violations, kills, and per-policy counters.
 
 use crate::emergency::EmergencyPolicy;
+use crate::error::SchedError;
 use crate::limiting::JobLimitGate;
 use crate::queue::JobQueue;
 use crate::shutdown::ShutdownPolicy;
@@ -27,12 +28,15 @@ use epa_cluster::alloc::{AllocStrategy, Allocator};
 use epa_cluster::layout::FacilityLayout;
 use epa_cluster::node::NodeId;
 use epa_cluster::system::System;
+use epa_faults::{FaultConfig, FaultInjector, FaultPlan, SensorFaultConfig, SensorSample};
 use epa_power::budget::{GrantId, PowerBudget};
 use epa_power::facility::Facility;
 use epa_power::meter::EnergyMeter;
 use epa_power::node_power::{NodePowerModel, NodePowerState};
 use epa_predict::history::HistoryStore;
 use epa_predict::predictors::{PowerPredictor, TagMeanPredictor};
+use epa_rm::actuators::{ActuatorLog, RetryingActuator};
+use epa_rm::interactions::InteractionLedger;
 use epa_simcore::engine::Simulation;
 use epa_simcore::metrics::MetricsRegistry;
 use epa_simcore::stats::Percentiles;
@@ -83,6 +87,11 @@ pub struct EngineConfig {
     pub repair_time: SimDuration,
     /// Seed for engine-internal randomness (failure injection).
     pub seed: u64,
+    /// Deterministic fault model: correlated rack/PDU events, telemetry
+    /// sensor faults with staleness-based degradation, and unreliable
+    /// actuators with retry/fence escalation. `None` injects nothing and
+    /// leaves every code path byte-identical to a fault-free engine.
+    pub faults: Option<FaultConfig>,
 }
 
 impl EngineConfig {
@@ -106,7 +115,28 @@ impl EngineConfig {
             node_mtbf: None,
             repair_time: SimDuration::from_hours(4.0),
             seed: 0xe9a,
+            faults: None,
         }
+    }
+
+    /// Rejects degenerate fault settings: a zero/negative node MTBF, a
+    /// zero repair time, a zero checkpoint interval, or an invalid
+    /// [`FaultConfig`]. Called at engine construction.
+    pub fn validate(&self) -> Result<(), SchedError> {
+        if self.node_mtbf.is_some_and(|d| d.as_secs() <= 0.0) {
+            return Err(SchedError::NonPositiveMtbf);
+        }
+        if self.repair_time.as_secs() <= 0.0 {
+            return Err(SchedError::NonPositiveRepairTime);
+        }
+        if self.checkpoint_interval.is_some_and(|d| d.is_zero()) {
+            return Err(SchedError::ZeroCheckpointInterval);
+        }
+        if let Some(f) = &self.faults {
+            f.validate()
+                .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
+        }
+        Ok(())
     }
 }
 
@@ -126,6 +156,9 @@ enum Ev {
     BudgetResize(f64),
     NodeFail,
     RepairDone(NodeId),
+    /// A correlated failure-domain event: index into the pre-generated
+    /// [`FaultPlan`]'s `domain_events`.
+    DomainFail(u32),
 }
 
 #[derive(Debug, Clone)]
@@ -215,6 +248,19 @@ pub struct SimOutcome {
     pub throughput_per_day: f64,
     /// Energy per completed job, joules (∞-safe: 0 when none completed).
     pub energy_per_job_joules: f64,
+    /// Total node-failure events (independent + correlated + fenced).
+    pub node_failures: u64,
+    /// Failure count per node, indexed by node id.
+    pub per_node_failures: Vec<u64>,
+    /// Total node-downtime seconds (completed repairs plus nodes still
+    /// down at the horizon, accrued to the end of the run).
+    pub node_downtime_secs: f64,
+    /// Mean time to repair over completed repairs, seconds (0 when none).
+    pub mttr_secs: f64,
+    /// Jobs requeued after being killed (requires `requeue_killed`).
+    pub requeues: u64,
+    /// Nodes still down (awaiting repair) when the run ended.
+    pub nodes_down_at_end: u64,
     /// Per-job records.
     pub jobs: Vec<CompletedJob>,
     /// Engine counters (submissions, starts, boots, shutdowns, emergency
@@ -276,16 +322,60 @@ pub struct ClusterSim<'p> {
     start_hold_until: SimTime,
     /// A cooldown is in effect; the first tick past it must reschedule.
     hold_resume_pending: bool,
+    /// Pre-generated correlated failure-domain schedule (empty when the
+    /// fault model has no domain component).
+    fault_plan: FaultPlan,
+    /// Online sensor-fault stream (present only with sensor faults).
+    injector: Option<FaultInjector>,
+    /// Unreliable-actuator front-end (present only with actuator faults).
+    actuator: Option<RetryingActuator>,
+    /// Audit log of every actuation attempt.
+    actuator_log: ActuatorLog,
+    /// Component-interaction ledger fed by the actuator log.
+    ledger: InteractionLedger,
+    /// Last accepted telemetry reading `(timestamp, watts)`; under sensor
+    /// dropout the timestamp ages, under stuck-at it stays fresh while
+    /// the value goes wrong.
+    sensor_last: (SimTime, f64),
+    /// Active stuck-at window `(until, held value)`, if any.
+    sensor_stuck_until: Option<(SimTime, f64)>,
+    /// Telemetry is currently past the staleness bound (for counting
+    /// fallback transitions, not per-tick noise).
+    telemetry_stale: bool,
+    /// Failure events per node, indexed by `NodeId::index()`.
+    failure_counts: Vec<u64>,
+    /// When each currently-down node went down.
+    down_since: Vec<Option<SimTime>>,
+    /// Downtime seconds over *completed* repairs (MTTR numerator).
+    repair_downtime_secs: f64,
+    /// Completed repairs (MTTR denominator).
+    repairs_completed: u64,
 }
 
 impl<'p> ClusterSim<'p> {
     /// Creates an engine over `system` running `jobs` under `policy`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the configuration is degenerate; use [`Self::try_new`]
+    /// to handle the error.
     pub fn new(
         system: System,
         jobs: Vec<Job>,
         policy: &'p mut dyn Policy,
         config: EngineConfig,
     ) -> Self {
+        Self::try_new(system, jobs, policy, config).expect("invalid engine config")
+    }
+
+    /// Creates an engine, validating the configuration first.
+    pub fn try_new(
+        system: System,
+        jobs: Vec<Job>,
+        policy: &'p mut dyn Policy,
+        config: EngineConfig,
+    ) -> Result<Self, SchedError> {
+        config.validate()?;
         let total = system.spec().total_nodes();
         let allocator = Allocator::new(total, config.alloc_strategy, system.topology().clone());
         let power_model = NodePowerModel::new(system.spec().node.clone());
@@ -305,11 +395,33 @@ impl<'p> ClusterSim<'p> {
             let first = rng.exponential(1.0 / mtbf.as_secs().max(1e-9));
             sim.schedule_at(SimTime::from_secs(first), Ev::NodeFail);
         }
+        // Correlated failure domains: the whole schedule is a pure
+        // function of the fault seed, pre-generated and pre-scheduled so
+        // identical seeds replay identical rack/PDU events.
+        let fault_plan = config.faults.as_ref().map_or_else(FaultPlan::default, |f| {
+            FaultPlan::generate(f, config.horizon, system.spec().cabinets)
+        });
+        for (i, e) in fault_plan.domain_events.iter().enumerate() {
+            sim.schedule_at(e.t, Ev::DomainFail(i as u32));
+        }
+        let injector = match &config.faults {
+            Some(f) if f.sensor.is_some() => Some(
+                FaultInjector::new(f.clone())
+                    .map_err(|e| SchedError::InvalidConfig(e.to_string()))?,
+            ),
+            _ => None,
+        };
+        let actuator = config.faults.as_ref().and_then(|f| {
+            f.actuator
+                .as_ref()
+                .map(|a| RetryingActuator::new(a.clone(), f.seed))
+        });
         let mut meter = EnergyMeter::new();
         let n_nodes = total as usize;
         let all_nodes: Vec<NodeId> = system.nodes().collect();
         meter.set_alloc_watts(&all_nodes, SimTime::ZERO, system.spec().node.idle_watts);
-        ClusterSim {
+        let idle_system_watts = system.spec().idle_watts();
+        Ok(ClusterSim {
             config,
             system,
             power_model,
@@ -340,7 +452,19 @@ impl<'p> ClusterSim<'p> {
             attempts: BTreeMap::new(),
             start_hold_until: SimTime::ZERO,
             hold_resume_pending: false,
-        }
+            fault_plan,
+            injector,
+            actuator,
+            actuator_log: ActuatorLog::new(),
+            ledger: InteractionLedger::new(),
+            sensor_last: (SimTime::ZERO, idle_system_watts),
+            sensor_stuck_until: None,
+            telemetry_stale: false,
+            failure_counts: vec![0; n_nodes],
+            down_since: vec![None; n_nodes],
+            repair_downtime_secs: 0.0,
+            repairs_completed: 0,
+        })
     }
 
     /// Replaces the power predictor used for admission control.
@@ -364,6 +488,18 @@ impl<'p> ClusterSim<'p> {
     #[must_use]
     pub fn meter(&self) -> &EnergyMeter {
         &self.meter
+    }
+
+    /// The actuation audit log (every attempt, including failed retries).
+    #[must_use]
+    pub fn actuator_log(&self) -> &ActuatorLog {
+        &self.actuator_log
+    }
+
+    /// The component-interaction ledger fed by actuations.
+    #[must_use]
+    pub fn interaction_ledger(&self) -> &InteractionLedger {
+        &self.ledger
     }
 
     fn ambient_c(&self, t: SimTime) -> f64 {
@@ -443,11 +579,32 @@ impl<'p> ClusterSim<'p> {
                     }
                 }
                 Ev::RepairDone(n) => {
+                    if let Some(since) = self.down_since[n.index()].take() {
+                        self.repair_downtime_secs += (t - since).as_secs();
+                        self.repairs_completed += 1;
+                    }
                     self.down[n.index()] = false;
                     self.set_node_state(n, NodePowerState::Idle, t);
                     self.allocator.mark_available(n);
                     self.idle_since[n.index()] = Some(t);
                     self.metrics.incr("rm/repairs", 1);
+                    self.try_schedule();
+                }
+                Ev::DomainFail(idx) => {
+                    let event = self.fault_plan.domain_events[idx as usize];
+                    self.metrics.incr("faults/domain_events", 1);
+                    // Only operational nodes go down; Off/Booting nodes
+                    // ride through (their state machines are elsewhere).
+                    for n in self.system.cabinet_nodes(event.domain) {
+                        let i = n.index();
+                        if matches!(
+                            self.node_state[i],
+                            NodePowerState::Idle | NodePowerState::Busy
+                        ) && !self.down[i]
+                        {
+                            self.take_node_down(n, t, event.repair_time);
+                        }
+                    }
                     self.try_schedule();
                 }
             }
@@ -474,7 +631,17 @@ impl<'p> ClusterSim<'p> {
             return;
         }
         let victim = *self.rng.choose(&operational);
+        self.take_node_down(victim, t, self.config.repair_time);
+        self.try_schedule();
+    }
+
+    /// Takes one operational node down: kill its job (if any), drain it
+    /// from the allocator, power it off, and schedule the repair. Shared
+    /// by independent failures, correlated domain events, and actuator
+    /// fencing — the operation order is load-bearing for determinism.
+    fn take_node_down(&mut self, victim: NodeId, t: SimTime, repair: SimDuration) {
         self.metrics.incr("rm/failures", 1);
+        self.failure_counts[victim.index()] += 1;
         // Kill the job occupying the node, if any (O(1) reverse lookup).
         if let Some(id) = self.node_owner[victim.index()] {
             let r = self.running.remove(&id).expect("holder is running");
@@ -484,10 +651,9 @@ impl<'p> ClusterSim<'p> {
         self.allocator.mark_unavailable(victim);
         self.idle_since[victim.index()] = None;
         self.down[victim.index()] = true;
+        self.down_since[victim.index()] = Some(t);
         self.set_node_state(victim, NodePowerState::Off, t);
-        self.sim
-            .schedule_in(self.config.repair_time, Ev::RepairDone(victim));
-        self.try_schedule();
+        self.sim.schedule_in(repair, Ev::RepairDone(victim));
     }
 
     /// Transitions a node's recorded power state, keeping `off_count`
@@ -533,6 +699,93 @@ impl<'p> ClusterSim<'p> {
         self.summaries.remove(pos);
     }
 
+    /// Conservative static power estimate used while telemetry is stale:
+    /// busy nodes at nameplate peak, every other powered node at idle,
+    /// plus the configured safety margin. Deliberately pessimistic — the
+    /// degraded mode must never under-estimate draw.
+    fn conservative_estimate(&self, cfg: &SensorFaultConfig) -> f64 {
+        let node = &self.system.spec().node;
+        let busy: u32 = self.summaries.iter().map(|s| s.nodes).sum();
+        let on_others = self
+            .system
+            .spec()
+            .total_nodes()
+            .saturating_sub(self.off_count + busy);
+        (f64::from(busy) * node.peak_watts + f64::from(on_others) * node.idle_watts)
+            * (1.0 + cfg.safety_margin_frac)
+    }
+
+    /// Advances the sensor model one tick and returns the *observed*
+    /// system draw: the live reading, a held stuck-at value, or — once
+    /// the last reading's age exceeds the staleness bound — the
+    /// conservative fallback estimate. Without sensor faults this is the
+    /// true meter value with zero extra state or RNG draws.
+    fn sample_telemetry(&mut self, t: SimTime, true_watts: f64) -> f64 {
+        let Some(cfg) = self
+            .injector
+            .as_ref()
+            .and_then(|i| i.sensor_config().cloned())
+        else {
+            return true_watts;
+        };
+        // Stuck-at window: the sensor keeps re-reporting its held value
+        // with fresh timestamps — wrong data that staleness cannot catch.
+        if let Some((until, held)) = self.sensor_stuck_until {
+            if t < until {
+                self.sensor_last = (t, held);
+            } else {
+                self.sensor_stuck_until = None;
+            }
+        }
+        if self.sensor_stuck_until.is_none() {
+            match self
+                .injector
+                .as_mut()
+                .expect("sensor faults on")
+                .sensor_sample()
+            {
+                SensorSample::Ok => self.sensor_last = (t, true_watts),
+                SensorSample::Dropout => {
+                    // The sample is lost; the last reading ages.
+                    self.metrics.incr("faults/telemetry_dropouts", 1);
+                }
+                SensorSample::Stuck => {
+                    let held = self.sensor_last.1;
+                    self.sensor_stuck_until = Some((t + cfg.stuck_duration, held));
+                    self.sensor_last = (t, held);
+                    self.metrics.incr("faults/telemetry_stuck", 1);
+                }
+            }
+        }
+        let age = t.saturating_since(self.sensor_last.0);
+        if age > cfg.staleness_bound {
+            if !self.telemetry_stale {
+                self.telemetry_stale = true;
+                self.metrics.incr("faults/telemetry_fallbacks", 1);
+            }
+            self.metrics.incr("faults/telemetry_stale_ticks", 1);
+            self.conservative_estimate(&cfg)
+        } else {
+            self.telemetry_stale = false;
+            self.sensor_last.1
+        }
+    }
+
+    /// The observed system draw at `now` without advancing the sensor
+    /// model (scheduling decisions between ticks read this). Returns the
+    /// value and whether telemetry is currently stale.
+    fn observed_system_watts(&self, now: SimTime) -> (f64, bool) {
+        let Some(cfg) = self.injector.as_ref().and_then(|i| i.sensor_config()) else {
+            return (self.meter.system_watts(), false);
+        };
+        let age = now.saturating_since(self.sensor_last.0);
+        if age > cfg.staleness_bound {
+            (self.conservative_estimate(cfg), true)
+        } else {
+            (self.sensor_last.1, false)
+        }
+    }
+
     fn try_schedule(&mut self) {
         // Emergency cooldown: after a response, hold new starts.
         if self.sim.now() < self.start_hold_until {
@@ -554,16 +807,30 @@ impl<'p> ClusterSim<'p> {
             .budget
             .as_ref()
             .map_or(f64::INFINITY, PowerBudget::total_watts);
+        // Graceful degradation: past the staleness bound the scheduler
+        // sees the conservative estimate, and per-job prediction falls
+        // back to nameplate peak plus the safety margin.
+        let (observed_watts, stale) = self.observed_system_watts(now);
         let decisions = {
             // Build the prediction closure over immutable parts.
             let predictor = &self.predictor;
             let history = &self.history;
             let ambient = self.ambient_c(now);
             let nominal = self.system.spec().node.nominal_watts;
+            let peak = self.system.spec().node.peak_watts;
+            let margin = self
+                .injector
+                .as_ref()
+                .and_then(|i| i.sensor_config())
+                .map_or(0.0, |c| c.safety_margin_frac);
             let predict = move |job: &Job| {
-                predictor
-                    .predict_watts_per_node(job, history, ambient)
-                    .unwrap_or(nominal)
+                if stale {
+                    peak * (1.0 + margin)
+                } else {
+                    predictor
+                        .predict_watts_per_node(job, history, ambient)
+                        .unwrap_or(nominal)
+                }
             };
             let view = SchedView {
                 now,
@@ -573,7 +840,7 @@ impl<'p> ClusterSim<'p> {
                 running: &self.summaries,
                 power_headroom_watts: headroom,
                 power_budget_watts: budget_total,
-                system_watts: self.meter.system_watts(),
+                system_watts: observed_watts,
                 temperature_c: self.ambient_c(now),
                 dvfs: self.power_model.dvfs(),
                 predicted_watts_per_node: &predict,
@@ -600,6 +867,9 @@ impl<'p> ClusterSim<'p> {
                 } => {
                     if self.start_job(job, nodes_override, freq_ghz, node_cap_watts) {
                         started_any = true;
+                        if stale {
+                            self.metrics.incr("faults/conservative_admissions", 1);
+                        }
                     }
                 }
             }
@@ -698,6 +968,7 @@ impl<'p> ClusterSim<'p> {
         // sites cap such jobs instead of starving the queue (KAUST's
         // static CAPMC caps, Trinity's admin caps), so the engine programs
         // a per-node ceiling that makes the job fit and retries.
+        let mut capped_to_fit = false;
         let grant = if let Some(budget) = self.budget.as_mut() {
             let mut need = watts_per_node * f64::from(nodes_requested);
             if need > budget.total_watts() {
@@ -715,6 +986,7 @@ impl<'p> ClusterSim<'p> {
                     op = capped;
                     watts_per_node = capped_wpn;
                     need = capped_wpn * f64::from(nodes_requested);
+                    capped_to_fit = true;
                     self.metrics.incr("sched/start_capped_to_fit", 1);
                 }
             }
@@ -757,6 +1029,42 @@ impl<'p> ClusterSim<'p> {
             }
         };
 
+        // Program the operating point through the (possibly unreliable)
+        // actuator when the start needs a cap or frequency write. On
+        // failure the start is rolled back, the job requeued, and any
+        // node past the consecutive-failure threshold is fenced; on
+        // success the accumulated retry backoff delays the job.
+        let mut actuation_delay = SimDuration::ZERO;
+        if node_cap_watts.is_some() || freq_ghz.is_some() || capped_to_fit {
+            if let Some(act) = self.actuator.as_mut() {
+                let report = act.program_caps(
+                    now,
+                    &nodes,
+                    Some(op.watts),
+                    &mut self.actuator_log,
+                    &mut self.ledger,
+                );
+                self.metrics
+                    .incr("faults/actuator_attempts", report.attempts);
+                if report.succeeded {
+                    actuation_delay = report.total_delay;
+                } else {
+                    self.metrics.incr("faults/actuator_cap_failures", 1);
+                    self.metrics.incr("sched/start_actuation_failed", 1);
+                    self.allocator.release(&nodes);
+                    if let (Some(budget), Some(g)) = (self.budget.as_mut(), grant) {
+                        let _ = budget.release(g);
+                    }
+                    for n in report.fence {
+                        self.metrics.incr("faults/fenced_nodes", 1);
+                        self.take_node_down(n, now, self.config.repair_time);
+                    }
+                    self.queue.push(job);
+                    return false;
+                }
+            }
+        }
+
         // Physical runtime under the operating point, clipped by walltime.
         let slowdown_fn = {
             let dvfs = self.power_model.dvfs().clone();
@@ -767,7 +1075,7 @@ impl<'p> ClusterSim<'p> {
             let mut j = job.clone();
             j.base_runtime = base_runtime;
             j.runtime_under(slowdown_fn)
-        };
+        } + actuation_delay;
         let killed = true_run > job.walltime_estimate;
         let run = if killed {
             job.walltime_estimate
@@ -934,8 +1242,13 @@ impl<'p> ClusterSim<'p> {
         let watts = self.meter.system_watts();
         self.metrics.incr("rm/power_ticks", 1);
         self.metrics.trace("power/system_watts", t, watts);
+        // What the control plane *sees* — subject to sensor dropout,
+        // stuck-at windows, and the staleness fallback. Identical to
+        // `watts` when sensor faults are off.
+        let observed = self.sample_telemetry(t, watts);
         // Budget violation accounting against the *live* budget (demand-
-        // response resizes move it during the run).
+        // response resizes move it during the run). This is ground truth,
+        // deliberately independent of what the sensors claim.
         if let Some(limit) = self.budget.as_ref().map(PowerBudget::total_watts) {
             let dt = (t - self.last_tick).as_secs();
             if watts > limit + 1e-6 {
@@ -945,10 +1258,12 @@ impl<'p> ClusterSim<'p> {
         self.last_tick = t;
 
         // Emergency response (RIKEN): kill jobs until under the limit.
+        // Drives on *observed* power — a stale sensor makes the response
+        // conservative (the fallback estimate errs high), never blind.
         if let Some(em) = self.config.emergency.clone() {
-            if em.armed_at(t) && watts > em.limit_watts {
+            if em.armed_at(t) && observed > em.limit_watts {
                 self.metrics.incr("emergency/breaches", 1);
-                let mut excess = watts - em.target_watts();
+                let mut excess = observed - em.target_watts();
                 // Victim ordering per policy: youngest-first (least sunk
                 // cost) or most-powerful-first (fewest kills per watt).
                 let mut victims: Vec<JobId> = self.running.keys().copied().collect();
@@ -1051,6 +1366,20 @@ impl<'p> ClusterSim<'p> {
             .filter(|c| c.killed_at_walltime)
             .count() as u64;
         let n_completed = self.completed.len() as u64;
+        // Failure observability: downtime over completed repairs plus
+        // nodes still down at the horizon, accrued to the end.
+        let mut node_downtime_secs = self.repair_downtime_secs;
+        let mut nodes_down_at_end = 0u64;
+        for since in self.down_since.iter().flatten() {
+            node_downtime_secs += end.saturating_since(*since).as_secs();
+            nodes_down_at_end += 1;
+        }
+        let mttr_secs = if self.repairs_completed > 0 {
+            self.repair_downtime_secs / self.repairs_completed as f64
+        } else {
+            0.0
+        };
+        let counters = self.metrics.snapshot().counters;
         SimOutcome {
             policy: self.policy.name().to_owned(),
             completed: n_completed,
@@ -1071,8 +1400,14 @@ impl<'p> ClusterSim<'p> {
             } else {
                 0.0
             },
+            node_failures: self.failure_counts.iter().sum(),
+            per_node_failures: self.failure_counts,
+            node_downtime_secs,
+            mttr_secs,
+            requeues: counters.get("jobs/requeued").copied().unwrap_or(0),
+            nodes_down_at_end,
             jobs: self.completed,
-            counters: self.metrics.snapshot().counters,
+            counters,
             power_trace: self
                 .meter
                 .system_trace()
@@ -1497,6 +1832,133 @@ mod tests {
         );
         // The capped job ran slower than its base runtime.
         assert!(out.jobs[0].run_secs > 3600.0);
+    }
+
+    #[test]
+    fn degenerate_configs_rejected() {
+        use crate::error::SchedError;
+        let mk = || {
+            (
+                small_system(4),
+                vec![JobBuilder::new(1).nodes(1).build()],
+                EngineConfig::new(SimTime::from_hours(1.0)),
+            )
+        };
+        let (sys, jobs, mut config) = mk();
+        config.node_mtbf = Some(SimDuration::ZERO);
+        let mut policy = Fcfs;
+        let err = ClusterSim::try_new(sys, jobs, &mut policy, config).err();
+        assert_eq!(err, Some(SchedError::NonPositiveMtbf));
+
+        let (sys, jobs, mut config) = mk();
+        config.repair_time = SimDuration::ZERO;
+        let err = ClusterSim::try_new(sys, jobs, &mut policy, config).err();
+        assert_eq!(err, Some(SchedError::NonPositiveRepairTime));
+
+        let (sys, jobs, mut config) = mk();
+        config.checkpoint_interval = Some(SimDuration::ZERO);
+        let err = ClusterSim::try_new(sys, jobs, &mut policy, config).err();
+        assert_eq!(err, Some(SchedError::ZeroCheckpointInterval));
+
+        let (sys, jobs, mut config) = mk();
+        config.faults = Some(epa_faults::FaultConfig {
+            sensor: Some(epa_faults::SensorFaultConfig {
+                dropout_prob: 2.0,
+                ..epa_faults::SensorFaultConfig::default()
+            }),
+            ..epa_faults::FaultConfig::default()
+        });
+        let err = ClusterSim::try_new(sys, jobs, &mut policy, config).err();
+        assert!(matches!(err, Some(SchedError::InvalidConfig(_))));
+
+        // A valid config still constructs.
+        let (sys, jobs, config) = mk();
+        assert!(ClusterSim::try_new(sys, jobs, &mut policy, config).is_ok());
+    }
+
+    #[test]
+    fn domain_faults_take_whole_cabinets_down() {
+        use epa_faults::{DomainFaultConfig, FaultConfig};
+        // 4 cabinets × 4 nodes; aggressive domain MTBF over 3 days.
+        let sys = SystemSpec {
+            name: "test".into(),
+            cabinets: 4,
+            nodes_per_cabinet: 4,
+            node: NodeSpec::typical_xeon(),
+            topology: Topology::FatTree { arity: 8 },
+            peak_tflops: 1.0,
+        }
+        .build();
+        let jobs: Vec<Job> = (0..30)
+            .map(|i| {
+                JobBuilder::new(i)
+                    .nodes(4)
+                    .runtime(SimDuration::from_hours(2.0))
+                    .estimate(SimDuration::from_hours(3.0))
+                    .submit(SimTime::from_hours(f64::from(i as u32)))
+                    .build()
+            })
+            .collect();
+        let mut policy = Fcfs;
+        let mut config = EngineConfig::new(SimTime::from_days(3.0));
+        config.requeue_killed = true;
+        config.faults = Some(FaultConfig {
+            domain: Some(DomainFaultConfig {
+                mtbf: SimDuration::from_hours(8.0),
+                repair_time: SimDuration::from_hours(1.0),
+            }),
+            ..FaultConfig::default()
+        });
+        let out = ClusterSim::new(sys, jobs, &mut policy, config).run();
+        let events = out
+            .counters
+            .get("faults/domain_events")
+            .copied()
+            .unwrap_or(0);
+        assert!(events > 3, "3 days at 8 h MTBF should fire, got {events}");
+        // A domain event downs up to a whole 4-node cabinet at once, so
+        // failures outnumber events.
+        assert!(out.node_failures > events, "correlated events down groups");
+        assert_eq!(out.per_node_failures.len(), 16);
+        assert_eq!(out.per_node_failures.iter().sum::<u64>(), out.node_failures);
+        assert!(out.node_downtime_secs > 0.0);
+        assert!(out.mttr_secs > 0.0, "completed repairs must yield MTTR");
+        // MTTR cannot be below the configured repair time.
+        assert!(out.mttr_secs >= 3600.0 - 1e-6);
+    }
+
+    #[test]
+    fn domain_fault_runs_are_deterministic() {
+        use epa_faults::{DomainFaultConfig, FaultConfig};
+        let mk = || {
+            let jobs: Vec<Job> = (0..10)
+                .map(|i| {
+                    JobBuilder::new(i)
+                        .nodes(2)
+                        .runtime(SimDuration::from_hours(1.0))
+                        .build()
+                })
+                .collect();
+            let mut policy = Fcfs;
+            let mut config = EngineConfig::new(SimTime::from_days(1.0));
+            config.requeue_killed = true;
+            config.faults = Some(FaultConfig {
+                domain: Some(DomainFaultConfig {
+                    mtbf: SimDuration::from_hours(4.0),
+                    repair_time: SimDuration::from_hours(1.0),
+                }),
+                seed: 42,
+                ..FaultConfig::default()
+            });
+            ClusterSim::new(small_system(8), jobs, &mut policy, config).run()
+        };
+        let a = mk();
+        let b = mk();
+        assert_eq!(a.node_failures, b.node_failures);
+        assert_eq!(a.per_node_failures, b.per_node_failures);
+        assert_eq!(a.completed, b.completed);
+        assert!((a.energy_joules - b.energy_joules).abs() < 1e-6);
+        assert!((a.node_downtime_secs - b.node_downtime_secs).abs() < 1e-9);
     }
 
     #[test]

@@ -12,6 +12,18 @@ pub enum SchedError {
     /// A policy or engine configuration was invalid.
     #[error("invalid scheduler configuration: {0}")]
     InvalidConfig(String),
+
+    /// `node_mtbf` was configured as zero or negative.
+    #[error("node MTBF must be positive")]
+    NonPositiveMtbf,
+
+    /// `repair_time` was configured as zero or negative.
+    #[error("repair time must be positive")]
+    NonPositiveRepairTime,
+
+    /// `checkpoint_interval` was configured as zero.
+    #[error("checkpoint interval must be positive")]
+    ZeroCheckpointInterval,
 }
 
 #[cfg(test)]

@@ -42,6 +42,10 @@ pub use epa_sched as sched;
 /// Resource management: state machines, actuators, monitoring, reports.
 pub use epa_rm as rm;
 
+/// Deterministic fault model: correlated failure domains, sensor and
+/// actuator faults, retry/backoff policies.
+pub use epa_faults as faults;
+
 /// The nine surveyed site models.
 pub use epa_sites as sites;
 
