@@ -1,15 +1,22 @@
 //! Engine throughput baseline: simulates one day of a typical workload at
-//! 256, 1,024, and 4,096 nodes under EASY backfilling and writes
-//! `BENCH_engine.json` with wall-time and events/sec per size. Run after
-//! engine changes to track the hot-path budget (see DESIGN.md,
-//! "Performance notes"):
+//! 256, 1,024, 4,096, and 16,384 nodes under EASY backfilling and writes
+//! `BENCH_engine.json` with wall-time and events/sec per size, plus a
+//! `threads` section measuring the campaign runner's parallel replication
+//! sweep (12 seeds, serial vs 4 threads) and recording that both produce
+//! byte-identical aggregate outputs. Run after engine changes to track
+//! the hot-path budget (see DESIGN.md, "Performance notes"):
 //!
 //! ```text
 //! cargo run --release -p epa-bench --bin bench_baseline [out.json]
 //! ```
+//!
+//! With `--check-scaling` the binary instead runs the 256- and 4,096-node
+//! rows and exits nonzero unless events/sec at 4,096 nodes is within 4×
+//! of 256 nodes — the CI guard for the O(active)-per-event invariant.
 
+use epa_bench::campaign::run_campaign;
 use epa_bench::experiment_system;
-use epa_sched::engine::{ClusterSim, EngineConfig};
+use epa_sched::engine::{ClusterSim, EngineConfig, SimOutcome};
 use epa_sched::policies::backfill::EasyBackfill;
 use epa_simcore::time::SimTime;
 use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
@@ -18,6 +25,16 @@ use std::time::Instant;
 
 const SIM_DAYS: f64 = 1.0;
 const REPS: usize = 3;
+const SIZES: [u32; 4] = [256, 1024, 4096, 16384];
+
+/// Replication sweep measured in the `threads` section.
+const SWEEP_NODES: u32 = 1024;
+const SWEEP_SEEDS: [u64; 12] = [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12];
+const SWEEP_THREADS: usize = 4;
+
+/// The CI scaling bound: events/sec at 4,096 nodes must be within this
+/// factor of the 256-node rate.
+const SCALING_BOUND: f64 = 4.0;
 
 struct SizeResult {
     nodes: u32,
@@ -26,12 +43,23 @@ struct SizeResult {
     completed: u64,
 }
 
+fn simulate(nodes: u32, seed: u64) -> SimOutcome {
+    let jobs = WorkloadGenerator::new(WorkloadParams::typical(nodes, seed))
+        .generate(SimTime::from_days(SIM_DAYS), 0);
+    let mut policy = EasyBackfill;
+    let mut config = EngineConfig::new(SimTime::from_days(SIM_DAYS));
+    config.seed = seed;
+    ClusterSim::new(experiment_system(nodes), jobs, &mut policy, config).run()
+}
+
 fn run_once(nodes: u32) -> (f64, u64, u64) {
     let jobs = WorkloadGenerator::new(WorkloadParams::typical(nodes, 9))
         .generate(SimTime::from_days(SIM_DAYS), 0);
     let mut policy = EasyBackfill;
     let config = EngineConfig::new(SimTime::from_days(SIM_DAYS));
     let sim = ClusterSim::new(experiment_system(nodes), jobs, &mut policy, config);
+    // Time only the event loop — setup (workload generation, dense-state
+    // init) is O(nodes) by construction and not what this row tracks.
     let t0 = Instant::now();
     let out = sim.run();
     let wall = t0.elapsed().as_secs_f64();
@@ -43,22 +71,101 @@ fn run_once(nodes: u32) -> (f64, u64, u64) {
     (wall, events, out.completed)
 }
 
+fn best_of_reps(nodes: u32, reps: usize) -> (f64, u64, u64) {
+    // Best-of-N wall time: the minimum is the least-noise estimate of
+    // the engine's intrinsic cost.
+    let mut best: Option<(f64, u64, u64)> = None;
+    for _ in 0..reps {
+        let r = run_once(nodes);
+        if best.is_none_or(|b| r.0 < b.0) {
+            best = Some(r);
+        }
+    }
+    best.expect("reps > 0")
+}
+
+/// Runs the 12-seed replication sweep at a fixed thread count, returning
+/// wall seconds and the serialized outcome of every cell (in cell order).
+fn sweep(threads: usize) -> (f64, Vec<String>) {
+    rayon::with_num_threads(threads, || {
+        let t0 = Instant::now();
+        let cells = run_campaign(&[SWEEP_NODES], &SWEEP_SEEDS, |&nodes, seed| {
+            serde_json::to_string(&simulate(nodes, seed)).expect("outcome serializes")
+        });
+        let wall = t0.elapsed().as_secs_f64();
+        (wall, cells.into_iter().map(|c| c.result).collect())
+    })
+}
+
+/// The `threads` section: serial-vs-parallel wall time for the sweep and
+/// byte-equality of the aggregate outputs, recorded in the bench output
+/// itself so every committed BENCH_engine.json carries the determinism
+/// evidence alongside the speedup claim.
+fn threads_section() -> serde_json::Value {
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    eprintln!(
+        "sweep: {} seeds x {} nodes, serial vs {} threads ({} cores available)",
+        SWEEP_SEEDS.len(),
+        SWEEP_NODES,
+        SWEEP_THREADS,
+        available
+    );
+    let (serial_wall, serial_out) = sweep(1);
+    let (par_wall, par_out) = sweep(SWEEP_THREADS);
+    let identical = serial_out == par_out;
+    let speedup = serial_wall / par_wall.max(1e-12);
+    eprintln!(
+        "sweep: serial {serial_wall:.3} s, {SWEEP_THREADS} threads {par_wall:.3} s \
+         ({speedup:.2}x), outcomes identical: {identical}"
+    );
+    assert!(
+        identical,
+        "parallel sweep outcomes must be byte-identical to serial"
+    );
+    json!({
+        "sweep_nodes": SWEEP_NODES,
+        "replications": SWEEP_SEEDS.len(),
+        "threads": SWEEP_THREADS,
+        "available_cores": available,
+        "serial_wall_secs": serial_wall,
+        "parallel_wall_secs": par_wall,
+        "speedup": speedup,
+        "serial_parallel_outcomes_identical": identical,
+    })
+}
+
+/// CI guard: events/sec at 4,096 nodes within `SCALING_BOUND`× of 256.
+fn check_scaling() -> bool {
+    let (wall_small, ev_small, _) = best_of_reps(256, 2);
+    let (wall_big, ev_big, _) = best_of_reps(4096, 2);
+    let rate_small = ev_small as f64 / wall_small.max(1e-12);
+    let rate_big = ev_big as f64 / wall_big.max(1e-12);
+    let degradation = rate_small / rate_big.max(1e-12);
+    eprintln!(
+        "scaling check: 256 nodes {rate_small:.0} events/s, 4096 nodes {rate_big:.0} events/s \
+         -> {degradation:.2}x degradation (bound {SCALING_BOUND}x)"
+    );
+    degradation <= SCALING_BOUND
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--check-scaling") {
+        if check_scaling() {
+            eprintln!("scaling check passed");
+        } else {
+            eprintln!("scaling check FAILED");
+            std::process::exit(1);
+        }
+        return;
+    }
+    let out_path = args
+        .first()
+        .cloned()
         .unwrap_or_else(|| "BENCH_engine.json".to_owned());
     let mut results = Vec::new();
-    for nodes in [256u32, 1024, 4096] {
-        // Best-of-N wall time: the minimum is the least-noise estimate of
-        // the engine's intrinsic cost.
-        let mut best: Option<(f64, u64, u64)> = None;
-        for _ in 0..REPS {
-            let r = run_once(nodes);
-            if best.is_none_or(|b| r.0 < b.0) {
-                best = Some(r);
-            }
-        }
-        let (wall_secs, events, completed) = best.expect("REPS > 0");
+    for nodes in SIZES {
+        let (wall_secs, events, completed) = best_of_reps(nodes, REPS);
         eprintln!(
             "{nodes:>5} nodes: {wall_secs:.3} s/simulated-day, {events} events \
              ({:.0} events/s), {completed} jobs completed",
@@ -71,6 +178,7 @@ fn main() {
             completed,
         });
     }
+    let threads = threads_section();
     let rows: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {
@@ -89,6 +197,7 @@ fn main() {
         "sim_days": SIM_DAYS,
         "reps": REPS,
         "results": rows,
+        "threads": threads,
     });
     std::fs::write(
         &out_path,

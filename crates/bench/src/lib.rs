@@ -18,7 +18,6 @@ use epa_cluster::node::NodeSpec;
 use epa_cluster::system::{System, SystemSpec};
 use epa_cluster::topology::Topology;
 use epa_sched::engine::SimOutcome;
-use rayon::prelude::*;
 use serde::Serialize;
 
 /// Builds the standard experiment machine: `nodes` Xeon nodes, fat-tree.
@@ -89,8 +88,78 @@ impl ResultsTable {
     }
 }
 
+/// Parallel campaign execution: fan (sweep-point × seed) cells across the
+/// thread pool, merging results in deterministic cell order.
+pub mod campaign {
+    use rayon::prelude::*;
+
+    /// One executed campaign cell.
+    #[derive(Debug, Clone)]
+    pub struct CellResult<R> {
+        /// Index of the sweep point in the campaign's `points` slice.
+        pub point_idx: usize,
+        /// The replication seed the cell ran with.
+        pub seed: u64,
+        /// Whatever the cell's run function produced.
+        pub result: R,
+    }
+
+    /// Runs every (point, seed) cell of a campaign across the thread pool
+    /// and returns results in row-major cell order (point-major,
+    /// seed-minor) — the exact order a serial double loop would produce.
+    ///
+    /// Each cell owns an independent RNG substream (the seed), so cells
+    /// are embarrassingly parallel; because results are merged by cell
+    /// index and any downstream reduction runs over that ordered list,
+    /// aggregate outputs are byte-identical to a serial run at any thread
+    /// count (enforced by proptest below and the golden thread-invariance
+    /// test).
+    pub fn run_campaign<P, R, F>(points: &[P], seeds: &[u64], run: F) -> Vec<CellResult<R>>
+    where
+        P: Sync,
+        R: Send,
+        F: Fn(&P, u64) -> R + Sync,
+    {
+        let cells: Vec<(usize, u64)> = points
+            .iter()
+            .enumerate()
+            .flat_map(|(pi, _)| seeds.iter().map(move |&s| (pi, s)))
+            .collect();
+        cells
+            .par_iter()
+            .map(|&(pi, seed)| CellResult {
+                point_idx: pi,
+                seed,
+                result: run(&points[pi], seed),
+            })
+            .collect()
+    }
+
+    /// Per-point means of an f64 campaign: cell results grouped by sweep
+    /// point, each group averaged in seed order (deterministic reduction).
+    #[must_use]
+    pub fn mean_by_point(n_points: usize, n_seeds: usize, cells: &[CellResult<f64>]) -> Vec<f64> {
+        debug_assert_eq!(cells.len(), n_points * n_seeds);
+        (0..n_points)
+            .map(|pi| {
+                let sum: f64 = cells[pi * n_seeds..(pi + 1) * n_seeds]
+                    .iter()
+                    .map(|c| c.result)
+                    .sum();
+                if n_seeds == 0 {
+                    0.0
+                } else {
+                    sum / n_seeds as f64
+                }
+            })
+            .collect()
+    }
+}
+
 /// Mean over replicated runs: executes `run(seed)` for `seeds` in
-/// parallel and averages the extracted metric.
+/// parallel and averages the extracted metric. A one-point campaign —
+/// the reduction order is seed order, so the mean is bit-identical to a
+/// serial loop regardless of thread count.
 pub fn replicate_mean<F>(seeds: &[u64], run: F) -> f64
 where
     F: Fn(u64) -> f64 + Sync,
@@ -98,7 +167,8 @@ where
     if seeds.is_empty() {
         return 0.0;
     }
-    let total: f64 = seeds.par_iter().map(|&s| run(s)).sum();
+    let cells = campaign::run_campaign(&[()], seeds, |(), s| run(s));
+    let total: f64 = cells.iter().map(|c| c.result).sum();
     total / seeds.len() as f64
 }
 
@@ -169,5 +239,83 @@ mod tests {
         let m = replicate_mean(&seeds, |s| s as f64);
         assert!((m - 2.5).abs() < 1e-12);
         assert_eq!(replicate_mean(&[], |_| 1.0), 0.0);
+    }
+
+    #[test]
+    fn campaign_cells_are_row_major() {
+        let points = ["a", "b"];
+        let seeds = [10u64, 20, 30];
+        let cells = campaign::run_campaign(&points, &seeds, |p, s| format!("{p}{s}"));
+        let order: Vec<(usize, u64)> = cells.iter().map(|c| (c.point_idx, c.seed)).collect();
+        assert_eq!(
+            order,
+            vec![(0, 10), (0, 20), (0, 30), (1, 10), (1, 20), (1, 30)]
+        );
+        assert_eq!(cells[4].result, "b20");
+        let means = campaign::mean_by_point(
+            2,
+            3,
+            &campaign::run_campaign(&points, &seeds, |_, s| s as f64),
+        );
+        assert_eq!(means, vec![20.0, 20.0]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// A deliberately reassociation-sensitive per-cell metric: naive f64
+    /// averaging over a seeded pseudo-random stream. If parallel merge
+    /// order ever differed from serial, sums over these values would
+    /// drift in the last bits.
+    fn cell_metric(point: u64, seed: u64) -> f64 {
+        let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ point;
+        let mut acc = 0.0f64;
+        for _ in 0..64 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            acc += (x as f64 / u64::MAX as f64) * 1e6 - 0.5e6;
+        }
+        acc
+    }
+
+    proptest! {
+        /// Satellite requirement: campaign results at any thread count
+        /// 1–8 are bit-identical to serial execution for the same seed
+        /// set — cell order, per-cell values, and the reduced means.
+        #[test]
+        fn parallel_campaign_identical_to_serial(
+            points in proptest::collection::vec(0u64..1000, 1..5),
+            seeds in proptest::collection::vec(0u64..10_000, 1..9),
+            threads in 1usize..9,
+        ) {
+            let serial = rayon::with_num_threads(1, || {
+                campaign::run_campaign(&points, &seeds, |&p, s| cell_metric(p, s))
+            });
+            let par = rayon::with_num_threads(threads, || {
+                campaign::run_campaign(&points, &seeds, |&p, s| cell_metric(p, s))
+            });
+            prop_assert_eq!(serial.len(), par.len());
+            for (a, b) in serial.iter().zip(&par) {
+                prop_assert_eq!(a.point_idx, b.point_idx);
+                prop_assert_eq!(a.seed, b.seed);
+                prop_assert_eq!(a.result.to_bits(), b.result.to_bits(),
+                    "cell ({}, {}) drifted at {} threads", a.point_idx, a.seed, threads);
+            }
+            let ms = campaign::mean_by_point(points.len(), seeds.len(), &serial);
+            let mp = campaign::mean_by_point(points.len(), seeds.len(), &par);
+            for (a, b) in ms.iter().zip(&mp) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+            // And the one-point wrapper.
+            let rs = rayon::with_num_threads(1,
+                || replicate_mean(&seeds, |s| cell_metric(7, s)));
+            let rp = rayon::with_num_threads(threads,
+                || replicate_mean(&seeds, |s| cell_metric(7, s)));
+            prop_assert_eq!(rs.to_bits(), rp.to_bits());
+        }
     }
 }

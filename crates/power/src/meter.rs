@@ -1,10 +1,23 @@
 //! Exact energy metering.
 //!
-//! Every node's power draw is a step function of time; the meter stores
-//! those steps and integrates them exactly. The core invariant — metered
-//! energy equals the analytic integral of the recorded power trace — is
-//! property-tested here and is the foundation of every energy number the
-//! framework reports (Q7 results, post-job user energy reports, E1–E10).
+//! Every node's power draw is a step function of time; the meter
+//! integrates those steps exactly — but instead of storing a full
+//! `TimeSeries` per node (a push per change point, a binary search per
+//! query), each node carries just three words: its current draw, the time
+//! that draw started, and the energy accumulated before that moment.
+//! Updates and point-in-time energy queries are O(1), so metering cost per
+//! scheduler event depends only on nodes *touched*, not cluster size.
+//! The core invariant — metered energy equals the analytic integral of
+//! the recorded power steps — is property-tested here and is the
+//! foundation of every energy number the framework reports (Q7 results,
+//! post-job user energy reports, E1–E10).
+//!
+//! Job energy is measured by *marking*: record `alloc_energy_to(nodes,
+//! start)` when the job starts and subtract it from `alloc_energy_to(
+//! nodes, end)` when it completes. Queries must be at-or-after the last
+//! update of each node involved (simulation time is monotone, so this
+//! holds by construction); historical window queries remain available at
+//! the system level through the retained system trace.
 
 use epa_cluster::node::NodeId;
 use epa_simcore::series::TimeSeries;
@@ -19,13 +32,34 @@ const RESYNC_INTERVAL: u32 = 4096;
 
 /// Per-node and system-wide energy meter.
 ///
-/// Node traces live in a dense `Vec` indexed by [`NodeId`] — node ids in
-/// a cluster are contiguous, so this replaces every `BTreeMap` lookup on
-/// the metering hot path with direct indexing.
+/// Node state lives in dense `Vec`s indexed by [`NodeId`] — node ids in a
+/// cluster are contiguous, so every operation on the metering hot path is
+/// direct indexing.
+/// Per-node metering state: current draw, when it started, and energy
+/// accumulated before that moment. One struct per node keeps all three
+/// fields on the same cache line — updates and queries touch exactly one
+/// line per node.
+#[derive(Debug, Clone, Copy)]
+struct NodeAccum {
+    watts: f64,
+    since: SimTime,
+    acc: f64,
+}
+
+impl Default for NodeAccum {
+    fn default() -> Self {
+        NodeAccum {
+            watts: 0.0,
+            since: SimTime::ZERO,
+            acc: 0.0,
+        }
+    }
+}
+
 #[derive(Debug, Clone, Default)]
 pub struct EnergyMeter {
-    /// Indexed by `NodeId.0`; grown on first write to a node.
-    node_traces: Vec<TimeSeries>,
+    /// Per-node accumulators indexed by `NodeId.0`, grown on first write.
+    nodes: Vec<NodeAccum>,
     system_watts: f64,
     system_trace: TimeSeries,
     updates_since_resync: u32,
@@ -38,20 +72,26 @@ impl EnergyMeter {
         Self::default()
     }
 
-    fn trace_mut(&mut self, node: NodeId) -> &mut TimeSeries {
+    fn ensure(&mut self, node: NodeId) {
         let idx = node.0 as usize;
-        if idx >= self.node_traces.len() {
-            self.node_traces.resize_with(idx + 1, TimeSeries::new);
+        if idx >= self.nodes.len() {
+            self.nodes.resize(idx + 1, NodeAccum::default());
         }
-        &mut self.node_traces[idx]
     }
 
-    /// Applies one node update, returning the change in system draw.
+    /// Applies one node update, returning the change in system draw. O(1).
     fn apply_node(&mut self, node: NodeId, t: SimTime, watts: f64) -> f64 {
         debug_assert!(watts >= 0.0, "negative power draw");
-        let trace = self.trace_mut(node);
-        let prev = trace.last().map_or(0.0, |(_, w)| w);
-        trace.push(t, watts);
+        self.ensure(node);
+        let slot = &mut self.nodes[node.0 as usize];
+        debug_assert!(
+            t >= slot.since,
+            "meter updates must be time-monotone per node"
+        );
+        let prev = slot.watts;
+        slot.acc += prev * t.saturating_since(slot.since).as_secs();
+        slot.since = t;
+        slot.watts = watts;
         watts - prev
     }
 
@@ -62,12 +102,7 @@ impl EnergyMeter {
         self.updates_since_resync += batch;
         if self.updates_since_resync >= RESYNC_INTERVAL {
             self.updates_since_resync = 0;
-            self.system_watts = self
-                .node_traces
-                .iter()
-                .filter_map(TimeSeries::last)
-                .map(|(_, w)| w)
-                .sum();
+            self.system_watts = self.nodes.iter().map(|n| n.watts).sum();
         }
         // Guard tiny negative residue from float cancellation.
         if self.system_watts < 0.0 && self.system_watts > -1e-6 {
@@ -107,10 +142,7 @@ impl EnergyMeter {
     /// Current draw of one node in watts (0 if never recorded).
     #[must_use]
     pub fn node_watts(&self, node: NodeId) -> f64 {
-        self.node_traces
-            .get(node.0 as usize)
-            .and_then(TimeSeries::last)
-            .map_or(0.0, |(_, w)| w)
+        self.nodes.get(node.0 as usize).map_or(0.0, |n| n.watts)
     }
 
     /// Current system draw in watts.
@@ -119,12 +151,28 @@ impl EnergyMeter {
         self.system_watts
     }
 
-    /// Energy consumed by one node over `[a, b]`, joules.
+    /// Total energy consumed by one node from time zero through `t`,
+    /// joules. O(1). `t` must be at-or-after the node's latest update
+    /// (simulation time is monotone, so callers get this for free).
     #[must_use]
-    pub fn node_energy_joules(&self, node: NodeId, a: SimTime, b: SimTime) -> f64 {
-        self.node_traces
-            .get(node.0 as usize)
-            .map_or(0.0, |tr| tr.integrate(a, b))
+    pub fn node_energy_to(&self, node: NodeId, t: SimTime) -> f64 {
+        let Some(slot) = self.nodes.get(node.0 as usize) else {
+            return 0.0;
+        };
+        debug_assert!(
+            t >= slot.since,
+            "meter energy queries must be time-monotone"
+        );
+        slot.acc + slot.watts * t.saturating_since(slot.since).as_secs()
+    }
+
+    /// Total energy of `nodes` from time zero through `t`, joules —
+    /// summed in the order given. Pair two calls to measure a job: mark
+    /// at start, subtract from the value at completion. This is the
+    /// number Tokyo Tech and JCAHPC hand users at the end of every job.
+    #[must_use]
+    pub fn alloc_energy_to(&self, nodes: &[NodeId], t: SimTime) -> f64 {
+        nodes.iter().map(|&n| self.node_energy_to(n, t)).sum()
     }
 
     /// System energy over `[a, b]`, joules.
@@ -133,29 +181,10 @@ impl EnergyMeter {
         self.system_trace.integrate(a, b)
     }
 
-    /// Energy of a *job*: the sum over its nodes of each node's energy
-    /// during the job's execution window. This is the number Tokyo Tech
-    /// and JCAHPC hand users at the end of every job.
-    #[must_use]
-    pub fn allocation_energy_joules(&self, nodes: &[NodeId], start: SimTime, end: SimTime) -> f64 {
-        nodes
-            .iter()
-            .map(|&n| self.node_energy_joules(n, start, end))
-            .sum()
-    }
-
     /// The system power trace (for telemetry, peak analysis, reports).
     #[must_use]
     pub fn system_trace(&self) -> &TimeSeries {
         &self.system_trace
-    }
-
-    /// The trace of one node, if recorded.
-    #[must_use]
-    pub fn node_trace(&self, node: NodeId) -> Option<&TimeSeries> {
-        self.node_traces
-            .get(node.0 as usize)
-            .filter(|tr| !tr.is_empty())
     }
 
     /// Peak system draw on `[a, b]`, watts.
@@ -188,7 +217,18 @@ mod tests {
         let mut m = EnergyMeter::new();
         m.set_node_watts(n(0), t(0.0), 100.0);
         m.set_node_watts(n(0), t(10.0), 200.0);
-        assert!((m.node_energy_joules(n(0), t(0.0), t(20.0)) - 3000.0).abs() < 1e-9);
+        // [0,10) at 100 + [10,20) at 200.
+        assert!((m.node_energy_to(n(0), t(20.0)) - 3000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mark_diff_measures_a_window() {
+        let mut m = EnergyMeter::new();
+        m.set_node_watts(n(0), t(0.0), 50.0); // idle history before the job
+        let mark = m.alloc_energy_to(&[n(0)], t(5.0));
+        m.set_node_watts(n(0), t(5.0), 200.0); // job starts
+        let end = m.alloc_energy_to(&[n(0)], t(15.0));
+        assert!((end - mark - 2000.0).abs() < 1e-9);
     }
 
     #[test]
@@ -204,12 +244,12 @@ mod tests {
     }
 
     #[test]
-    fn allocation_energy_sums_member_nodes() {
+    fn alloc_energy_sums_member_nodes() {
         let mut m = EnergyMeter::new();
         m.set_node_watts(n(0), t(0.0), 100.0);
         m.set_node_watts(n(1), t(0.0), 100.0);
         m.set_node_watts(n(2), t(0.0), 999.0); // not in the job
-        let e = m.allocation_energy_joules(&[n(0), n(1)], t(0.0), t(10.0));
+        let e = m.alloc_energy_to(&[n(0), n(1)], t(10.0));
         assert!((e - 2000.0).abs() < 1e-9);
     }
 
@@ -228,8 +268,7 @@ mod tests {
     fn unknown_node_reads_zero() {
         let m = EnergyMeter::new();
         assert_eq!(m.node_watts(n(9)), 0.0);
-        assert_eq!(m.node_energy_joules(n(9), t(0.0), t(10.0)), 0.0);
-        assert!(m.node_trace(n(9)).is_none());
+        assert_eq!(m.node_energy_to(n(9), t(10.0)), 0.0);
     }
 
     #[test]
@@ -253,8 +292,8 @@ mod tests {
         );
         for &nd in &nodes {
             assert_eq!(
-                batched.node_energy_joules(nd, a, b),
-                sequential.node_energy_joules(nd, a, b)
+                batched.node_energy_to(nd, b),
+                sequential.node_energy_to(nd, b)
             );
         }
     }
@@ -275,8 +314,8 @@ mod proptests {
 
     proptest! {
         /// Energy conservation: the system energy over the full horizon
-        /// equals the sum of per-node energies, for arbitrary update
-        /// sequences.
+        /// equals the sum of per-node energies, for arbitrary
+        /// time-monotone update sequences.
         #[test]
         fn system_energy_equals_node_sum(
             updates in proptest::collection::vec(
@@ -291,10 +330,43 @@ mod proptests {
             let end = SimTime::from_secs(clock + 10.0);
             let sys = m.system_energy_joules(SimTime::ZERO, end);
             let node_sum: f64 = (0..6)
-                .map(|i| m.node_energy_joules(NodeId(i), SimTime::ZERO, end))
+                .map(|i| m.node_energy_to(NodeId(i), end))
                 .sum();
             prop_assert!((sys - node_sum).abs() < 1e-6 * (1.0 + sys.abs()),
                 "system {} != node sum {}", sys, node_sum);
+        }
+
+        /// O(1) accumulator energy equals the analytic step-function
+        /// integral computed from the raw update list.
+        #[test]
+        fn accumulator_matches_analytic_integral(
+            updates in proptest::collection::vec(
+                (0u32..4, 0.1f64..50.0, 0.0f64..400.0), 1..60),
+        ) {
+            let mut m = EnergyMeter::new();
+            let mut clock = 0.0;
+            let mut steps: Vec<(u32, f64, f64)> = Vec::new(); // (node, t, w)
+            for (node, dt, w) in &updates {
+                m.set_node_watts(NodeId(*node), SimTime::from_secs(clock), *w);
+                steps.push((*node, clock, *w));
+                clock += dt;
+            }
+            let end = clock + 7.0;
+            for node in 0..4u32 {
+                // Analytic: sum over this node's steps of w * (next_t - t).
+                let mine: Vec<(f64, f64)> = steps.iter()
+                    .filter(|(n, _, _)| *n == node)
+                    .map(|&(_, t, w)| (t, w))
+                    .collect();
+                let mut analytic = 0.0;
+                for (i, &(t, w)) in mine.iter().enumerate() {
+                    let next = mine.get(i + 1).map_or(end, |&(nt, _)| nt);
+                    analytic += w * (next - t);
+                }
+                let got = m.node_energy_to(NodeId(node), SimTime::from_secs(end));
+                prop_assert!((got - analytic).abs() < 1e-6 * (1.0 + analytic.abs()),
+                    "node {}: {} vs analytic {}", node, got, analytic);
+            }
         }
 
         /// The incrementally-maintained system wattage equals the sum of
@@ -370,8 +442,8 @@ mod proptests {
             prop_assert!((eb - es).abs() < 1e-6 * (1.0 + es.abs()), "{} vs {}", eb, es);
             for nd in (0..8).map(NodeId) {
                 let (nb, ns) = (
-                    batched.node_energy_joules(nd, SimTime::ZERO, end),
-                    sequential.node_energy_joules(nd, SimTime::ZERO, end),
+                    batched.node_energy_to(nd, end),
+                    sequential.node_energy_to(nd, end),
                 );
                 prop_assert!((nb - ns).abs() < 1e-9 * (1.0 + ns.abs()));
             }

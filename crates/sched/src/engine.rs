@@ -177,6 +177,10 @@ struct RunningJob {
     true_run_secs: f64,
     /// Per-node draw in each phase, watts.
     phase_watts: Vec<f64>,
+    /// Meter reading `alloc_energy_to(nodes, start)` at job start. Job
+    /// energy at completion is the O(alloc) difference against the same
+    /// query at the end time — no historical trace walk.
+    energy_mark: f64,
 }
 
 /// Completed-job record for metrics.
@@ -298,6 +302,9 @@ pub struct ClusterSim<'p> {
     /// Count of nodes in `NodePowerState::Off`, maintained on every state
     /// transition so `try_schedule` does not rescan all nodes.
     off_count: u32,
+    /// Count of nodes in `NodePowerState::Busy`, maintained the same way
+    /// so per-event estimates never rescan summaries or node states.
+    busy_count: u32,
     /// Running-job summaries kept sorted by `(estimated_end, id)` —
     /// exactly the order `SchedView` promises — and updated on job
     /// start/completion instead of rebuilt and re-sorted per decision.
@@ -437,6 +444,7 @@ impl<'p> ClusterSim<'p> {
             idle_since: vec![Some(SimTime::ZERO); n_nodes],
             node_owner: vec![None; n_nodes],
             off_count: 0,
+            busy_count: 0,
             summaries: Vec::new(),
             booting: 0,
             jobs,
@@ -656,16 +664,40 @@ impl<'p> ClusterSim<'p> {
         self.sim.schedule_in(repair, Ev::RepairDone(victim));
     }
 
-    /// Transitions a node's recorded power state, keeping `off_count`
-    /// consistent. Does not touch the meter.
+    /// Transitions a node's recorded power state, keeping the `off_count`
+    /// and `busy_count` tallies consistent. Does not touch the meter.
     fn set_state(&mut self, node: NodeId, state: NodePowerState) {
         let old = std::mem::replace(&mut self.node_state[node.index()], state);
-        if matches!(old, NodePowerState::Off) {
-            self.off_count -= 1;
+        match old {
+            NodePowerState::Off => self.off_count -= 1,
+            NodePowerState::Busy => self.busy_count -= 1,
+            _ => {}
         }
-        if matches!(state, NodePowerState::Off) {
-            self.off_count += 1;
+        match state {
+            NodePowerState::Off => self.off_count += 1,
+            NodePowerState::Busy => self.busy_count += 1,
+            _ => {}
         }
+    }
+
+    /// Count of nodes in `NodePowerState::Idle`, derived arithmetically
+    /// from the maintained tallies (every node is exactly one of
+    /// idle/busy/off/booting). Cross-checked against a scan in debug.
+    fn idle_count(&self) -> u32 {
+        let idle = self
+            .system
+            .spec()
+            .total_nodes()
+            .saturating_sub(self.busy_count + self.off_count + self.booting);
+        debug_assert_eq!(
+            idle,
+            self.node_state
+                .iter()
+                .filter(|s| matches!(s, NodePowerState::Idle))
+                .count() as u32,
+            "idle tally must match the node-state scan"
+        );
+        idle
     }
 
     fn set_node_state(&mut self, node: NodeId, state: NodePowerState, t: SimTime) {
@@ -705,7 +737,12 @@ impl<'p> ClusterSim<'p> {
     /// degraded mode must never under-estimate draw.
     fn conservative_estimate(&self, cfg: &SensorFaultConfig) -> f64 {
         let node = &self.system.spec().node;
-        let busy: u32 = self.summaries.iter().map(|s| s.nodes).sum();
+        let busy = self.busy_count;
+        debug_assert_eq!(
+            busy,
+            self.summaries.iter().map(|s| s.nodes).sum::<u32>(),
+            "busy tally must match the running-summary scan"
+        );
         let on_others = self
             .system
             .spec()
@@ -891,7 +928,7 @@ impl<'p> ClusterSim<'p> {
         };
         let free = self.allocator.free_count() as u32;
         let need = head.nodes.saturating_sub(free + self.booting);
-        if need == 0 {
+        if need == 0 || self.off_count == 0 {
             return;
         }
         let off: Vec<NodeId> = self
@@ -1110,12 +1147,24 @@ impl<'p> ClusterSim<'p> {
         };
 
         let first_watts = phase_watts.first().copied().unwrap_or(watts_per_node);
+        // Bulk Idle→Busy: allocated nodes are free, and free nodes are
+        // idle by construction, so the tallies move once per batch.
         for &n in &nodes {
-            self.set_state(n, NodePowerState::Busy);
-            self.idle_since[n.index()] = None;
-            self.node_owner[n.index()] = Some(job.id);
+            let i = n.index();
+            debug_assert!(
+                matches!(self.node_state[i], NodePowerState::Idle),
+                "allocated node must be idle"
+            );
+            self.node_state[i] = NodePowerState::Busy;
+            self.idle_since[i] = None;
+            self.node_owner[i] = Some(job.id);
         }
+        self.busy_count += nodes.len() as u32;
         self.meter.set_alloc_watts(&nodes, now, first_watts);
+        // Mark the meter *at* the start instant: the update above folds
+        // all pre-job draw into the accumulators, so the mark equals the
+        // nodes' lifetime energy through `now`.
+        let energy_mark = self.meter.alloc_energy_to(&nodes, now);
         self.metrics.incr("jobs/started", 1);
         self.metrics
             .observe("sched/wait_secs", (now - job.submit).as_secs());
@@ -1153,6 +1202,7 @@ impl<'p> ClusterSim<'p> {
                 base_effective: base_runtime,
                 true_run_secs: true_run.as_secs(),
                 phase_watts,
+                energy_mark,
             },
         );
         true
@@ -1172,14 +1222,24 @@ impl<'p> ClusterSim<'p> {
 
     fn complete(&mut self, r: RunningJob, t: SimTime, departure: Departure) {
         self.summary_remove(r.job.id, r.estimated_end);
-        let energy = self.meter.allocation_energy_joules(&r.nodes, r.start, t);
+        // Job energy = lifetime energy of its nodes at `t` minus the mark
+        // taken at start — O(alloc size), no trace walk.
+        let energy = self.meter.alloc_energy_to(&r.nodes, t) - r.energy_mark;
         let run_secs = (t - r.start).as_secs();
         self.busy_node_seconds += run_secs * r.nodes.len() as f64;
+        // Bulk Busy→Idle: a running job's nodes are all busy, so the
+        // tallies move once per batch.
         for &n in &r.nodes {
-            self.set_state(n, NodePowerState::Idle);
-            self.idle_since[n.index()] = Some(t);
-            self.node_owner[n.index()] = None;
+            let i = n.index();
+            debug_assert!(
+                matches!(self.node_state[i], NodePowerState::Busy),
+                "running job's node must be busy"
+            );
+            self.node_state[i] = NodePowerState::Idle;
+            self.idle_since[i] = Some(t);
+            self.node_owner[i] = None;
         }
+        self.busy_count -= r.nodes.len() as u32;
         let idle_watts = self.power_model.watts(
             NodePowerState::Idle,
             0.0,
@@ -1308,30 +1368,29 @@ impl<'p> ClusterSim<'p> {
                 .map_or(0, |f| f.config().weather.start_day_of_year);
             if sd.season_active_on(t, doy0) {
                 let now = t;
-                let candidates: Vec<NodeId> = self
-                    .idle_since
-                    .iter()
-                    .enumerate()
-                    .filter_map(|(i, since)| since.map(|s| (i, s)))
-                    .filter(|&(i, since)| {
-                        matches!(self.node_state[i], NodePowerState::Idle)
-                            && (now - since) >= sd.idle_threshold
-                    })
-                    .map(|(i, _)| NodeId(i as u32))
-                    .collect();
-                // Keep a reserve of idle nodes for responsiveness.
-                let idle_count = self
-                    .node_state
-                    .iter()
-                    .filter(|s| matches!(s, NodePowerState::Idle))
-                    .count() as u32;
-                let can_shut = idle_count.saturating_sub(sd.min_idle_reserve);
-                for n in candidates.into_iter().take(can_shut as usize) {
-                    if self.allocator.mark_unavailable(n) {
-                        self.idle_since[n.index()] = None;
-                        self.metrics.incr("rm/shutdowns", 1);
-                        // Shutdown takes effect after a short drain.
-                        self.sim.schedule_in(sd.shutdown_time, Ev::ShutdownDone(n));
+                // Keep a reserve of idle nodes for responsiveness. The
+                // O(1) tally gates the candidate scan entirely: on the
+                // common tick (nothing shuttable) no per-node work runs.
+                let can_shut = self.idle_count().saturating_sub(sd.min_idle_reserve);
+                if can_shut > 0 {
+                    let candidates: Vec<NodeId> = self
+                        .idle_since
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(i, since)| since.map(|s| (i, s)))
+                        .filter(|&(i, since)| {
+                            matches!(self.node_state[i], NodePowerState::Idle)
+                                && (now - since) >= sd.idle_threshold
+                        })
+                        .map(|(i, _)| NodeId(i as u32))
+                        .collect();
+                    for n in candidates.into_iter().take(can_shut as usize) {
+                        if self.allocator.mark_unavailable(n) {
+                            self.idle_since[n.index()] = None;
+                            self.metrics.incr("rm/shutdowns", 1);
+                            // Shutdown takes effect after a short drain.
+                            self.sim.schedule_in(sd.shutdown_time, Ev::ShutdownDone(n));
+                        }
                     }
                 }
             }

@@ -1,33 +1,249 @@
-//! Offline stand-in for `rayon`.
+//! Offline stand-in for `rayon`, backed by a real thread pool.
 //!
-//! `par_iter()` here returns a plain sequential iterator: every adapter
-//! and reduction used by the workspace (`map`, `sum`) then comes from
-//! `std::iter::Iterator`. Replication runs serially — correctness and
-//! determinism are identical, only wall-clock parallel speedup is lost,
-//! which this offline environment accepts.
+//! Unlike the earlier sequential shim, `par_iter()` now fans work across
+//! OS threads: workers claim contiguous index chunks from a shared atomic
+//! cursor (`std::thread::scope`, no work-stealing deques needed for the
+//! coarse-grained cells this workspace runs). Every adapter merges results
+//! **in index order**, and `sum()` reduces the merged vector sequentially,
+//! so floating-point aggregates are byte-identical to a serial run no
+//! matter the thread count.
+//!
+//! Thread count resolution (first match wins):
+//! 1. an active [`with_num_threads`] override on the calling thread,
+//! 2. the `EPA_JSRM_THREADS` environment variable (read once per process),
+//! 3. `std::thread::available_parallelism()`.
+//!
+//! Supported API subset: `par_iter()` with `map`/`sum`/`collect`/`for_each`,
+//! and top-level [`join`] / [`current_num_threads`].
 
-/// The rayon prelude: `par_iter()` entry points.
-pub mod prelude {
-    /// Types with a by-reference "parallel" iterator.
-    pub trait IntoParallelRefIterator<'data> {
-        /// The iterator type.
-        type Iter: Iterator;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Mutex, OnceLock};
 
-        /// Iterates the collection (sequentially in this stand-in).
-        fn par_iter(&'data self) -> Self::Iter;
+/// Process-wide default thread count: `EPA_JSRM_THREADS` if set and valid,
+/// else the number of available cores (1 if that cannot be determined).
+fn default_threads() -> usize {
+    static DEFAULT: OnceLock<usize> = OnceLock::new();
+    *DEFAULT.get_or_init(|| {
+        if let Ok(v) = std::env::var("EPA_JSRM_THREADS") {
+            if let Ok(n) = v.trim().parse::<usize>() {
+                if n >= 1 {
+                    return n;
+                }
+            }
+        }
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    })
+}
+
+thread_local! {
+    /// Per-thread override installed by `with_num_threads` (0 = none).
+    static THREAD_OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Number of threads parallel operations started from this thread will use.
+pub fn current_num_threads() -> usize {
+    let over = THREAD_OVERRIDE.with(|c| c.get());
+    if over >= 1 {
+        over
+    } else {
+        default_threads()
+    }
+}
+
+/// Runs `f` with parallel operations on this thread pinned to `n` threads
+/// (`n = 1` forces serial execution). Restores the previous setting on exit,
+/// including on panic. Used by tests to compare serial vs parallel runs
+/// inside one process regardless of `EPA_JSRM_THREADS`.
+pub fn with_num_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.with(|c| c.set(self.0));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|c| c.replace(n.max(1)));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Maps `f` over `items` on the pool, returning results in index order.
+///
+/// Workers claim chunks of indices from an atomic cursor and stash
+/// `(index, result)` pairs; the pairs are merged and sorted by index before
+/// returning, so the output order (and any subsequent in-order reduction)
+/// is independent of scheduling. Worker panics propagate to the caller.
+pub(crate) fn par_map_indexed<'data, T, R, F>(items: &'data [T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&'data T) -> R + Sync,
+{
+    let len = items.len();
+    let threads = current_num_threads().min(len.max(1));
+    if threads <= 1 || len <= 1 {
+        return items.iter().map(f).collect();
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for [T] {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    // Chunks small enough to balance load, large enough to amortise the
+    // cursor fetch; cells in this workspace are coarse (whole sim runs).
+    let chunk = len.div_ceil(threads * 4).max(1);
+    let cursor = AtomicUsize::new(0);
+    let collected: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(len));
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| {
+                let mut local: Vec<(usize, R)> = Vec::new();
+                loop {
+                    let start = cursor.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= len {
+                        break;
+                    }
+                    let end = (start + chunk).min(len);
+                    for (i, item) in items.iter().enumerate().take(end).skip(start) {
+                        local.push((i, f(item)));
+                    }
+                }
+                if !local.is_empty() {
+                    collected
+                        .lock()
+                        .expect("rayon shim: result mutex poisoned")
+                        .append(&mut local);
+                }
+            });
+        }
+    });
+
+    let mut pairs = collected
+        .into_inner()
+        .expect("rayon shim: result mutex poisoned");
+    pairs.sort_unstable_by_key(|&(i, _)| i);
+    debug_assert_eq!(pairs.len(), len);
+    pairs.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Runs both closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        (ra, rb)
+    } else {
+        std::thread::scope(|scope| {
+            let handle_b = scope.spawn(oper_b);
+            let ra = oper_a();
+            let rb = handle_b
+                .join()
+                .unwrap_or_else(|payload| std::panic::resume_unwind(payload));
+            (ra, rb)
+        })
+    }
+}
+
+/// The rayon prelude: `par_iter()` entry points and iterator adapters.
+pub mod prelude {
+    use super::par_map_indexed;
+
+    /// A borrowed parallel iterator over a slice.
+    pub struct ParIter<'data, T> {
+        items: &'data [T],
+    }
+
+    /// A mapped parallel iterator: executes on a terminal call.
+    pub struct ParMap<'data, T, F> {
+        items: &'data [T],
+        f: F,
+    }
+
+    impl<'data, T: Sync> ParIter<'data, T> {
+        /// Lazily maps each item; execution happens at the terminal call.
+        pub fn map<R, F>(self, f: F) -> ParMap<'data, T, F>
+        where
+            R: Send,
+            F: Fn(&'data T) -> R + Sync,
+        {
+            ParMap {
+                items: self.items,
+                f,
+            }
+        }
+
+        /// Runs `f` on every item across the pool (no result).
+        pub fn for_each<F>(self, f: F)
+        where
+            F: Fn(&'data T) + Sync,
+        {
+            par_map_indexed(self.items, f);
         }
     }
 
-    impl<'data, T: 'data> IntoParallelRefIterator<'data> for Vec<T> {
-        type Iter = std::slice::Iter<'data, T>;
-        fn par_iter(&'data self) -> Self::Iter {
-            self.iter()
+    impl<'data, T, R, F> ParMap<'data, T, F>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(&'data T) -> R + Sync,
+    {
+        /// Executes the map and sums results **in index order**, making the
+        /// reduction bit-identical to a serial run.
+        pub fn sum<S>(self) -> S
+        where
+            S: std::iter::Sum<R>,
+        {
+            self.run().into_iter().sum()
+        }
+
+        /// Executes the map and collects results in index order.
+        pub fn collect<C>(self) -> C
+        where
+            C: FromIterator<R>,
+        {
+            self.run().into_iter().collect()
+        }
+
+        /// Executes the map and feeds each result (in index order) to `f`.
+        pub fn for_each<G>(self, g: G)
+        where
+            G: Fn(R) + Sync,
+        {
+            for r in self.run() {
+                g(r);
+            }
+        }
+
+        fn run(self) -> Vec<R> {
+            par_map_indexed(self.items, self.f)
+        }
+    }
+
+    /// Types with a by-reference parallel iterator.
+    pub trait IntoParallelRefIterator<'data> {
+        /// The element type.
+        type Item: 'data;
+
+        /// Creates a parallel iterator over `&self`.
+        fn par_iter(&'data self) -> ParIter<'data, Self::Item>;
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for [T] {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
+        }
+    }
+
+    impl<'data, T: Sync + 'data> IntoParallelRefIterator<'data> for Vec<T> {
+        type Item = T;
+        fn par_iter(&'data self) -> ParIter<'data, T> {
+            ParIter { items: self }
         }
     }
 }
@@ -35,11 +251,76 @@ pub mod prelude {
 #[cfg(test)]
 mod tests {
     use super::prelude::*;
+    use super::{current_num_threads, join, with_num_threads};
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     #[test]
     fn par_iter_matches_iter() {
         let v = [1u64, 2, 3, 4];
         let total: u64 = v.par_iter().map(|&x| x * 2).sum();
         assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn collect_preserves_index_order_at_any_thread_count() {
+        let v: Vec<u32> = (0..1000).collect();
+        for threads in [1usize, 2, 3, 4, 7, 8] {
+            let doubled: Vec<u32> =
+                with_num_threads(threads, || v.par_iter().map(|&x| x * 2).collect());
+            let expected: Vec<u32> = v.iter().map(|&x| x * 2).collect();
+            assert_eq!(doubled, expected, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn float_sum_is_bit_identical_across_thread_counts() {
+        // Values chosen so reassociation would change the result.
+        let v: Vec<f64> = (0..500)
+            .map(|i| 1.0 / (i as f64 + 1.0) * if i % 2 == 0 { 1e10 } else { 1e-10 })
+            .collect();
+        let serial: f64 = with_num_threads(1, || v.par_iter().map(|&x| x).sum());
+        for threads in [2usize, 3, 4, 8] {
+            let par: f64 = with_num_threads(threads, || v.par_iter().map(|&x| x).sum());
+            assert_eq!(serial.to_bits(), par.to_bits(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn for_each_visits_every_item() {
+        let v: Vec<u64> = (1..=100).collect();
+        let acc = AtomicU64::new(0);
+        with_num_threads(4, || {
+            v.par_iter().for_each(|&x| {
+                acc.fetch_add(x, Ordering::Relaxed);
+            })
+        });
+        assert_eq!(acc.load(Ordering::Relaxed), 5050);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "ok");
+        assert_eq!(a, 4);
+        assert_eq!(b, "ok");
+        let (a, b) = with_num_threads(1, || join(|| 1, || 2));
+        assert_eq!((a, b), (1, 2));
+    }
+
+    #[test]
+    fn with_num_threads_overrides_and_restores() {
+        let base = current_num_threads();
+        let inside = with_num_threads(3, current_num_threads);
+        assert_eq!(inside, 3);
+        assert_eq!(current_num_threads(), base);
+    }
+
+    #[test]
+    fn empty_and_single_inputs() {
+        let empty: Vec<u64> = vec![];
+        let s: u64 = empty.par_iter().map(|&x| x).sum();
+        assert_eq!(s, 0);
+        let one = [7u64];
+        let c: Vec<u64> = one.par_iter().map(|&x| x + 1).collect();
+        assert_eq!(c, vec![8]);
     }
 }

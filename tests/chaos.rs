@@ -30,6 +30,7 @@ use epa_sched::policies::fcfs::Fcfs;
 use epa_simcore::time::{SimDuration, SimTime};
 use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
 use epa_workload::job::JobBuilder;
+use rayon::prelude::*;
 use std::collections::{HashMap, HashSet};
 
 const NODES: u32 = 32;
@@ -161,10 +162,12 @@ fn assert_invariants(out: &SimOutcome, n: u64, seed: u64) {
 
 #[test]
 fn chaos_invariants_hold_across_seeds() {
+    // Seeds are independent simulations — fan them across the pool and
+    // assert over the collected outcomes in seed order.
+    let outcomes: Vec<(SimOutcome, u64)> = SEEDS.par_iter().map(|&seed| chaos_run(seed)).collect();
     let mut total_faults = 0u64;
-    for &seed in &SEEDS {
-        let (out, n) = chaos_run(seed);
-        assert_invariants(&out, n, seed);
+    for (&seed, (out, n)) in SEEDS.iter().zip(&outcomes) {
+        assert_invariants(out, *n, seed);
         total_faults += out.node_failures;
     }
     // The harness must actually be chaotic: faults fired somewhere.
@@ -173,11 +176,17 @@ fn chaos_invariants_hold_across_seeds() {
 
 #[test]
 fn chaos_runs_are_byte_identical_per_seed() {
-    for &seed in &SEEDS[..4] {
-        let (a, _) = chaos_run(seed);
-        let (b, _) = chaos_run(seed);
-        let sa = serde_json::to_string_pretty(&a).expect("serializes");
-        let sb = serde_json::to_string_pretty(&b).expect("serializes");
+    let pairs: Vec<(u64, String, String)> = SEEDS[..4]
+        .par_iter()
+        .map(|&seed| {
+            let (a, _) = chaos_run(seed);
+            let (b, _) = chaos_run(seed);
+            let sa = serde_json::to_string_pretty(&a).expect("serializes");
+            let sb = serde_json::to_string_pretty(&b).expect("serializes");
+            (seed, sa, sb)
+        })
+        .collect();
+    for (seed, sa, sb) in &pairs {
         assert!(sa == sb, "seed {seed}: outcomes drifted between runs");
     }
 }

@@ -21,6 +21,7 @@ use epa_sched::policies::backfill::EasyBackfill;
 use epa_sched::shutdown::ShutdownPolicy;
 use epa_simcore::time::{SimDuration, SimTime};
 use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
+use rayon::prelude::*;
 
 const GOLDEN_PATH: &str = "tests/golden/sim_outcome.json";
 
@@ -82,4 +83,43 @@ fn fixed_seed_outcome_matches_golden() {
 #[test]
 fn fixed_seed_outcome_is_run_to_run_deterministic() {
     assert_eq!(serialize(&golden_run()), serialize(&golden_run()));
+}
+
+/// The golden outcome is invariant under the thread pool: running the
+/// simulation (and a 4-seed replication sweep around it) with 1 thread
+/// and with 4 threads produces byte-identical serialized outcomes. CI
+/// additionally runs this whole test binary under `EPA_JSRM_THREADS=1`
+/// and `EPA_JSRM_THREADS=4` and diffs the results.
+#[test]
+fn golden_outcome_invariant_under_thread_count() {
+    let serial = rayon::with_num_threads(1, || serialize(&golden_run()));
+    let par = rayon::with_num_threads(4, || serialize(&golden_run()));
+    assert!(
+        serial == par,
+        "golden outcome drifted between 1 and 4 threads"
+    );
+
+    // And through the campaign runner: independent seeds fanned across
+    // the pool must merge to the same bytes as a serial sweep.
+    let seeds = [1u64, 2, 3, 4];
+    let sweep = |threads: usize| {
+        rayon::with_num_threads(threads, || {
+            seeds
+                .par_iter()
+                .map(|&seed| {
+                    let horizon = SimTime::from_days(1.0);
+                    let jobs = WorkloadGenerator::new(WorkloadParams::typical(32, seed))
+                        .generate(horizon, 0);
+                    let mut config = EngineConfig::new(horizon);
+                    config.seed = seed;
+                    let mut policy = EasyBackfill;
+                    serialize(&ClusterSim::new(golden_system(), jobs, &mut policy, config).run())
+                })
+                .collect::<Vec<String>>()
+        })
+    };
+    assert!(
+        sweep(1) == sweep(4),
+        "replication sweep drifted between 1 and 4 threads"
+    );
 }
