@@ -15,7 +15,8 @@
 //! of 256 nodes — the CI guard for the O(active)-per-event invariant.
 
 use epa_bench::campaign::run_campaign;
-use epa_bench::experiment_system;
+use epa_bench::{experiment_system, BENCH_SCHEMA_VERSION};
+use epa_obs::{CategoryMask, TraceConfig};
 use epa_sched::engine::{ClusterSim, EngineConfig, SimOutcome};
 use epa_sched::policies::backfill::EasyBackfill;
 use epa_simcore::time::SimTime;
@@ -134,6 +135,68 @@ fn threads_section() -> serde_json::Value {
     })
 }
 
+/// Nodes and reps for the observability-overhead row.
+const OBS_NODES: u32 = 4096;
+const OBS_REPS: usize = 2;
+
+/// One timed run at `OBS_NODES` under the given trace mask, returning
+/// (wall seconds, events). The workload and seed match `run_once`.
+fn run_obs_once(mask: CategoryMask) -> (f64, u64) {
+    let jobs = WorkloadGenerator::new(WorkloadParams::typical(OBS_NODES, 9))
+        .generate(SimTime::from_days(SIM_DAYS), 0);
+    let mut policy = EasyBackfill;
+    let mut config = EngineConfig::new(SimTime::from_days(SIM_DAYS));
+    config.trace = TraceConfig {
+        mask,
+        ..TraceConfig::default()
+    };
+    let sim = ClusterSim::new(experiment_system(OBS_NODES), jobs, &mut policy, config);
+    let t0 = Instant::now();
+    let (out, _bundle) = sim.run_traced();
+    let wall = t0.elapsed().as_secs_f64();
+    let events = out
+        .counters
+        .get("sim/events_processed")
+        .copied()
+        .unwrap_or(0);
+    (wall, events)
+}
+
+/// The `observability` section: events/sec at 4,096 nodes with the trace
+/// mask fully off (the default — the hot path is one branch on a bitset)
+/// versus every category enabled, quantifying the overhead budget from
+/// DESIGN.md §9 (tracing off must stay within 2% of the untraced rate;
+/// the off-mask rate here *is* the untraced path).
+fn observability_section() -> serde_json::Value {
+    let best = |mask: CategoryMask| -> (f64, u64) {
+        let mut best: Option<(f64, u64)> = None;
+        for _ in 0..OBS_REPS {
+            let r = run_obs_once(mask);
+            if best.is_none_or(|b| r.0 < b.0) {
+                best = Some(r);
+            }
+        }
+        best.expect("reps > 0")
+    };
+    let (off_wall, off_events) = best(CategoryMask::NONE);
+    let (on_wall, on_events) = best(CategoryMask::ALL);
+    let off_rate = off_events as f64 / off_wall.max(1e-12);
+    let on_rate = on_events as f64 / on_wall.max(1e-12);
+    let on_overhead = (off_rate - on_rate) / off_rate.max(1e-12);
+    eprintln!(
+        "observability: {OBS_NODES} nodes, tracing off {off_rate:.0} events/s, \
+         all categories {on_rate:.0} events/s ({:.1}% overhead)",
+        on_overhead * 100.0
+    );
+    json!({
+        "nodes": OBS_NODES,
+        "reps": OBS_REPS,
+        "tracing_off_events_per_sec": off_rate,
+        "tracing_all_events_per_sec": on_rate,
+        "tracing_all_overhead_frac": on_overhead,
+    })
+}
+
 /// CI guard: events/sec at 4,096 nodes within `SCALING_BOUND`× of 256.
 fn check_scaling() -> bool {
     let (wall_small, ev_small, _) = best_of_reps(256, 2);
@@ -179,6 +242,7 @@ fn main() {
         });
     }
     let threads = threads_section();
+    let observability = observability_section();
     let rows: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {
@@ -192,12 +256,14 @@ fn main() {
         })
         .collect();
     let doc = json!({
+        "schema_version": BENCH_SCHEMA_VERSION,
         "bench": "engine-simulated-day",
         "policy": "easy-backfill",
         "sim_days": SIM_DAYS,
         "reps": REPS,
         "results": rows,
         "threads": threads,
+        "observability": observability,
     });
     std::fs::write(
         &out_path,

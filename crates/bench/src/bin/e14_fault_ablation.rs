@@ -136,6 +136,7 @@ fn main() {
          shrinks; correlated domain events amplify the cost."
     );
     let doc = json!({
+        "schema_version": epa_bench::BENCH_SCHEMA_VERSION,
         "bench": "fault-ablation",
         "policy": "easy-backfill",
         "nodes": NODES,

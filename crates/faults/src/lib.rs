@@ -27,4 +27,4 @@ pub mod retry;
 pub use config::{ActuatorFaultConfig, DomainFaultConfig, FaultConfig, SensorFaultConfig};
 pub use error::FaultError;
 pub use injector::{DomainEvent, FaultInjector, FaultPlan, SensorSample};
-pub use retry::{execute_with_retry, AttemptReport};
+pub use retry::{execute_with_retry, execute_with_retry_traced, AttemptReport};

@@ -7,8 +7,9 @@
 //! identical seeds replay identical attempt histories.
 
 use crate::config::ActuatorFaultConfig;
+use epa_obs::{TraceBus, TraceCategory, TraceEvent};
 use epa_simcore::rng::SimRng;
-use epa_simcore::time::SimDuration;
+use epa_simcore::time::{SimDuration, SimTime};
 
 /// Outcome of one command's attempt sequence.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -46,6 +47,34 @@ pub fn execute_with_retry(cfg: &ActuatorFaultConfig, rng: &mut SimRng) -> Attemp
         }
         delay_secs += cfg.backoff_delay(attempts).as_secs();
     }
+}
+
+/// [`execute_with_retry`] with decision tracing: commands that needed
+/// more than one attempt (or failed outright) record an
+/// [`TraceEvent::ActuationRetry`] for the target node. First-try
+/// successes — the overwhelmingly common case — record nothing, keeping
+/// the trace focused on anomalies. RNG consumption is identical to the
+/// untraced call, so seeded runs replay the same attempt histories.
+#[must_use]
+pub fn execute_with_retry_traced(
+    cfg: &ActuatorFaultConfig,
+    rng: &mut SimRng,
+    t: SimTime,
+    node: u32,
+    bus: &mut TraceBus,
+) -> AttemptReport {
+    let report = execute_with_retry(cfg, rng);
+    if (report.attempts > 1 || !report.succeeded) && bus.enabled(TraceCategory::Actuation) {
+        bus.record(
+            t,
+            TraceEvent::ActuationRetry {
+                node,
+                attempts: report.attempts,
+                succeeded: report.succeeded,
+            },
+        );
+    }
+    report
 }
 
 #[cfg(test)]
@@ -92,6 +121,46 @@ mod tests {
         };
         assert_eq!(run(7), run(7));
         assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    fn traced_retry_records_only_anomalies() {
+        use epa_obs::{CategoryMask, TraceBus, TraceEvent};
+        let t0 = SimTime::from_secs(1.0);
+        let mut bus = TraceBus::new(CategoryMask::ALL, 256);
+        // Reliable channel: first-try successes leave the trace empty.
+        let mut rng = SimRng::new(1);
+        let r = execute_with_retry_traced(&cfg(0.0), &mut rng, t0, 3, &mut bus);
+        assert!(r.succeeded);
+        assert!(bus.is_empty());
+        // Dead channel: the exhausted sequence is recorded.
+        let r = execute_with_retry_traced(&cfg(1.0), &mut rng, t0, 3, &mut bus);
+        assert!(!r.succeeded);
+        assert_eq!(bus.len(), 1);
+        let rec = bus.iter().next().unwrap();
+        assert!(matches!(
+            rec.event,
+            TraceEvent::ActuationRetry {
+                node: 3,
+                attempts: 4,
+                succeeded: false
+            }
+        ));
+        // Tracing must not perturb the RNG stream.
+        let run = |traced: bool| {
+            let mut rng = SimRng::new(9);
+            let mut bus = TraceBus::disabled();
+            (0..50)
+                .map(|_| {
+                    if traced {
+                        execute_with_retry_traced(&cfg(0.5), &mut rng, t0, 0, &mut bus)
+                    } else {
+                        execute_with_retry(&cfg(0.5), &mut rng)
+                    }
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

@@ -1,0 +1,175 @@
+//! JSONL trace export and the replay verifier.
+//!
+//! The exported trace is the ODA artifact: line 1 is a schema-versioned
+//! header, every following line is one [`TraceRecord`](crate::trace::TraceRecord)
+//! as a JSON object. Because every payload is keyed on `SimTime` and the
+//! bus assigns sequence numbers from the event stream alone, the export is
+//! a pure function of (config, seed) — [`verify_replay`] makes that
+//! contract executable by running a simulation twice and byte-diffing the
+//! two exports.
+
+use crate::trace::TraceBus;
+use crate::OBS_SCHEMA_VERSION;
+use serde::Serialize;
+use serde_json::json;
+
+/// A verified replay: both runs produced this many events and bytes,
+/// byte-for-byte identical.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct ReplayReport {
+    /// Trace records per run (excluding the header line).
+    pub events: usize,
+    /// Export size in bytes.
+    pub bytes: usize,
+}
+
+/// The first line where two replays of the same seed diverged.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ReplayDivergence {
+    /// 1-based line number of the first differing line (0 when the
+    /// exports differ only in length).
+    pub line: usize,
+    /// That line in the first run's export (empty if absent).
+    pub first: String,
+    /// That line in the second run's export (empty if absent).
+    pub second: String,
+}
+
+/// Renders a trace bus as JSONL: a schema-versioned header line, then one
+/// JSON object per record, oldest first, each on its own line.
+#[must_use]
+pub fn trace_to_jsonl(bus: &TraceBus) -> String {
+    let header = json!({
+        "schema_version": OBS_SCHEMA_VERSION,
+        "kind": "epa-obs-trace",
+        "events": bus.len(),
+        "dropped": bus.dropped(),
+        "sampled_out": bus.sampled_out(),
+    });
+    let mut out = serde_json::to_string(&header).expect("trace header serializes");
+    out.push('\n');
+    for rec in bus.iter() {
+        out.push_str(&serde_json::to_string(rec).expect("trace record serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Runs `export` twice and byte-diffs the results. `export` should run a
+/// full simulation from a fixed seed and return [`trace_to_jsonl`] of its
+/// bus; any divergence between the two runs (nondeterminism in the engine,
+/// wall-clock leakage into a payload, thread-count sensitivity) is
+/// reported with the first differing line.
+pub fn verify_replay<F>(mut export: F) -> Result<ReplayReport, ReplayDivergence>
+where
+    F: FnMut() -> String,
+{
+    let first = export();
+    let second = export();
+    if first == second {
+        return Ok(ReplayReport {
+            events: first.lines().count().saturating_sub(1),
+            bytes: first.len(),
+        });
+    }
+    for (i, (a, b)) in first.lines().zip(second.lines()).enumerate() {
+        if a != b {
+            return Err(ReplayDivergence {
+                line: i + 1,
+                first: a.to_string(),
+                second: b.to_string(),
+            });
+        }
+    }
+    // One export is a prefix of the other.
+    let (longer, is_first) = if first.lines().count() > second.lines().count() {
+        (&first, true)
+    } else {
+        (&second, false)
+    };
+    let line_no = first.lines().count().min(second.lines().count()) + 1;
+    let extra = longer.lines().nth(line_no - 1).unwrap_or("").to_string();
+    Err(ReplayDivergence {
+        line: line_no,
+        first: if is_first {
+            extra.clone()
+        } else {
+            String::new()
+        },
+        second: if is_first { String::new() } else { extra },
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CategoryMask, TraceBus, TraceEvent};
+    use epa_simcore::time::SimTime;
+
+    fn bus_with(n: u64) -> TraceBus {
+        let mut bus = TraceBus::new(CategoryMask::ALL, 1024);
+        for i in 0..n {
+            bus.record(
+                SimTime::from_secs(i as f64 * 10.0),
+                TraceEvent::JobSubmitted {
+                    job: i,
+                    nodes: 4,
+                    queue_depth: i + 1,
+                },
+            );
+        }
+        bus
+    }
+
+    #[test]
+    fn jsonl_has_versioned_header_and_one_line_per_record() {
+        let jsonl = trace_to_jsonl(&bus_with(3));
+        let lines: Vec<&str> = jsonl.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("{\"schema_version\":1,\"kind\":\"epa-obs-trace\""));
+        assert!(lines[0].contains("\"events\":3"));
+        assert!(lines[1].contains("\"JobSubmitted\""));
+        assert!(lines[1].contains("\"seq\":0"));
+        assert!(lines[3].contains("\"seq\":2"));
+    }
+
+    #[test]
+    fn identical_runs_verify() {
+        let report = verify_replay(|| trace_to_jsonl(&bus_with(5))).unwrap();
+        assert_eq!(report.events, 5);
+        assert!(report.bytes > 0);
+    }
+
+    #[test]
+    fn divergence_pinpoints_first_differing_line() {
+        let mut calls = 0;
+        let err = verify_replay(|| {
+            calls += 1;
+            trace_to_jsonl(&bus_with(if calls == 1 { 5 } else { 3 }))
+        })
+        .unwrap_err();
+        // Header differs first: event counts disagree.
+        assert_eq!(err.line, 1);
+        assert!(err.first.contains("\"events\":5"));
+        assert!(err.second.contains("\"events\":3"));
+    }
+
+    #[test]
+    fn length_only_divergence_reported() {
+        let base = trace_to_jsonl(&bus_with(2));
+        let longer = format!("{base}{}", "{\"extra\":true}\n");
+        let mut calls = 0;
+        let err = verify_replay(|| {
+            calls += 1;
+            if calls == 1 {
+                base.clone()
+            } else {
+                longer.clone()
+            }
+        })
+        .unwrap_err();
+        assert_eq!(err.line, 4);
+        assert!(err.first.is_empty());
+        assert!(err.second.contains("extra"));
+    }
+}

@@ -1,0 +1,674 @@
+//! The typed trace bus: structured decision events in a bounded ring
+//! buffer behind a per-category enable mask.
+//!
+//! Design constraints, in priority order:
+//!
+//! 1. **Disabled is free.** With a category masked off, recording is one
+//!    branch on a `u32` bitset — no event payload is built, nothing
+//!    allocates. The engine's hot paths guard on [`TraceBus::enabled`]
+//!    before even constructing the event.
+//! 2. **Deterministic.** Every payload is keyed on [`SimTime`], never wall
+//!    clock; the ring buffer, sampling strides, and sequence numbers are
+//!    pure functions of the event stream. Identical seeds produce
+//!    byte-identical exported traces at any `EPA_JSRM_THREADS`.
+//! 3. **Bounded.** The ring drops the *oldest* records past capacity and
+//!    counts the drops, so a week-long campaign cannot OOM on tracing.
+
+use epa_simcore::time::SimTime;
+use serde::Serialize;
+
+/// Trace event categories — one bit each in a [`CategoryMask`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+#[repr(u8)]
+pub enum TraceCategory {
+    /// Job lifecycle: submit, start, finish, kill, requeue.
+    Job = 0,
+    /// Scheduler decisions that did *not* start a job (rejections).
+    Sched = 1,
+    /// Cap actuations, retries, and fence escalations.
+    Actuation = 2,
+    /// Power-budget grants, denials, releases, and resizes.
+    Budget = 3,
+    /// Emergency-response breaches and kills.
+    Emergency = 4,
+    /// Fault injections: node failures, repairs.
+    Fault = 5,
+    /// Telemetry sensor faults and staleness-fallback flips.
+    Telemetry = 6,
+    /// Windowed cap-enforcement evaluations.
+    Enforcement = 7,
+}
+
+/// Number of trace categories (bitset width in use).
+pub const N_CATEGORIES: usize = 8;
+
+/// All categories, in bit order (for mask parsing and display).
+pub const ALL_CATEGORIES: [TraceCategory; N_CATEGORIES] = [
+    TraceCategory::Job,
+    TraceCategory::Sched,
+    TraceCategory::Actuation,
+    TraceCategory::Budget,
+    TraceCategory::Emergency,
+    TraceCategory::Fault,
+    TraceCategory::Telemetry,
+    TraceCategory::Enforcement,
+];
+
+impl TraceCategory {
+    /// The category's stable lowercase name (mask parsing, exports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            TraceCategory::Job => "job",
+            TraceCategory::Sched => "sched",
+            TraceCategory::Actuation => "actuation",
+            TraceCategory::Budget => "budget",
+            TraceCategory::Emergency => "emergency",
+            TraceCategory::Fault => "fault",
+            TraceCategory::Telemetry => "telemetry",
+            TraceCategory::Enforcement => "enforcement",
+        }
+    }
+}
+
+/// A bitset of enabled trace categories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct CategoryMask(pub u32);
+
+impl CategoryMask {
+    /// Nothing enabled — the zero-overhead default.
+    pub const NONE: CategoryMask = CategoryMask(0);
+    /// Every category enabled.
+    pub const ALL: CategoryMask = CategoryMask((1 << N_CATEGORIES as u32) - 1);
+
+    /// True when `cat`'s bit is set. This is the whole cost of a disabled
+    /// trace site.
+    #[inline]
+    #[must_use]
+    pub fn enabled(self, cat: TraceCategory) -> bool {
+        self.0 & (1 << (cat as u32)) != 0
+    }
+
+    /// Returns the mask with `cat` enabled.
+    #[must_use]
+    pub fn with(self, cat: TraceCategory) -> CategoryMask {
+        CategoryMask(self.0 | (1 << (cat as u32)))
+    }
+
+    /// Parses a mask spec: `"all"`, `"off"`/`""`, or a comma-separated
+    /// list of category names (`"job,budget,fault"`). Unknown names are
+    /// ignored rather than fatal — an operator typo must not change
+    /// simulation results, only trace coverage.
+    #[must_use]
+    pub fn parse(spec: &str) -> CategoryMask {
+        match spec.trim() {
+            "" | "off" | "none" | "0" => CategoryMask::NONE,
+            "all" | "1" | "on" => CategoryMask::ALL,
+            list => {
+                let mut mask = CategoryMask::NONE;
+                for part in list.split(',') {
+                    let part = part.trim();
+                    for cat in ALL_CATEGORIES {
+                        if part == cat.name() {
+                            mask = mask.with(cat);
+                        }
+                    }
+                }
+                mask
+            }
+        }
+    }
+}
+
+/// Trace configuration: the enable mask, ring capacity, and whether
+/// wall-clock profiling scopes are active.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceConfig {
+    /// Which categories to record.
+    pub mask: CategoryMask,
+    /// Ring-buffer capacity in records; oldest are dropped (and counted)
+    /// past it.
+    pub capacity: usize,
+    /// Enable wall-clock profiling scopes (excluded from golden output).
+    pub profile: bool,
+}
+
+impl Default for TraceConfig {
+    /// Tracing off, profiling off — byte-identical behavior and hot-path
+    /// cost of one bitset branch per instrumented site.
+    fn default() -> Self {
+        TraceConfig {
+            mask: CategoryMask::NONE,
+            capacity: 65_536,
+            profile: false,
+        }
+    }
+}
+
+impl TraceConfig {
+    /// Everything on: all categories, profiling active.
+    #[must_use]
+    pub fn all() -> Self {
+        TraceConfig {
+            mask: CategoryMask::ALL,
+            capacity: 65_536,
+            profile: true,
+        }
+    }
+
+    /// Reads the `EPA_JSRM_TRACE` environment variable (`"all"`, `"off"`,
+    /// or a comma list like `"job,budget,fault"`). Unset means disabled.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let mask = std::env::var("EPA_JSRM_TRACE")
+            .map_or(CategoryMask::NONE, |spec| CategoryMask::parse(&spec));
+        TraceConfig {
+            mask,
+            ..TraceConfig::default()
+        }
+    }
+}
+
+/// Why a job was killed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum KillReason {
+    /// Hit its walltime estimate.
+    Walltime,
+    /// Killed by the emergency power response.
+    Emergency,
+    /// Killed by a node failure.
+    Failure,
+}
+
+/// Why a scheduler `Start` decision was rejected by the engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum RejectReason {
+    /// The decision named a job not in the queue.
+    UnknownJob,
+    /// Not enough free nodes at execution time.
+    InsufficientNodes,
+    /// The power-budget ledger denied the grant.
+    PowerDenied,
+    /// The allocator could not place the job.
+    AllocFailed,
+    /// The cap write failed after all retries.
+    ActuationFailed,
+}
+
+/// A structured decision event. Every variant's payload is a pure
+/// function of simulation state — no wall clock, no addresses, no
+/// iteration-order artifacts — so the exported trace is replayable.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub enum TraceEvent {
+    /// A job entered the queue.
+    JobSubmitted {
+        /// Job id.
+        job: u64,
+        /// Requested node count.
+        nodes: u32,
+        /// Queue depth after the push.
+        queue_depth: u64,
+    },
+    /// A job started executing.
+    JobStarted {
+        /// Job id.
+        job: u64,
+        /// Allocated node count.
+        nodes: u32,
+        /// Per-node draw at start, watts.
+        watts_per_node: f64,
+        /// Submit → start wait, seconds.
+        wait_secs: f64,
+        /// The job started ahead of an earlier-queued job (backfill).
+        backfilled: bool,
+        /// The engine programmed a per-node cap to fit the budget.
+        capped_to_fit: bool,
+    },
+    /// A job ran to its natural end (or walltime limit — see
+    /// [`TraceEvent::JobKilled`] with [`KillReason::Walltime`]).
+    JobFinished {
+        /// Job id.
+        job: u64,
+        /// Actual execution time, seconds.
+        run_secs: f64,
+        /// Energy consumed, joules.
+        energy_joules: f64,
+    },
+    /// A job was killed.
+    JobKilled {
+        /// Job id.
+        job: u64,
+        /// Why.
+        reason: KillReason,
+        /// Seconds it had been running.
+        run_secs: f64,
+    },
+    /// A killed job re-entered the queue as a continuation.
+    JobRequeued {
+        /// Job id.
+        job: u64,
+        /// Base runtime remaining in the continuation, seconds.
+        remaining_secs: f64,
+    },
+    /// The engine rejected a policy `Start` decision.
+    StartRejected {
+        /// Job id.
+        job: u64,
+        /// Why.
+        reason: RejectReason,
+    },
+    /// A cap write across a job's node set (through the possibly
+    /// unreliable actuator).
+    CapWrite {
+        /// Node count written.
+        nodes: u32,
+        /// Cap value, watts.
+        watts: f64,
+        /// Total attempts across the node set (first tries + retries).
+        attempts: u64,
+        /// Whether every node's write eventually succeeded.
+        succeeded: bool,
+        /// Worst-case accumulated backoff latency, seconds.
+        delay_secs: f64,
+    },
+    /// One node's command needed retries or failed outright.
+    ActuationRetry {
+        /// Node id.
+        node: u32,
+        /// Attempts made for this node's command.
+        attempts: u32,
+        /// Whether the command eventually succeeded.
+        succeeded: bool,
+    },
+    /// A node crossed the consecutive-failure threshold and was fenced.
+    NodeFenced {
+        /// Node id.
+        node: u32,
+    },
+    /// The budget ledger granted power to a job.
+    BudgetGrant {
+        /// Grant id (job id).
+        grant: u64,
+        /// Granted watts.
+        watts: f64,
+        /// Headroom remaining after the grant, watts.
+        headroom_watts: f64,
+    },
+    /// The budget ledger denied a request.
+    BudgetDenied {
+        /// Grant id (job id).
+        grant: u64,
+        /// Requested watts.
+        watts: f64,
+        /// Headroom at denial time, watts.
+        headroom_watts: f64,
+    },
+    /// A grant was released.
+    BudgetRelease {
+        /// Grant id (job id).
+        grant: u64,
+        /// Released watts.
+        watts: f64,
+    },
+    /// The budget total was resized (demand response).
+    BudgetResize {
+        /// New total, watts.
+        total_watts: f64,
+        /// Whether the resize was accepted.
+        ok: bool,
+    },
+    /// Observed power breached the emergency limit.
+    EmergencyBreach {
+        /// Observed system draw, watts.
+        observed_watts: f64,
+        /// The armed limit, watts.
+        limit_watts: f64,
+    },
+    /// The emergency response killed a job.
+    EmergencyKill {
+        /// Job id.
+        job: u64,
+        /// Draw shed by the kill, watts.
+        shed_watts: f64,
+    },
+    /// A node went down (independent failure, correlated domain event,
+    /// or fence).
+    NodeFailed {
+        /// Node id.
+        node: u32,
+        /// Part of a correlated rack/PDU domain event.
+        correlated: bool,
+    },
+    /// A node came back from repair.
+    NodeRepaired {
+        /// Node id.
+        node: u32,
+        /// Downtime, seconds.
+        down_secs: f64,
+    },
+    /// A telemetry sample was lost (sensor dropout).
+    SensorDropout,
+    /// The sensor entered a stuck-at window.
+    SensorStuck {
+        /// The value it will keep re-reporting, watts.
+        held_watts: f64,
+    },
+    /// Telemetry staleness crossed the bound (or recovered): the
+    /// scheduler flipped to/from the conservative fallback estimate.
+    TelemetryFallback {
+        /// True when entering the fallback, false when recovering.
+        engaged: bool,
+        /// Age of the last accepted reading, seconds.
+        age_secs: f64,
+    },
+    /// A windowed cap-enforcement evaluation.
+    Enforcement {
+        /// Windowed average draw, watts.
+        window_avg_watts: f64,
+        /// The enforced cap, watts.
+        cap_watts: f64,
+        /// Recommended node delta: positive allows boots, negative shuts
+        /// down, zero holds.
+        delta_nodes: i64,
+    },
+}
+
+impl TraceEvent {
+    /// The category this event records under.
+    #[must_use]
+    pub fn category(&self) -> TraceCategory {
+        match self {
+            TraceEvent::JobSubmitted { .. }
+            | TraceEvent::JobStarted { .. }
+            | TraceEvent::JobFinished { .. }
+            | TraceEvent::JobKilled { .. }
+            | TraceEvent::JobRequeued { .. } => TraceCategory::Job,
+            TraceEvent::StartRejected { .. } => TraceCategory::Sched,
+            TraceEvent::CapWrite { .. }
+            | TraceEvent::ActuationRetry { .. }
+            | TraceEvent::NodeFenced { .. } => TraceCategory::Actuation,
+            TraceEvent::BudgetGrant { .. }
+            | TraceEvent::BudgetDenied { .. }
+            | TraceEvent::BudgetRelease { .. }
+            | TraceEvent::BudgetResize { .. } => TraceCategory::Budget,
+            TraceEvent::EmergencyBreach { .. } | TraceEvent::EmergencyKill { .. } => {
+                TraceCategory::Emergency
+            }
+            TraceEvent::NodeFailed { .. } | TraceEvent::NodeRepaired { .. } => TraceCategory::Fault,
+            TraceEvent::SensorDropout
+            | TraceEvent::SensorStuck { .. }
+            | TraceEvent::TelemetryFallback { .. } => TraceCategory::Telemetry,
+            TraceEvent::Enforcement { .. } => TraceCategory::Enforcement,
+        }
+    }
+}
+
+/// One recorded trace entry: simulation time, a global sequence number
+/// (order within equal timestamps), and the event.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct TraceRecord {
+    /// Simulation time of the event.
+    pub t: SimTime,
+    /// Global sequence number across all categories (pre-sampling events
+    /// that were masked off do not consume numbers).
+    pub seq: u64,
+    /// The event.
+    pub event: TraceEvent,
+}
+
+/// The bounded trace bus.
+#[derive(Debug)]
+pub struct TraceBus {
+    mask: CategoryMask,
+    capacity: usize,
+    /// Ring storage; once full, `head` marks the logical start.
+    records: Vec<TraceRecord>,
+    head: usize,
+    seq: u64,
+    dropped: u64,
+    /// Per-category sampling stride: record every `stride`-th enabled
+    /// event of that category (1 = every event).
+    stride: [u32; N_CATEGORIES],
+    /// Enabled events seen per category (pre-sampling).
+    seen: [u64; N_CATEGORIES],
+    sampled_out: u64,
+}
+
+impl TraceBus {
+    /// Creates a bus with the given mask and ring capacity.
+    #[must_use]
+    pub fn new(mask: CategoryMask, capacity: usize) -> Self {
+        TraceBus {
+            mask,
+            capacity: capacity.max(1),
+            records: Vec::new(),
+            head: 0,
+            seq: 0,
+            dropped: 0,
+            stride: [1; N_CATEGORIES],
+            seen: [0; N_CATEGORIES],
+            sampled_out: 0,
+        }
+    }
+
+    /// A fully masked bus: recording is a no-op, nothing ever allocates.
+    #[must_use]
+    pub fn disabled() -> Self {
+        TraceBus::new(CategoryMask::NONE, 1)
+    }
+
+    /// The enable mask.
+    #[must_use]
+    pub fn mask(&self) -> CategoryMask {
+        self.mask
+    }
+
+    /// True when `cat` is being recorded. Hot paths guard on this before
+    /// constructing an event payload.
+    #[inline]
+    #[must_use]
+    pub fn enabled(&self, cat: TraceCategory) -> bool {
+        self.mask.enabled(cat)
+    }
+
+    /// Sets the sampling stride for a category: every `stride`-th enabled
+    /// event is recorded (0 is treated as 1).
+    pub fn set_stride(&mut self, cat: TraceCategory, stride: u32) {
+        self.stride[cat as usize] = stride.max(1);
+    }
+
+    /// Records an event at time `t`. A single bitset branch when the
+    /// event's category is masked off.
+    #[inline]
+    pub fn record(&mut self, t: SimTime, event: TraceEvent) {
+        let cat = event.category();
+        if !self.mask.enabled(cat) {
+            return;
+        }
+        self.record_enabled(t, cat, event);
+    }
+
+    /// Cold half of [`TraceBus::record`]: sampling, sequence numbering,
+    /// and the ring push.
+    fn record_enabled(&mut self, t: SimTime, cat: TraceCategory, event: TraceEvent) {
+        let i = cat as usize;
+        self.seen[i] += 1;
+        let stride = u64::from(self.stride[i]);
+        if stride > 1 && !(self.seen[i] - 1).is_multiple_of(stride) {
+            self.sampled_out += 1;
+            return;
+        }
+        let rec = TraceRecord {
+            t,
+            seq: self.seq,
+            event,
+        };
+        self.seq += 1;
+        if self.records.len() < self.capacity {
+            self.records.push(rec);
+        } else {
+            // Ring overwrite: drop the oldest record.
+            self.records[self.head] = rec;
+            self.head = (self.head + 1) % self.capacity;
+            self.dropped += 1;
+        }
+    }
+
+    /// Number of records currently held.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// True when nothing has been recorded (or everything was masked).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Oldest records dropped to the ring bound.
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events skipped by sampling strides.
+    #[must_use]
+    pub fn sampled_out(&self) -> u64 {
+        self.sampled_out
+    }
+
+    /// Enabled events seen for a category, before sampling.
+    #[must_use]
+    pub fn seen(&self, cat: TraceCategory) -> u64 {
+        self.seen[cat as usize]
+    }
+
+    /// Iterates records oldest-first.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        let (tail, head) = self.records.split_at(self.head);
+        head.iter().chain(tail.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn ev(job: u64) -> TraceEvent {
+        TraceEvent::JobSubmitted {
+            job,
+            nodes: 1,
+            queue_depth: 1,
+        }
+    }
+
+    #[test]
+    fn mask_parsing() {
+        assert_eq!(CategoryMask::parse("all"), CategoryMask::ALL);
+        assert_eq!(CategoryMask::parse("off"), CategoryMask::NONE);
+        assert_eq!(CategoryMask::parse(""), CategoryMask::NONE);
+        let m = CategoryMask::parse("job, budget,fault");
+        assert!(m.enabled(TraceCategory::Job));
+        assert!(m.enabled(TraceCategory::Budget));
+        assert!(m.enabled(TraceCategory::Fault));
+        assert!(!m.enabled(TraceCategory::Emergency));
+        // Typos change coverage, not behavior.
+        assert_eq!(CategoryMask::parse("jbo,nope"), CategoryMask::NONE);
+    }
+
+    #[test]
+    fn masked_categories_record_nothing() {
+        let mut bus = TraceBus::new(CategoryMask::NONE.with(TraceCategory::Budget), 16);
+        bus.record(t(1.0), ev(1)); // Job: masked off
+        bus.record(
+            t(2.0),
+            TraceEvent::BudgetResize {
+                total_watts: 100.0,
+                ok: true,
+            },
+        );
+        assert_eq!(bus.len(), 1);
+        assert_eq!(bus.seen(TraceCategory::Job), 0);
+        assert_eq!(bus.seen(TraceCategory::Budget), 1);
+    }
+
+    #[test]
+    fn ring_drops_oldest_and_counts() {
+        let mut bus = TraceBus::new(CategoryMask::ALL, 4);
+        for i in 0..10u64 {
+            bus.record(t(i as f64), ev(i));
+        }
+        assert_eq!(bus.len(), 4);
+        assert_eq!(bus.dropped(), 6);
+        let jobs: Vec<u64> = bus
+            .iter()
+            .map(|r| match r.event {
+                TraceEvent::JobSubmitted { job, .. } => job,
+                _ => unreachable!(),
+            })
+            .collect();
+        assert_eq!(jobs, vec![6, 7, 8, 9]);
+        // Sequence numbers stay global and monotone.
+        let seqs: Vec<u64> = bus.iter().map(|r| r.seq).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9]);
+    }
+
+    #[test]
+    fn sampling_stride_thins_deterministically() {
+        let mut bus = TraceBus::new(CategoryMask::ALL, 128);
+        bus.set_stride(TraceCategory::Job, 3);
+        for i in 0..9u64 {
+            bus.record(t(i as f64), ev(i));
+        }
+        // Every 3rd: events 0, 3, 6.
+        assert_eq!(bus.len(), 3);
+        assert_eq!(bus.sampled_out(), 6);
+        assert_eq!(bus.seen(TraceCategory::Job), 9);
+    }
+
+    #[test]
+    fn every_variant_maps_to_a_category() {
+        // Spot checks across the taxonomy.
+        assert_eq!(ev(1).category(), TraceCategory::Job);
+        assert_eq!(
+            TraceEvent::StartRejected {
+                job: 1,
+                reason: RejectReason::PowerDenied
+            }
+            .category(),
+            TraceCategory::Sched
+        );
+        assert_eq!(
+            TraceEvent::NodeFenced { node: 3 }.category(),
+            TraceCategory::Actuation
+        );
+        assert_eq!(
+            TraceEvent::SensorDropout.category(),
+            TraceCategory::Telemetry
+        );
+        assert_eq!(
+            TraceEvent::Enforcement {
+                window_avg_watts: 1.0,
+                cap_watts: 2.0,
+                delta_nodes: 0
+            }
+            .category(),
+            TraceCategory::Enforcement
+        );
+    }
+
+    #[test]
+    fn disabled_bus_never_allocates() {
+        let mut bus = TraceBus::disabled();
+        for i in 0..1000u64 {
+            bus.record(t(0.0), ev(i));
+        }
+        assert!(bus.is_empty());
+        assert_eq!(bus.records.capacity(), 0);
+    }
+}

@@ -14,6 +14,8 @@
 //! throttling jobs.
 
 use crate::error::PowerError;
+use epa_obs::{TraceBus, TraceCategory, TraceEvent};
+use epa_simcore::time::SimTime;
 use serde::{Deserialize, Serialize};
 use std::collections::BTreeMap;
 
@@ -176,6 +178,76 @@ impl PowerBudget {
         self.total_watts = new_total_watts;
         Ok(())
     }
+
+    /// [`PowerBudget::request`] with decision tracing: the grant or denial
+    /// is recorded on `bus` (one bitset branch when the `Budget` category
+    /// is masked off). Semantics are identical to the untraced call.
+    pub fn request_traced(
+        &mut self,
+        id: GrantId,
+        watts: f64,
+        t: SimTime,
+        bus: &mut TraceBus,
+    ) -> Result<(), PowerError> {
+        let result = self.request(id, watts);
+        if bus.enabled(TraceCategory::Budget) {
+            let headroom_watts = self.headroom_watts();
+            bus.record(
+                t,
+                match result {
+                    Ok(()) => TraceEvent::BudgetGrant {
+                        grant: id.0,
+                        watts,
+                        headroom_watts,
+                    },
+                    Err(_) => TraceEvent::BudgetDenied {
+                        grant: id.0,
+                        watts,
+                        headroom_watts,
+                    },
+                },
+            );
+        }
+        result
+    }
+
+    /// [`PowerBudget::release`] with decision tracing (successful releases
+    /// only; releasing an unknown grant is an error, not a decision).
+    pub fn release_traced(
+        &mut self,
+        id: GrantId,
+        t: SimTime,
+        bus: &mut TraceBus,
+    ) -> Result<f64, PowerError> {
+        let result = self.release(id);
+        if let Ok(watts) = result {
+            if bus.enabled(TraceCategory::Budget) {
+                bus.record(t, TraceEvent::BudgetRelease { grant: id.0, watts });
+            }
+        }
+        result
+    }
+
+    /// [`PowerBudget::resize`] with decision tracing: every attempt is
+    /// recorded with whether it was accepted (demand-response audit).
+    pub fn resize_traced(
+        &mut self,
+        new_total_watts: f64,
+        t: SimTime,
+        bus: &mut TraceBus,
+    ) -> Result<(), PowerError> {
+        let result = self.resize(new_total_watts);
+        if bus.enabled(TraceCategory::Budget) {
+            bus.record(
+                t,
+                TraceEvent::BudgetResize {
+                    total_watts: new_total_watts,
+                    ok: result.is_ok(),
+                },
+            );
+        }
+        result
+    }
 }
 
 #[cfg(test)]
@@ -262,6 +334,44 @@ mod tests {
         let mut b = PowerBudget::new(100.0).unwrap();
         b.request(g(1), 0.0).unwrap();
         assert_eq!(b.granted_watts(), 0.0);
+    }
+
+    #[test]
+    fn traced_ops_record_grant_denial_release_resize() {
+        use epa_obs::{CategoryMask, TraceBus, TraceEvent};
+        let t0 = epa_simcore::time::SimTime::from_secs(5.0);
+        let mut bus = TraceBus::new(CategoryMask::ALL, 64);
+        let mut b = PowerBudget::new(1000.0).unwrap();
+        b.request_traced(g(1), 900.0, t0, &mut bus).unwrap();
+        assert!(b.request_traced(g(2), 200.0, t0, &mut bus).is_err());
+        b.release_traced(g(1), t0, &mut bus).unwrap();
+        assert!(b.release_traced(g(9), t0, &mut bus).is_err());
+        b.resize_traced(500.0, t0, &mut bus).unwrap();
+        let events: Vec<&TraceEvent> = bus.iter().map(|r| &r.event).collect();
+        assert!(matches!(
+            events[0],
+            TraceEvent::BudgetGrant { grant: 1, .. }
+        ));
+        assert!(matches!(
+            events[1],
+            TraceEvent::BudgetDenied { grant: 2, .. }
+        ));
+        assert!(
+            matches!(events[2], TraceEvent::BudgetRelease { grant: 1, watts } if *watts == 900.0)
+        );
+        // The failed release recorded nothing; the resize comes next.
+        assert!(matches!(
+            events[3],
+            TraceEvent::BudgetResize { ok: true, .. }
+        ));
+        assert_eq!(events.len(), 4);
+
+        // A masked bus records nothing and changes no semantics.
+        let mut off = TraceBus::disabled();
+        let mut b2 = PowerBudget::new(1000.0).unwrap();
+        b2.request_traced(g(1), 900.0, t0, &mut off).unwrap();
+        assert!(off.is_empty());
+        assert_eq!(b2.granted_watts(), 900.0);
     }
 
     #[test]

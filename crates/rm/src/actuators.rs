@@ -16,7 +16,8 @@
 
 use crate::interactions::{Component, InteractionKind, InteractionLedger};
 use epa_cluster::node::NodeId;
-use epa_faults::{execute_with_retry, ActuatorFaultConfig};
+use epa_faults::{execute_with_retry_traced, ActuatorFaultConfig};
+use epa_obs::{TraceBus, TraceCategory, TraceEvent};
 use epa_simcore::rng::SimRng;
 use epa_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -223,6 +224,23 @@ impl RetryingActuator {
         log: &mut ActuatorLog,
         ledger: &mut InteractionLedger,
     ) -> CapWriteReport {
+        let mut bus = TraceBus::disabled();
+        self.program_caps_traced(t, nodes, watts, log, ledger, &mut bus)
+    }
+
+    /// [`RetryingActuator::program_caps`] with decision tracing: per-node
+    /// retry anomalies, fence escalations, and a summary
+    /// [`TraceEvent::CapWrite`] are recorded on `bus`. RNG consumption,
+    /// audit logging, and escalation are identical to the untraced call.
+    pub fn program_caps_traced(
+        &mut self,
+        t: SimTime,
+        nodes: &[NodeId],
+        watts: Option<f64>,
+        log: &mut ActuatorLog,
+        ledger: &mut InteractionLedger,
+        bus: &mut TraceBus,
+    ) -> CapWriteReport {
         let mut report = CapWriteReport {
             succeeded: true,
             attempts: 0,
@@ -231,7 +249,7 @@ impl RetryingActuator {
             fence: Vec::new(),
         };
         for &node in nodes {
-            let r = execute_with_retry(&self.config, &mut self.rng);
+            let r = execute_with_retry_traced(&self.config, &mut self.rng, t, node.0, bus);
             for _ in 0..r.attempts {
                 log.record(t, Actuation::SetNodeCap { node, watts }, ledger);
             }
@@ -247,8 +265,23 @@ impl RetryingActuator {
                 if *count >= self.config.fence_after {
                     self.consecutive_failures.remove(&node.0);
                     report.fence.push(node);
+                    if bus.enabled(TraceCategory::Actuation) {
+                        bus.record(t, TraceEvent::NodeFenced { node: node.0 });
+                    }
                 }
             }
+        }
+        if bus.enabled(TraceCategory::Actuation) {
+            bus.record(
+                t,
+                TraceEvent::CapWrite {
+                    nodes: nodes.len() as u32,
+                    watts: watts.unwrap_or(0.0),
+                    attempts: report.attempts,
+                    succeeded: report.succeeded,
+                    delay_secs: report.total_delay.as_secs(),
+                },
+            );
         }
         report
     }
@@ -390,6 +423,57 @@ mod tests {
         fixed.consecutive_failures = act.consecutive_failures.clone();
         fixed.program_caps(t(2.0), &nodes, None, &mut log, &mut ledger);
         assert_eq!(fixed.consecutive_failures(NodeId(2)), 0);
+    }
+
+    #[test]
+    fn traced_cap_write_records_summary_and_fences() {
+        use epa_obs::{CategoryMask, TraceEvent};
+        let mut bus = epa_obs::TraceBus::new(CategoryMask::ALL, 256);
+        let mut act = RetryingActuator::new(fault_cfg(1.0), 7);
+        let mut log = ActuatorLog::new();
+        let mut ledger = InteractionLedger::new();
+        let nodes = [NodeId(4)];
+        for _ in 0..3 {
+            act.program_caps_traced(t(1.0), &nodes, Some(150.0), &mut log, &mut ledger, &mut bus);
+        }
+        let events: Vec<&TraceEvent> = bus.iter().map(|r| &r.event).collect();
+        // Each round: one ActuationRetry (exhausted), one CapWrite summary;
+        // the third round adds the fence escalation before its summary.
+        assert_eq!(events.len(), 7);
+        assert!(matches!(
+            events[0],
+            TraceEvent::ActuationRetry {
+                node: 4,
+                succeeded: false,
+                ..
+            }
+        ));
+        assert!(matches!(
+            events[1],
+            TraceEvent::CapWrite {
+                nodes: 1,
+                succeeded: false,
+                ..
+            }
+        ));
+        assert!(matches!(events[5], TraceEvent::NodeFenced { node: 4 }));
+        // The untraced wrapper draws the same RNG sequence.
+        let untraced = {
+            let mut act = RetryingActuator::new(fault_cfg(0.4), 3);
+            let mut log = ActuatorLog::new();
+            let mut ledger = InteractionLedger::new();
+            let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+            act.program_caps(t(2.0), &nodes, Some(180.0), &mut log, &mut ledger)
+        };
+        let traced = {
+            let mut act = RetryingActuator::new(fault_cfg(0.4), 3);
+            let mut log = ActuatorLog::new();
+            let mut ledger = InteractionLedger::new();
+            let mut bus = epa_obs::TraceBus::new(CategoryMask::ALL, 256);
+            let nodes: Vec<NodeId> = (0..8).map(NodeId).collect();
+            act.program_caps_traced(t(2.0), &nodes, Some(180.0), &mut log, &mut ledger, &mut bus)
+        };
+        assert_eq!(untraced, traced);
     }
 
     #[test]

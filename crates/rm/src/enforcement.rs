@@ -9,6 +9,7 @@
 //! sustained overdraw, and interacts with the job scheduler to avoid
 //! killing jobs (shutdowns take idle nodes only).
 
+use epa_obs::{TraceBus, TraceCategory, TraceEvent};
 use epa_simcore::series::TimeSeries;
 use epa_simcore::time::{SimDuration, SimTime};
 use serde::{Deserialize, Serialize};
@@ -124,6 +125,34 @@ impl EnforcementWindow {
             EnforcementAction::Hold
         }
     }
+
+    /// [`EnforcementWindow::evaluate`] with decision tracing: the window
+    /// average, cap, and recommended node delta (positive allows boots,
+    /// negative shuts down, zero holds) are recorded on `bus`.
+    pub fn evaluate_traced(
+        &mut self,
+        trace: &TimeSeries,
+        now: SimTime,
+        bus: &mut TraceBus,
+    ) -> EnforcementAction {
+        let action = self.evaluate(trace, now);
+        if bus.enabled(TraceCategory::Enforcement) {
+            let delta_nodes = match action {
+                EnforcementAction::AllowBoot { nodes } => i64::from(nodes),
+                EnforcementAction::Hold => 0,
+                EnforcementAction::ShutDown { nodes } => -i64::from(nodes),
+            };
+            bus.record(
+                now,
+                TraceEvent::Enforcement {
+                    window_avg_watts: self.window_average(trace, now),
+                    cap_watts: self.cap_watts,
+                    delta_nodes,
+                },
+            );
+        }
+        action
+    }
 }
 
 #[cfg(test)]
@@ -203,6 +232,25 @@ mod tests {
             EnforcementAction::ShutDown { .. } => {}
             other => panic!("expected ShutDown, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn traced_evaluation_records_node_delta() {
+        use epa_obs::{CategoryMask, TraceBus, TraceEvent};
+        let mut bus = TraceBus::new(CategoryMask::ALL, 16);
+        let mut c = controller();
+        let mut trace = TimeSeries::new();
+        trace.push(t(0.0), 12_000.0);
+        let action = c.evaluate_traced(&trace, t(3600.0), &mut bus);
+        assert!(matches!(action, EnforcementAction::ShutDown { nodes: 7 }));
+        let rec = bus.iter().next().unwrap();
+        assert!(matches!(
+            rec.event,
+            TraceEvent::Enforcement {
+                delta_nodes: -7,
+                ..
+            }
+        ));
     }
 
     #[test]

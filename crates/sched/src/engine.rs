@@ -29,6 +29,9 @@ use epa_cluster::layout::FacilityLayout;
 use epa_cluster::node::NodeId;
 use epa_cluster::system::System;
 use epa_faults::{FaultConfig, FaultInjector, FaultPlan, SensorFaultConfig, SensorSample};
+use epa_obs::{
+    KillReason, Obs, ObsBundle, RejectReason, Scope, TraceCategory, TraceConfig, TraceEvent,
+};
 use epa_power::budget::{GrantId, PowerBudget};
 use epa_power::facility::Facility;
 use epa_power::meter::EnergyMeter;
@@ -92,6 +95,11 @@ pub struct EngineConfig {
     /// actuators with retry/fence escalation. `None` injects nothing and
     /// leaves every code path byte-identical to a fault-free engine.
     pub faults: Option<FaultConfig>,
+    /// Observability: the decision-trace enable mask, ring capacity, and
+    /// profiling switch. The default records nothing; with categories
+    /// masked off every trace site costs one branch on a bitset, and the
+    /// simulated outcome is byte-identical either way.
+    pub trace: TraceConfig,
 }
 
 impl EngineConfig {
@@ -116,6 +124,7 @@ impl EngineConfig {
             repair_time: SimDuration::from_hours(4.0),
             seed: 0xe9a,
             faults: None,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -139,6 +148,17 @@ impl EngineConfig {
         Ok(())
     }
 }
+
+/// Histogram bucket bounds for the observability registry. Wait times
+/// span minutes to days; queue depth is powers of two; actuation delay
+/// follows the retry backoff scale; staleness age follows telemetry
+/// tick/staleness-bound scales.
+const WAIT_BUCKETS: [f64; 8] = [
+    60.0, 300.0, 900.0, 3600.0, 14_400.0, 43_200.0, 86_400.0, 259_200.0,
+];
+const QUEUE_DEPTH_BUCKETS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
+const ACTUATION_DELAY_BUCKETS: [f64; 8] = [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0];
+const STALENESS_AGE_BUCKETS: [f64; 6] = [60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0];
 
 #[derive(Debug)]
 enum Ev {
@@ -263,6 +283,12 @@ pub struct SimOutcome {
     pub mttr_secs: f64,
     /// Jobs requeued after being killed (requires `requeue_killed`).
     pub requeues: u64,
+    /// Telemetry staleness fallback transitions (flips into the
+    /// conservative-estimate degraded mode).
+    pub telemetry_fallbacks: u64,
+    /// Nodes fenced after crossing the consecutive actuation-failure
+    /// threshold.
+    pub fenced_nodes: u64,
     /// Nodes still down (awaiting repair) when the run ended.
     pub nodes_down_at_end: u64,
     /// Per-job records.
@@ -357,6 +383,11 @@ pub struct ClusterSim<'p> {
     repair_downtime_secs: f64,
     /// Completed repairs (MTTR denominator).
     repairs_completed: u64,
+    /// Observability: trace bus, metrics registry, wall-clock profiler.
+    /// Robustness counters (requeues, fallbacks, fences) live in its
+    /// registry as the single source of truth and are folded into the
+    /// outcome's counter map at finalize.
+    obs: Obs,
 }
 
 impl<'p> ClusterSim<'p> {
@@ -428,6 +459,15 @@ impl<'p> ClusterSim<'p> {
         let all_nodes: Vec<NodeId> = system.nodes().collect();
         meter.set_alloc_watts(&all_nodes, SimTime::ZERO, system.spec().node.idle_watts);
         let idle_system_watts = system.spec().idle_watts();
+        let mut obs = Obs::new(&config.trace);
+        obs.registry
+            .register_histogram("sched/wait_secs", &WAIT_BUCKETS);
+        obs.registry
+            .register_histogram("sched/queue_depth", &QUEUE_DEPTH_BUCKETS);
+        obs.registry
+            .register_histogram("rm/actuation_delay_secs", &ACTUATION_DELAY_BUCKETS);
+        obs.registry
+            .register_histogram("telemetry/staleness_age_secs", &STALENESS_AGE_BUCKETS);
         Ok(ClusterSim {
             config,
             system,
@@ -472,6 +512,7 @@ impl<'p> ClusterSim<'p> {
             down_since: vec![None; n_nodes],
             repair_downtime_secs: 0.0,
             repairs_completed: 0,
+            obs,
         })
     }
 
@@ -518,13 +559,37 @@ impl<'p> ClusterSim<'p> {
     }
 
     /// Runs the simulation to completion and reports the outcome.
-    pub fn run(mut self) -> SimOutcome {
+    pub fn run(self) -> SimOutcome {
+        self.run_traced().0
+    }
+
+    /// Runs the simulation and additionally returns the observability
+    /// bundle: the decision trace, the metrics registry, and the
+    /// wall-clock profile. The [`SimOutcome`] is byte-identical to what
+    /// [`ClusterSim::run`] returns for the same inputs regardless of the
+    /// trace configuration.
+    pub fn run_traced(mut self) -> (SimOutcome, ObsBundle) {
         while let Some((t, ev)) = self.sim.next_event() {
+            let t_dispatch = self.obs.profiler.start();
             match ev {
                 Ev::Submit(i) => {
                     let job = self.jobs[i].clone();
+                    let (jid, jnodes) = (job.id.0, job.nodes);
                     self.metrics.incr("jobs/submitted", 1);
                     self.queue.push(job);
+                    self.obs
+                        .registry
+                        .observe("sched/queue_depth", self.queue.len() as f64);
+                    if self.obs.bus.enabled(TraceCategory::Job) {
+                        self.obs.bus.record(
+                            t,
+                            TraceEvent::JobSubmitted {
+                                job: jid,
+                                nodes: jnodes,
+                                queue_depth: self.queue.len() as u64,
+                            },
+                        );
+                    }
                     self.try_schedule();
                 }
                 Ev::Finish(id, attempt) => {
@@ -542,7 +607,9 @@ impl<'p> ClusterSim<'p> {
                     }
                 }
                 Ev::PowerTick => {
+                    let t_meter = self.obs.profiler.start();
                     self.on_power_tick(t);
+                    self.obs.profiler.stop(Scope::Meter, t_meter);
                     // The tick after an emergency cooldown expires resumes
                     // scheduling (a full heartbeat on *every* tick would be
                     // quadratic with conservative backfilling's planning).
@@ -570,7 +637,7 @@ impl<'p> ClusterSim<'p> {
                 }
                 Ev::BudgetResize(w) => {
                     if let Some(budget) = self.budget.as_mut() {
-                        if budget.resize(w).is_ok() {
+                        if budget.resize_traced(w, t, &mut self.obs.bus).is_ok() {
                             self.metrics.incr("power/budget_resizes", 1);
                         }
                     }
@@ -590,6 +657,15 @@ impl<'p> ClusterSim<'p> {
                     if let Some(since) = self.down_since[n.index()].take() {
                         self.repair_downtime_secs += (t - since).as_secs();
                         self.repairs_completed += 1;
+                        if self.obs.bus.enabled(TraceCategory::Fault) {
+                            self.obs.bus.record(
+                                t,
+                                TraceEvent::NodeRepaired {
+                                    node: n.0,
+                                    down_secs: (t - since).as_secs(),
+                                },
+                            );
+                        }
                     }
                     self.down[n.index()] = false;
                     self.set_node_state(n, NodePowerState::Idle, t);
@@ -610,12 +686,22 @@ impl<'p> ClusterSim<'p> {
                             NodePowerState::Idle | NodePowerState::Busy
                         ) && !self.down[i]
                         {
+                            if self.obs.bus.enabled(TraceCategory::Fault) {
+                                self.obs.bus.record(
+                                    t,
+                                    TraceEvent::NodeFailed {
+                                        node: n.0,
+                                        correlated: true,
+                                    },
+                                );
+                            }
                             self.take_node_down(n, t, event.repair_time);
                         }
                     }
                     self.try_schedule();
                 }
             }
+            self.obs.profiler.stop(Scope::Dispatch, t_dispatch);
         }
         self.finalize()
     }
@@ -639,6 +725,15 @@ impl<'p> ClusterSim<'p> {
             return;
         }
         let victim = *self.rng.choose(&operational);
+        if self.obs.bus.enabled(TraceCategory::Fault) {
+            self.obs.bus.record(
+                t,
+                TraceEvent::NodeFailed {
+                    node: victim.0,
+                    correlated: false,
+                },
+            );
+        }
         self.take_node_down(victim, t, self.config.repair_time);
         self.try_schedule();
     }
@@ -785,12 +880,20 @@ impl<'p> ClusterSim<'p> {
                 SensorSample::Dropout => {
                     // The sample is lost; the last reading ages.
                     self.metrics.incr("faults/telemetry_dropouts", 1);
+                    if self.obs.bus.enabled(TraceCategory::Telemetry) {
+                        self.obs.bus.record(t, TraceEvent::SensorDropout);
+                    }
                 }
                 SensorSample::Stuck => {
                     let held = self.sensor_last.1;
                     self.sensor_stuck_until = Some((t + cfg.stuck_duration, held));
                     self.sensor_last = (t, held);
                     self.metrics.incr("faults/telemetry_stuck", 1);
+                    if self.obs.bus.enabled(TraceCategory::Telemetry) {
+                        self.obs
+                            .bus
+                            .record(t, TraceEvent::SensorStuck { held_watts: held });
+                    }
                 }
             }
         }
@@ -798,11 +901,32 @@ impl<'p> ClusterSim<'p> {
         if age > cfg.staleness_bound {
             if !self.telemetry_stale {
                 self.telemetry_stale = true;
-                self.metrics.incr("faults/telemetry_fallbacks", 1);
+                self.obs.registry.incr("faults/telemetry_fallbacks", 1);
+                if self.obs.bus.enabled(TraceCategory::Telemetry) {
+                    self.obs.bus.record(
+                        t,
+                        TraceEvent::TelemetryFallback {
+                            engaged: true,
+                            age_secs: age.as_secs(),
+                        },
+                    );
+                }
             }
             self.metrics.incr("faults/telemetry_stale_ticks", 1);
+            self.obs
+                .registry
+                .observe("telemetry/staleness_age_secs", age.as_secs());
             self.conservative_estimate(&cfg)
         } else {
+            if self.telemetry_stale && self.obs.bus.enabled(TraceCategory::Telemetry) {
+                self.obs.bus.record(
+                    t,
+                    TraceEvent::TelemetryFallback {
+                        engaged: false,
+                        age_secs: age.as_secs(),
+                    },
+                );
+            }
             self.telemetry_stale = false;
             self.sensor_last.1
         }
@@ -824,6 +948,12 @@ impl<'p> ClusterSim<'p> {
     }
 
     fn try_schedule(&mut self) {
+        let t_sched = self.obs.profiler.start();
+        self.try_schedule_inner();
+        self.obs.profiler.stop(Scope::Schedule, t_sched);
+    }
+
+    fn try_schedule_inner(&mut self) {
         // Emergency cooldown: after a response, hold new starts.
         if self.sim.now() < self.start_hold_until {
             return;
@@ -948,6 +1078,17 @@ impl<'p> ClusterSim<'p> {
         }
     }
 
+    /// Records a start rejection on the trace (mask-gated, no-op when
+    /// scheduler tracing is off).
+    fn trace_reject(&mut self, id: JobId, reason: RejectReason) {
+        if self.obs.bus.enabled(TraceCategory::Sched) {
+            self.obs.bus.record(
+                self.sim.now(),
+                TraceEvent::StartRejected { job: id.0, reason },
+            );
+        }
+    }
+
     fn start_job(
         &mut self,
         id: JobId,
@@ -955,8 +1096,12 @@ impl<'p> ClusterSim<'p> {
         freq_ghz: Option<f64>,
         node_cap_watts: Option<f64>,
     ) -> bool {
+        // A start for a job that is not at the head of the queue is a
+        // backfill decision (recorded on the trace, not used otherwise).
+        let backfilled = self.queue.head().is_some_and(|h| h.id != id);
         let Some(job) = self.queue.remove(id) else {
             self.metrics.incr("sched/start_unknown_job", 1);
+            self.trace_reject(id, RejectReason::UnknownJob);
             return false;
         };
         let now = self.sim.now();
@@ -971,6 +1116,7 @@ impl<'p> ClusterSim<'p> {
         if nodes_requested > self.allocator.free_count() as u32 {
             self.queue.push(job);
             self.metrics.incr("sched/start_insufficient_nodes", 1);
+            self.trace_reject(id, RejectReason::InsufficientNodes);
             return false;
         }
 
@@ -1028,11 +1174,12 @@ impl<'p> ClusterSim<'p> {
                 }
             }
             let gid = GrantId(job.id.0);
-            match budget.request(gid, need) {
+            match budget.request_traced(gid, need, now, &mut self.obs.bus) {
                 Ok(()) => Some(gid),
                 Err(_) => {
                     self.queue.push(job);
                     self.metrics.incr("sched/start_power_denied", 1);
+                    self.trace_reject(id, RejectReason::PowerDenied);
                     return false;
                 }
             }
@@ -1050,7 +1197,9 @@ impl<'p> ClusterSim<'p> {
         for &n in &affected {
             self.allocator.mark_unavailable(n);
         }
+        let t_alloc = self.obs.profiler.start();
         let alloc_result = self.allocator.allocate(nodes_requested);
+        self.obs.profiler.stop(Scope::Allocator, t_alloc);
         for &n in &affected {
             self.allocator.mark_available(n);
         }
@@ -1058,10 +1207,11 @@ impl<'p> ClusterSim<'p> {
             Ok(nodes) => nodes,
             Err(_) => {
                 if let (Some(budget), Some(g)) = (self.budget.as_mut(), grant) {
-                    let _ = budget.release(g);
+                    let _ = budget.release_traced(g, now, &mut self.obs.bus);
                 }
                 self.queue.push(job);
                 self.metrics.incr("sched/start_alloc_failed", 1);
+                self.trace_reject(id, RejectReason::AllocFailed);
                 return false;
             }
         };
@@ -1074,29 +1224,34 @@ impl<'p> ClusterSim<'p> {
         let mut actuation_delay = SimDuration::ZERO;
         if node_cap_watts.is_some() || freq_ghz.is_some() || capped_to_fit {
             if let Some(act) = self.actuator.as_mut() {
-                let report = act.program_caps(
+                let report = act.program_caps_traced(
                     now,
                     &nodes,
                     Some(op.watts),
                     &mut self.actuator_log,
                     &mut self.ledger,
+                    &mut self.obs.bus,
                 );
                 self.metrics
                     .incr("faults/actuator_attempts", report.attempts);
                 if report.succeeded {
                     actuation_delay = report.total_delay;
+                    self.obs
+                        .registry
+                        .observe("rm/actuation_delay_secs", report.total_delay.as_secs());
                 } else {
                     self.metrics.incr("faults/actuator_cap_failures", 1);
                     self.metrics.incr("sched/start_actuation_failed", 1);
                     self.allocator.release(&nodes);
                     if let (Some(budget), Some(g)) = (self.budget.as_mut(), grant) {
-                        let _ = budget.release(g);
+                        let _ = budget.release_traced(g, now, &mut self.obs.bus);
                     }
                     for n in report.fence {
-                        self.metrics.incr("faults/fenced_nodes", 1);
+                        self.obs.registry.incr("faults/fenced_nodes", 1);
                         self.take_node_down(n, now, self.config.repair_time);
                     }
                     self.queue.push(job);
+                    self.trace_reject(id, RejectReason::ActuationFailed);
                     return false;
                 }
             }
@@ -1166,8 +1321,22 @@ impl<'p> ClusterSim<'p> {
         // nodes' lifetime energy through `now`.
         let energy_mark = self.meter.alloc_energy_to(&nodes, now);
         self.metrics.incr("jobs/started", 1);
-        self.metrics
-            .observe("sched/wait_secs", (now - job.submit).as_secs());
+        let wait_secs = (now - job.submit).as_secs();
+        self.metrics.observe("sched/wait_secs", wait_secs);
+        self.obs.registry.observe("sched/wait_secs", wait_secs);
+        if self.obs.bus.enabled(TraceCategory::Job) {
+            self.obs.bus.record(
+                now,
+                TraceEvent::JobStarted {
+                    job: job.id.0,
+                    nodes: nodes.len() as u32,
+                    watts_per_node,
+                    wait_secs,
+                    backfilled,
+                    capped_to_fit,
+                },
+            );
+        }
         let attempt = {
             let a = self.attempts.entry(job.id).or_insert(0);
             *a += 1;
@@ -1247,8 +1416,33 @@ impl<'p> ClusterSim<'p> {
         );
         self.meter.set_alloc_watts(&r.nodes, t, idle_watts);
         self.allocator.release(&r.nodes);
+        if self.obs.bus.enabled(TraceCategory::Job) {
+            let event = match departure {
+                Departure::Normal if r.killed_at_walltime => TraceEvent::JobKilled {
+                    job: r.job.id.0,
+                    reason: KillReason::Walltime,
+                    run_secs,
+                },
+                Departure::Normal => TraceEvent::JobFinished {
+                    job: r.job.id.0,
+                    run_secs,
+                    energy_joules: energy,
+                },
+                Departure::Emergency => TraceEvent::JobKilled {
+                    job: r.job.id.0,
+                    reason: KillReason::Emergency,
+                    run_secs,
+                },
+                Departure::Failure => TraceEvent::JobKilled {
+                    job: r.job.id.0,
+                    reason: KillReason::Failure,
+                    run_secs,
+                },
+            };
+            self.obs.bus.record(t, event);
+        }
         if let (Some(budget), Some(g)) = (self.budget.as_mut(), r.grant) {
-            let _ = budget.release(g);
+            let _ = budget.release_traced(g, t, &mut self.obs.bus);
         }
         if self.config.record_history && run_secs > 0.0 {
             let wpn = energy / run_secs / r.nodes.len() as f64;
@@ -1293,7 +1487,16 @@ impl<'p> ClusterSim<'p> {
             continuation.nodes = r.nodes.len() as u32;
             continuation.moldable = None; // the continuation is rigid
             continuation.submit = t;
-            self.metrics.incr("jobs/requeued", 1);
+            self.obs.registry.incr("jobs/requeued", 1);
+            if self.obs.bus.enabled(TraceCategory::Job) {
+                self.obs.bus.record(
+                    t,
+                    TraceEvent::JobRequeued {
+                        job: r.job.id.0,
+                        remaining_secs: remaining,
+                    },
+                );
+            }
             self.queue.push(continuation);
         }
     }
@@ -1323,6 +1526,15 @@ impl<'p> ClusterSim<'p> {
         if let Some(em) = self.config.emergency.clone() {
             if em.armed_at(t) && observed > em.limit_watts {
                 self.metrics.incr("emergency/breaches", 1);
+                if self.obs.bus.enabled(TraceCategory::Emergency) {
+                    self.obs.bus.record(
+                        t,
+                        TraceEvent::EmergencyBreach {
+                            observed_watts: observed,
+                            limit_watts: em.limit_watts,
+                        },
+                    );
+                }
                 let mut excess = observed - em.target_watts();
                 // Victim ordering per policy: youngest-first (least sunk
                 // cost) or most-powerful-first (fewest kills per watt).
@@ -1347,9 +1559,19 @@ impl<'p> ClusterSim<'p> {
                         break;
                     }
                     let r = self.running.remove(&id).expect("victim is running");
-                    excess -= r.watts_per_node * r.nodes.len() as f64;
+                    let shed = r.watts_per_node * r.nodes.len() as f64;
+                    excess -= shed;
                     self.emergency_kills += 1;
                     self.metrics.incr("emergency/kills", 1);
+                    if self.obs.bus.enabled(TraceCategory::Emergency) {
+                        self.obs.bus.record(
+                            t,
+                            TraceEvent::EmergencyKill {
+                                job: id.0,
+                                shed_watts: shed,
+                            },
+                        );
+                    }
                     self.complete(r, t, Departure::Emergency);
                 }
                 self.start_hold_until = t + em.start_cooldown;
@@ -1397,7 +1619,7 @@ impl<'p> ClusterSim<'p> {
         }
     }
 
-    fn finalize(mut self) -> SimOutcome {
+    fn finalize(mut self) -> (SimOutcome, ObsBundle) {
         let end = self.sim.now().max(self.config.horizon);
         // Account busy time of still-running jobs up to the horizon.
         let running: Vec<RunningJob> = self.running.values().cloned().collect();
@@ -1438,8 +1660,18 @@ impl<'p> ClusterSim<'p> {
         } else {
             0.0
         };
-        let counters = self.metrics.snapshot().counters;
-        SimOutcome {
+        // The obs registry is the single source of truth for robustness
+        // counters (requeues, telemetry fallbacks, fencing); fold it into
+        // the legacy counter map so existing consumers see one namespace.
+        let mut counters = self.metrics.snapshot().counters;
+        for (k, v) in self.obs.registry.counters() {
+            *counters.entry(k.to_string()).or_insert(0) += v;
+        }
+        let requeues = self.obs.registry.counter("jobs/requeued");
+        let telemetry_fallbacks = self.obs.registry.counter("faults/telemetry_fallbacks");
+        let fenced_nodes = self.obs.registry.counter("faults/fenced_nodes");
+        let bundle = self.obs.into_bundle();
+        let outcome = SimOutcome {
             policy: self.policy.name().to_owned(),
             completed: n_completed,
             walltime_kills,
@@ -1463,7 +1695,9 @@ impl<'p> ClusterSim<'p> {
             per_node_failures: self.failure_counts,
             node_downtime_secs,
             mttr_secs,
-            requeues: counters.get("jobs/requeued").copied().unwrap_or(0),
+            requeues,
+            telemetry_fallbacks,
+            fenced_nodes,
             nodes_down_at_end,
             jobs: self.completed,
             counters,
@@ -1474,7 +1708,8 @@ impl<'p> ClusterSim<'p> {
                 .into_iter()
                 .map(|(t, w)| (t.as_secs(), w))
                 .collect(),
-        }
+        };
+        (outcome, bundle)
     }
 }
 

@@ -46,6 +46,9 @@ pub struct SiteReport {
     pub mean_pue: f64,
     /// Mean electricity cost rate at the run's average draw, per hour.
     pub mean_cost_per_hour: f64,
+    /// Observability bundle: decision trace (per the `EPA_JSRM_TRACE`
+    /// enable mask), metrics registry, and wall-clock profile.
+    pub obs: epa_obs::ObsBundle,
 }
 
 /// Runs a site model to completion.
@@ -63,6 +66,7 @@ pub fn run_site(site: &SiteConfig) -> SiteReport {
 
     let facility = Facility::new(site.facility.clone()).expect("validated facility");
     let mut config = EngineConfig::new(site.horizon);
+    config.trace = epa_obs::TraceConfig::from_env();
     config.power_budget_watts = site.power_budget_watts;
     config.shutdown = site.shutdown.clone();
     config.emergency = site.emergency.clone();
@@ -102,7 +106,7 @@ pub fn run_site(site: &SiteConfig) -> SiteReport {
         // RIKEN's production prediction is temperature-scaled (Table I).
         sim.set_predictor(Box::new(TemperatureScaledPredictor::new(TagMeanPredictor)));
     }
-    let outcome = sim.run();
+    let (outcome, obs) = sim.run_traced();
 
     let interactions = synthesize_interactions(site, &outcome);
     let mark_distribution = mark_distribution(site, &outcome);
@@ -118,6 +122,7 @@ pub fn run_site(site: &SiteConfig) -> SiteReport {
         capabilities: site.capabilities.clone(),
         mean_pue,
         mean_cost_per_hour,
+        obs,
     }
 }
 

@@ -46,6 +46,10 @@ pub use epa_rm as rm;
 /// actuator faults, retry/backoff policies.
 pub use epa_faults as faults;
 
+/// Observability: decision tracing, metrics registry, replay verifier
+/// ([`epa_obs`]).
+pub use epa_obs as obs;
+
 /// The nine surveyed site models.
 pub use epa_sites as sites;
 

@@ -158,6 +158,18 @@ fn assert_invariants(out: &SimOutcome, n: u64, seed: u64) {
         out.utilization >= 0.0 && out.utilization <= 1.0 + 1e-9,
         "seed {seed}"
     );
+
+    // Robustness counters come from the obs metrics registry — the one
+    // source of truth — and are folded into both the typed outcome fields
+    // and the legacy counter map; the two views must agree.
+    let c = |k: &str| out.counters.get(k).copied().unwrap_or(0);
+    assert_eq!(out.requeues, c("jobs/requeued"), "seed {seed}");
+    assert_eq!(
+        out.telemetry_fallbacks,
+        c("faults/telemetry_fallbacks"),
+        "seed {seed}"
+    );
+    assert_eq!(out.fenced_nodes, c("faults/fenced_nodes"), "seed {seed}");
 }
 
 #[test]
@@ -212,17 +224,24 @@ fn sensor_blackout_triggers_fallback_without_budget_breach() {
     });
     let mut policy = EasyBackfill;
     let out = ClusterSim::new(chaos_system(), jobs, &mut policy, config).run();
-    let fallbacks = out
-        .counters
-        .get("faults/telemetry_fallbacks")
-        .copied()
-        .unwrap_or(0);
     let stale_ticks = out
         .counters
         .get("faults/telemetry_stale_ticks")
         .copied()
         .unwrap_or(0);
-    assert!(fallbacks > 0, "staleness must trigger the fallback");
+    // The typed field is fed by the obs registry; the counter map carries
+    // the same value (one source of truth, two views).
+    assert!(
+        out.telemetry_fallbacks > 0,
+        "staleness must trigger the fallback"
+    );
+    assert_eq!(
+        out.telemetry_fallbacks,
+        out.counters
+            .get("faults/telemetry_fallbacks")
+            .copied()
+            .unwrap_or(0)
+    );
     assert!(stale_ticks > 0, "blackout keeps telemetry stale");
     assert!(
         out.counters
@@ -290,13 +309,17 @@ fn dead_actuator_fences_nodes_without_losing_jobs() {
         .get("sched/start_actuation_failed")
         .copied()
         .unwrap_or(0);
-    let fenced = out
-        .counters
-        .get("faults/fenced_nodes")
-        .copied()
-        .unwrap_or(0);
+    let fenced = out.fenced_nodes;
     assert!(failed_starts > 0, "cap writes must fail");
     assert!(fenced > 0, "repeated failures must fence nodes");
+    assert_eq!(
+        fenced,
+        out.counters
+            .get("faults/fenced_nodes")
+            .copied()
+            .unwrap_or(0),
+        "typed field and counter map must agree"
+    );
     assert!(
         out.counters
             .get("faults/actuator_attempts")
