@@ -1,0 +1,202 @@
+//! Cabinet-aligned shard topology for partitioned simulation.
+//!
+//! A [`ShardTopology`] splits the dense node-id space `0..total` into
+//! contiguous shards along cabinet boundaries: a cabinet (the correlated
+//! failure domain, the PDU unit, the unit the survey's Q2(c) inventories)
+//! is never split across shards, so every domain-level action lands in
+//! exactly one shard. Shard sizes differ by at most one cabinet.
+//!
+//! The partition is a pure function of `(total, nodes_per_cabinet,
+//! shards)` — shard membership never depends on run state, which is what
+//! lets a sharded engine produce byte-identical results at any shard
+//! count: sharding moves *where* work is staged, never *what* happens.
+
+use crate::node::NodeId;
+
+/// A contiguous, cabinet-aligned partition of node ids `0..total`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardTopology {
+    total: u32,
+    /// Shard boundaries: shard `i` owns ids `bounds[i]..bounds[i + 1]`.
+    /// `bounds[0] == 0` and `*bounds.last() == total`.
+    bounds: Vec<u32>,
+}
+
+impl ShardTopology {
+    /// Builds a topology of (at most) `shards` shards over `total` nodes
+    /// grouped into cabinets of `nodes_per_cabinet`.
+    ///
+    /// The shard count is clamped to the cabinet count (a shard owns at
+    /// least one whole cabinet) and to at least 1. Cabinets are dealt to
+    /// shards as evenly as possible, earlier shards taking the remainder.
+    #[must_use]
+    pub fn cabinet_aligned(total: u32, nodes_per_cabinet: u32, shards: u32) -> Self {
+        let npc = nodes_per_cabinet.max(1);
+        let cabinets = total.div_ceil(npc).max(1);
+        let shards = shards.clamp(1, cabinets);
+        let per = cabinets / shards;
+        let extra = cabinets % shards;
+        let mut bounds = Vec::with_capacity(shards as usize + 1);
+        let mut cab = 0u32;
+        bounds.push(0);
+        for s in 0..shards {
+            cab += per + u32::from(s < extra);
+            bounds.push((cab * npc).min(total));
+        }
+        ShardTopology { total, bounds }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shards(&self) -> u32 {
+        (self.bounds.len() - 1) as u32
+    }
+
+    /// Total nodes covered.
+    #[must_use]
+    pub fn total(&self) -> u32 {
+        self.total
+    }
+
+    /// The shard owning `node`.
+    ///
+    /// # Panics
+    /// Panics if `node` is outside `0..total`.
+    #[must_use]
+    pub fn shard_of(&self, node: NodeId) -> u32 {
+        assert!(node.0 < self.total, "node {} outside topology", node.0);
+        // partition_point returns the count of bounds <= node.0 among
+        // bounds[1..]; that count is exactly the owning shard index.
+        self.bounds[1..].partition_point(|&b| b <= node.0) as u32
+    }
+
+    /// Half-open id range `lo..hi` owned by `shard`.
+    #[must_use]
+    pub fn range(&self, shard: u32) -> (u32, u32) {
+        let s = shard as usize;
+        (self.bounds[s], self.bounds[s + 1])
+    }
+
+    /// Checks the structural shard invariant: the ranges cover `0..total`
+    /// exactly once — no node unowned, no node owned by two shards.
+    /// Pure (no engine state); the engine calls it behind `debug_assert!`.
+    #[must_use]
+    pub fn is_partition(&self) -> bool {
+        self.bounds.first() == Some(&0)
+            && self.bounds.last() == Some(&self.total)
+            && self.bounds.windows(2).all(|w| w[0] < w[1])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn even_split_over_cabinets() {
+        // 4 cabinets x 8 nodes, 4 shards: one cabinet each.
+        let t = ShardTopology::cabinet_aligned(32, 8, 4);
+        assert_eq!(t.shards(), 4);
+        assert!(t.is_partition());
+        assert_eq!(t.range(0), (0, 8));
+        assert_eq!(t.range(3), (24, 32));
+        assert_eq!(t.shard_of(NodeId(0)), 0);
+        assert_eq!(t.shard_of(NodeId(7)), 0);
+        assert_eq!(t.shard_of(NodeId(8)), 1);
+        assert_eq!(t.shard_of(NodeId(31)), 3);
+    }
+
+    #[test]
+    fn uneven_cabinet_counts_stay_aligned() {
+        // 5 cabinets x 4 nodes, 2 shards: 3 + 2 cabinets.
+        let t = ShardTopology::cabinet_aligned(20, 4, 2);
+        assert!(t.is_partition());
+        assert_eq!(t.range(0), (0, 12));
+        assert_eq!(t.range(1), (12, 20));
+        // No shard boundary cuts a cabinet.
+        for s in 0..t.shards() {
+            let (lo, hi) = t.range(s);
+            assert_eq!(lo % 4, 0);
+            assert!(hi % 4 == 0 || hi == 20);
+        }
+    }
+
+    #[test]
+    fn shard_count_clamps_to_cabinets() {
+        let t = ShardTopology::cabinet_aligned(32, 8, 16);
+        assert_eq!(t.shards(), 4, "cannot have more shards than cabinets");
+        assert!(t.is_partition());
+        let one = ShardTopology::cabinet_aligned(32, 8, 0);
+        assert_eq!(one.shards(), 1);
+        assert_eq!(one.range(0), (0, 32));
+    }
+
+    #[test]
+    fn ragged_last_cabinet_is_covered() {
+        // 3 cabinets of 16 but only 40 nodes: last cabinet is half-full.
+        let t = ShardTopology::cabinet_aligned(40, 16, 3);
+        assert!(t.is_partition());
+        assert_eq!(t.shard_of(NodeId(39)), t.shards() - 1);
+        let covered: u32 = (0..t.shards())
+            .map(|s| {
+                let (lo, hi) = t.range(s);
+                hi - lo
+            })
+            .sum();
+        assert_eq!(covered, 40);
+    }
+
+    #[test]
+    fn every_node_owned_exactly_once() {
+        for shards in [1u32, 2, 3, 4, 7, 16] {
+            let t = ShardTopology::cabinet_aligned(112, 16, shards);
+            assert!(t.is_partition(), "shards={shards}");
+            for n in 0..112u32 {
+                let s = t.shard_of(NodeId(n));
+                let (lo, hi) = t.range(s);
+                assert!(lo <= n && n < hi, "node {n} misowned by shard {s}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside topology")]
+    fn out_of_range_node_panics() {
+        let t = ShardTopology::cabinet_aligned(8, 8, 1);
+        let _ = t.shard_of(NodeId(8));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        /// For arbitrary machine shapes and shard requests the result is
+        /// always a cabinet-aligned exact partition.
+        #[test]
+        fn always_a_partition(
+            cabinets in 1u32..64,
+            npc in 1u32..32,
+            shards in 0u32..96,
+            ragged in 0u32..32,
+        ) {
+            let total = (cabinets * npc).saturating_sub(ragged.min(npc - 1)).max(1);
+            let t = ShardTopology::cabinet_aligned(total, npc, shards);
+            prop_assert!(t.is_partition());
+            prop_assert!(t.shards() >= 1);
+            for s in 0..t.shards() {
+                let (lo, hi) = t.range(s);
+                prop_assert!(lo % npc == 0, "shard {s} starts mid-cabinet");
+                prop_assert!(hi % npc == 0 || hi == total);
+            }
+            // Spot-check ownership agreement at the boundaries.
+            for s in 0..t.shards() {
+                let (lo, hi) = t.range(s);
+                prop_assert_eq!(t.shard_of(NodeId(lo)), s);
+                prop_assert_eq!(t.shard_of(NodeId(hi - 1)), s);
+            }
+        }
+    }
+}

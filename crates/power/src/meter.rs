@@ -30,20 +30,21 @@ use epa_simcore::time::SimTime;
 /// measurable cost (it amortizes to one add per update).
 const RESYNC_INTERVAL: u32 = 4096;
 
-/// Per-node and system-wide energy meter.
-///
-/// Node state lives in dense `Vec`s indexed by [`NodeId`] — node ids in a
-/// cluster are contiguous, so every operation on the metering hot path is
-/// direct indexing.
+/// Sentinel for "this node is not in any allocation group".
+const NO_GROUP: u32 = u32::MAX;
+
 /// Per-node metering state: current draw, when it started, and energy
-/// accumulated before that moment. One struct per node keeps all three
-/// fields on the same cache line — updates and queries touch exactly one
-/// line per node.
+/// accumulated before that moment. One struct per node keeps all fields
+/// on the same cache line — updates and queries touch exactly one line
+/// per node. While `group != NO_GROUP` the node's live draw and recent
+/// energy are carried by the group instead: `watts` holds the draw at
+/// group-open time and `acc`/`since` are frozen at that instant.
 #[derive(Debug, Clone, Copy)]
 struct NodeAccum {
     watts: f64,
     since: SimTime,
     acc: f64,
+    group: u32,
 }
 
 impl Default for NodeAccum {
@@ -52,14 +53,48 @@ impl Default for NodeAccum {
             watts: 0.0,
             since: SimTime::ZERO,
             acc: 0.0,
+            group: NO_GROUP,
         }
     }
 }
 
+/// Handle to an open allocation group (a running job's node set drawing
+/// one uniform wattage). Returned by [`EnergyMeter::open_group`] and
+/// consumed by [`EnergyMeter::close_group`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GroupId(u32);
+
+/// Shared metering state for one allocation drawing a uniform per-node
+/// wattage: a job's whole node set steps power together at every phase
+/// change, so one `(watts, since, acc)` triple serves the entire group
+/// and a phase change is O(1) instead of O(allocation size).
+#[derive(Debug, Clone, Copy)]
+struct AllocGroup {
+    /// Current uniform per-node draw.
+    watts: f64,
+    /// When that draw started.
+    since: SimTime,
+    /// Energy accrued *per member node* since the group opened, through
+    /// `since` (identical for every member — the draw is uniform).
+    acc_per_node: f64,
+    /// Member count (for the system-draw delta and resync).
+    members: u32,
+    in_use: bool,
+}
+
+/// Per-node and system-wide energy meter.
+///
+/// Node state lives in dense `Vec`s indexed by [`NodeId`] — node ids in a
+/// cluster are contiguous, so every operation on the metering hot path is
+/// direct indexing.
 #[derive(Debug, Clone, Default)]
 pub struct EnergyMeter {
     /// Per-node accumulators indexed by `NodeId.0`, grown on first write.
     nodes: Vec<NodeAccum>,
+    /// Allocation groups, indexed by `GroupId`; closed slots are recycled
+    /// through `free_groups` so long runs do not grow this vector.
+    groups: Vec<AllocGroup>,
+    free_groups: Vec<u32>,
     system_watts: f64,
     system_trace: TimeSeries,
     updates_since_resync: u32,
@@ -85,6 +120,13 @@ impl EnergyMeter {
         self.ensure(node);
         let slot = &mut self.nodes[node.0 as usize];
         debug_assert!(
+            slot.group == NO_GROUP,
+            "grouped node updated individually; close its group first \
+             (node {}, t {t}, group {:?})",
+            node.0,
+            slot.group
+        );
+        debug_assert!(
             t >= slot.since,
             "meter updates must be time-monotone per node"
         );
@@ -102,7 +144,20 @@ impl EnergyMeter {
         self.updates_since_resync += batch;
         if self.updates_since_resync >= RESYNC_INTERVAL {
             self.updates_since_resync = 0;
-            self.system_watts = self.nodes.iter().map(|n| n.watts).sum();
+            // Grouped nodes carry their live draw in the group record;
+            // their slot wattage is stale and must not be double-counted.
+            self.system_watts = self
+                .nodes
+                .iter()
+                .filter(|n| n.group == NO_GROUP)
+                .map(|n| n.watts)
+                .sum::<f64>()
+                + self
+                    .groups
+                    .iter()
+                    .filter(|g| g.in_use)
+                    .map(|g| g.watts * f64::from(g.members))
+                    .sum::<f64>();
         }
         // Guard tiny negative residue from float cancellation.
         if self.system_watts < 0.0 && self.system_watts > -1e-6 {
@@ -139,10 +194,116 @@ impl EnergyMeter {
         self.system_trace.push(t, self.system_watts);
     }
 
-    /// Current draw of one node in watts (0 if never recorded).
+    /// Opens an allocation group: every node in `nodes` draws `watts`
+    /// from `t` onward, and subsequent uniform power steps over the same
+    /// set cost O(1) via [`EnergyMeter::set_group_watts`] instead of a
+    /// walk over the allocation. Returns the group handle and the *mark*
+    /// — the summed lifetime energy of the nodes through `t`, in node
+    /// order, exactly what `set_alloc_watts` + `alloc_energy_to` at the
+    /// same instant would produce.
+    ///
+    /// One walk over the allocation (the fold of pre-group history into
+    /// each node's accumulator) is the only O(n) work a group ever does
+    /// besides its close.
+    pub fn open_group(&mut self, nodes: &[NodeId], t: SimTime, watts: f64) -> (GroupId, f64) {
+        assert!(!nodes.is_empty(), "cannot open an empty group");
+        let gid = self.free_groups.pop().unwrap_or_else(|| {
+            self.groups.push(AllocGroup {
+                watts: 0.0,
+                since: SimTime::ZERO,
+                acc_per_node: 0.0,
+                members: 0,
+                in_use: false,
+            });
+            (self.groups.len() - 1) as u32
+        });
+        let mut delta = 0.0;
+        let mut mark = 0.0;
+        for &n in nodes {
+            // Identical per-node arithmetic (and order) to the ungrouped
+            // set_alloc_watts path, so opening a group is bit-exact with
+            // the batch update it replaces.
+            delta += self.apply_node(n, t, watts);
+            let slot = &mut self.nodes[n.0 as usize];
+            slot.group = gid;
+            mark += slot.acc;
+        }
+        self.groups[gid as usize] = AllocGroup {
+            watts,
+            since: t,
+            acc_per_node: 0.0,
+            members: nodes.len() as u32,
+            in_use: true,
+        };
+        self.commit_delta(delta, nodes.len() as u32);
+        self.system_trace.push(t, self.system_watts);
+        (GroupId(gid), mark)
+    }
+
+    /// Steps an open group's uniform per-node draw to `watts` at `t`.
+    /// O(1) — this is what makes per-phase power fluctuation affordable
+    /// on allocations spanning thousands of nodes.
+    pub fn set_group_watts(&mut self, gid: GroupId, t: SimTime, watts: f64) {
+        debug_assert!(watts >= 0.0, "negative power draw");
+        let g = &mut self.groups[gid.0 as usize];
+        debug_assert!(g.in_use, "group already closed");
+        debug_assert!(t >= g.since, "meter updates must be time-monotone");
+        g.acc_per_node += g.watts * t.saturating_since(g.since).as_secs();
+        let delta = (watts - g.watts) * f64::from(g.members);
+        g.since = t;
+        g.watts = watts;
+        self.commit_delta(delta, 1);
+        self.system_trace.push(t, self.system_watts);
+    }
+
+    /// Closes a group at `t`: folds the group energy back into each
+    /// member's accumulator, sets every member's individual draw to
+    /// `next_watts` (the post-job draw, typically idle), and returns the
+    /// total energy the group consumed over its lifetime. `nodes` must be
+    /// the exact member set the group was opened with.
+    pub fn close_group(
+        &mut self,
+        gid: GroupId,
+        nodes: &[NodeId],
+        t: SimTime,
+        next_watts: f64,
+    ) -> f64 {
+        let g = &mut self.groups[gid.0 as usize];
+        debug_assert!(g.in_use, "group already closed");
+        debug_assert_eq!(g.members as usize, nodes.len(), "member set mismatch");
+        debug_assert!(t >= g.since, "meter updates must be time-monotone");
+        g.acc_per_node += g.watts * t.saturating_since(g.since).as_secs();
+        let acc_per_node = g.acc_per_node;
+        let group_watts = g.watts;
+        let energy = acc_per_node * f64::from(g.members);
+        g.in_use = false;
+        let mut delta = 0.0;
+        for &n in nodes {
+            let slot = &mut self.nodes[n.0 as usize];
+            debug_assert_eq!(slot.group, gid.0, "node not a member of this group");
+            slot.acc += acc_per_node;
+            slot.since = t;
+            slot.watts = next_watts;
+            slot.group = NO_GROUP;
+            delta += next_watts - group_watts;
+        }
+        self.free_groups.push(gid.0);
+        self.commit_delta(delta, nodes.len() as u32);
+        self.system_trace.push(t, self.system_watts);
+        energy
+    }
+
+    /// Current draw of one node in watts (0 if never recorded). Grouped
+    /// nodes report their group's live draw.
     #[must_use]
     pub fn node_watts(&self, node: NodeId) -> f64 {
-        self.nodes.get(node.0 as usize).map_or(0.0, |n| n.watts)
+        self.nodes.get(node.0 as usize).map_or(0.0, |n| {
+            if n.group == NO_GROUP {
+                n.watts
+            } else {
+                self.groups[n.group as usize].watts
+            }
+        })
     }
 
     /// Current system draw in watts.
@@ -159,11 +320,19 @@ impl EnergyMeter {
         let Some(slot) = self.nodes.get(node.0 as usize) else {
             return 0.0;
         };
-        debug_assert!(
-            t >= slot.since,
-            "meter energy queries must be time-monotone"
-        );
-        slot.acc + slot.watts * t.saturating_since(slot.since).as_secs()
+        if slot.group == NO_GROUP {
+            debug_assert!(
+                t >= slot.since,
+                "meter energy queries must be time-monotone"
+            );
+            slot.acc + slot.watts * t.saturating_since(slot.since).as_secs()
+        } else {
+            // Grouped: the slot accumulator is frozen at group open; the
+            // energy since then lives in the shared group record.
+            let g = &self.groups[slot.group as usize];
+            debug_assert!(t >= g.since, "meter energy queries must be time-monotone");
+            slot.acc + g.acc_per_node + g.watts * t.saturating_since(g.since).as_secs()
+        }
     }
 
     /// Total energy of `nodes` from time zero through `t`, joules —
@@ -304,6 +473,103 @@ mod tests {
         m.set_alloc_watts(&[], t(0.0), 100.0);
         assert_eq!(m.system_watts(), 0.0);
         assert!(m.system_trace().is_empty());
+    }
+
+    #[test]
+    fn group_lifecycle_matches_ungrouped_sequence() {
+        let nodes = [n(0), n(1), n(2)];
+        let mut grouped = EnergyMeter::new();
+        let mut plain = EnergyMeter::new();
+        for m in [&mut grouped, &mut plain] {
+            m.set_alloc_watts(&nodes, t(0.0), 50.0); // idle history
+        }
+
+        // Grouped job: open at 100 W, phase to 300 W, phase to 80 W, close.
+        let (gid, mark_g) = grouped.open_group(&nodes, t(10.0), 100.0);
+        grouped.set_group_watts(gid, t(20.0), 300.0);
+        grouped.set_group_watts(gid, t(30.0), 80.0);
+        let energy_g = grouped.close_group(gid, &nodes, t(40.0), 50.0);
+
+        // Same schedule through the ungrouped API.
+        plain.set_alloc_watts(&nodes, t(10.0), 100.0);
+        let mark_p = plain.alloc_energy_to(&nodes, t(10.0));
+        plain.set_alloc_watts(&nodes, t(20.0), 300.0);
+        plain.set_alloc_watts(&nodes, t(30.0), 80.0);
+        let energy_p = plain.alloc_energy_to(&nodes, t(40.0)) - mark_p;
+        plain.set_alloc_watts(&nodes, t(40.0), 50.0);
+
+        assert_eq!(mark_g, mark_p, "open mark must be bit-exact");
+        // Per-node: (100*10 + 300*10 + 80*10) * 3 nodes = 14400.
+        assert!((energy_g - 14400.0).abs() < 1e-9);
+        assert!((energy_g - energy_p).abs() < 1e-9);
+        assert!((grouped.system_watts() - plain.system_watts()).abs() < 1e-9);
+        for &nd in &nodes {
+            let (eg, ep) = (
+                grouped.node_energy_to(nd, t(50.0)),
+                plain.node_energy_to(nd, t(50.0)),
+            );
+            assert!((eg - ep).abs() < 1e-9, "node {}: {eg} vs {ep}", nd.0);
+        }
+        let (sg, sp) = (
+            grouped.system_energy_joules(t(0.0), t(50.0)),
+            plain.system_energy_joules(t(0.0), t(50.0)),
+        );
+        assert!((sg - sp).abs() < 1e-9, "{sg} vs {sp}");
+    }
+
+    #[test]
+    fn grouped_nodes_answer_live_queries() {
+        let nodes = [n(0), n(1)];
+        let mut m = EnergyMeter::new();
+        m.set_alloc_watts(&nodes, t(0.0), 10.0);
+        let (gid, _) = m.open_group(&nodes, t(5.0), 200.0);
+        assert_eq!(m.node_watts(n(0)), 200.0);
+        // 10 W for 5 s of history + 200 W for 5 s in-group.
+        assert!((m.node_energy_to(n(0), t(10.0)) - 1050.0).abs() < 1e-9);
+        m.set_group_watts(gid, t(10.0), 400.0);
+        assert_eq!(m.node_watts(n(1)), 400.0);
+        assert!((m.node_energy_to(n(1), t(12.0)) - (50.0 + 1000.0 + 800.0)).abs() < 1e-9);
+        assert!((m.system_watts() - 800.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn group_slots_are_recycled() {
+        let mut m = EnergyMeter::new();
+        let (g1, _) = m.open_group(&[n(0)], t(0.0), 100.0);
+        m.close_group(g1, &[n(0)], t(1.0), 0.0);
+        let (g2, _) = m.open_group(&[n(1), n(2)], t(2.0), 50.0);
+        assert_eq!(g1, g2, "closed slot must be reused");
+        assert_eq!(m.groups.len(), 1);
+        let e = m.close_group(g2, &[n(1), n(2)], t(4.0), 0.0);
+        assert!((e - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resync_counts_open_groups_once() {
+        let mut m = EnergyMeter::new();
+        let nodes = [n(0), n(1), n(2), n(3)];
+        let (gid, _) = m.open_group(&nodes, t(0.0), 100.0);
+        m.set_node_watts(n(4), t(0.0), 7.0);
+        // Force many resyncs while the group is open; the grouped slots'
+        // stale wattage must not leak into the system sum.
+        for i in 0..2 * RESYNC_INTERVAL {
+            m.set_node_watts(n(4), t(f64::from(i) + 1.0), 7.0);
+        }
+        assert!((m.system_watts() - 407.0).abs() < 1e-9);
+        m.set_group_watts(gid, t(9000.0), 25.0);
+        for i in 0..RESYNC_INTERVAL {
+            m.set_node_watts(n(4), t(9001.0 + f64::from(i)), 7.0);
+        }
+        assert!((m.system_watts() - 107.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "grouped node updated individually")]
+    #[cfg(debug_assertions)]
+    fn individual_update_of_grouped_node_panics() {
+        let mut m = EnergyMeter::new();
+        let (_gid, _) = m.open_group(&[n(0)], t(0.0), 100.0);
+        m.set_node_watts(n(0), t(1.0), 50.0);
     }
 }
 
@@ -446,6 +712,58 @@ mod proptests {
                     sequential.node_energy_to(nd, end),
                 );
                 prop_assert!((nb - ns).abs() < 1e-9 * (1.0 + ns.abs()));
+            }
+        }
+
+        /// A group open / phase-steps / close cycle is observationally
+        /// identical to the same power schedule issued through
+        /// `set_alloc_watts`: same marks, same job energy, same per-node
+        /// energies and system draw afterwards.
+        #[test]
+        fn group_cycle_matches_alloc_updates(
+            members in 1u32..6,
+            idle in 0.0f64..80.0,
+            phases in proptest::collection::vec(0.0f64..500.0, 1..10),
+            dt in 0.5f64..20.0,
+        ) {
+            let nodes: Vec<NodeId> = (0..members).map(NodeId).collect();
+            let mut grouped = EnergyMeter::new();
+            let mut plain = EnergyMeter::new();
+            grouped.set_alloc_watts(&nodes, SimTime::ZERO, idle);
+            plain.set_alloc_watts(&nodes, SimTime::ZERO, idle);
+
+            let start = SimTime::from_secs(dt);
+            let (gid, mark_g) = grouped.open_group(&nodes, start, phases[0]);
+            plain.set_alloc_watts(&nodes, start, phases[0]);
+            let mark_p = plain.alloc_energy_to(&nodes, start);
+            prop_assert_eq!(mark_g, mark_p);
+
+            let mut clock = dt;
+            for w in &phases[1..] {
+                clock += dt;
+                let t = SimTime::from_secs(clock);
+                grouped.set_group_watts(gid, t, *w);
+                plain.set_alloc_watts(&nodes, t, *w);
+            }
+            clock += dt;
+            let end = SimTime::from_secs(clock);
+            let energy_g = grouped.close_group(gid, &nodes, end, idle);
+            let energy_p = plain.alloc_energy_to(&nodes, end) - mark_p;
+            plain.set_alloc_watts(&nodes, end, idle);
+
+            let tol = 1e-9 * (1.0 + energy_p.abs());
+            prop_assert!((energy_g - energy_p).abs() < tol,
+                "job energy {} vs {}", energy_g, energy_p);
+            prop_assert!(
+                (grouped.system_watts() - plain.system_watts()).abs() < 1e-9);
+            let probe = SimTime::from_secs(clock + 3.0);
+            for &nd in &nodes {
+                let (eg, ep) = (
+                    grouped.node_energy_to(nd, probe),
+                    plain.node_energy_to(nd, probe),
+                );
+                prop_assert!((eg - ep).abs() < 1e-9 * (1.0 + ep.abs()),
+                    "node {}: {} vs {}", nd.0, eg, ep);
             }
         }
     }

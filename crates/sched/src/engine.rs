@@ -22,11 +22,13 @@ use crate::emergency::EmergencyPolicy;
 use crate::error::SchedError;
 use crate::limiting::JobLimitGate;
 use crate::queue::JobQueue;
+use crate::shards::{EventKey, LocalEv, ShardSet, ShardWindow};
 use crate::shutdown::ShutdownPolicy;
 use crate::view::{Decision, Policy, RunningSummary, SchedView};
 use epa_cluster::alloc::{AllocStrategy, Allocator};
 use epa_cluster::layout::FacilityLayout;
 use epa_cluster::node::NodeId;
+use epa_cluster::shard::ShardTopology;
 use epa_cluster::system::System;
 use epa_faults::{FaultConfig, FaultInjector, FaultPlan, SensorFaultConfig, SensorSample};
 use epa_obs::{
@@ -34,7 +36,7 @@ use epa_obs::{
 };
 use epa_power::budget::{GrantId, PowerBudget};
 use epa_power::facility::Facility;
-use epa_power::meter::EnergyMeter;
+use epa_power::meter::{EnergyMeter, GroupId};
 use epa_power::node_power::{NodePowerModel, NodePowerState};
 use epa_predict::history::HistoryStore;
 use epa_predict::predictors::{PowerPredictor, TagMeanPredictor};
@@ -100,6 +102,24 @@ pub struct EngineConfig {
     /// masked off every trace site costs one branch on a bitset, and the
     /// simulated outcome is byte-identical either way.
     pub trace: TraceConfig,
+    /// Shard count for the partitioned event engine. Shards are
+    /// cabinet-aligned and the count is clamped to the cabinet count;
+    /// the simulated outcome is byte-identical at every shard count.
+    /// `None` reads `EPA_JSRM_SHARDS`, defaulting to 1.
+    pub shards: Option<u32>,
+}
+
+/// `EPA_JSRM_SHARDS` (read once per process): requested shard count, or
+/// `None` when unset/invalid.
+fn env_shards() -> Option<u32> {
+    use std::sync::OnceLock;
+    static SHARDS: OnceLock<Option<u32>> = OnceLock::new();
+    *SHARDS.get_or_init(|| {
+        std::env::var("EPA_JSRM_SHARDS")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n >= 1)
+    })
 }
 
 impl EngineConfig {
@@ -125,6 +145,7 @@ impl EngineConfig {
             seed: 0xe9a,
             faults: None,
             trace: TraceConfig::default(),
+            shards: None,
         }
     }
 
@@ -160,25 +181,66 @@ const QUEUE_DEPTH_BUCKETS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128
 const ACTUATION_DELAY_BUCKETS: [f64; 8] = [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0];
 const STALENESS_AGE_BUCKETS: [f64; 6] = [60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0];
 
+/// Global (barrier) events. Shard-local events — phase changes and
+/// shutdown completions, whose handlers touch only shard-owned state —
+/// live in [`ShardSet`] queues instead; see [`crate::shards`].
 #[derive(Debug)]
 enum Ev {
     Submit(usize),
     /// Job completion for a specific execution attempt: a kill + requeue
     /// starts a new attempt, and the stale event must not complete it.
     Finish(JobId, u32),
-    /// The job enters its `usize`-th phase (power draw changes) — the
-    /// source of the intra-job power fluctuations the survey's
-    /// introduction motivates.
-    PhaseChange(JobId, u32, usize),
     PowerTick,
     BootDone(NodeId),
-    ShutdownDone(NodeId),
     BudgetResize(f64),
     NodeFail,
     RepairDone(NodeId),
     /// A correlated failure-domain event: index into the pre-generated
     /// [`FaultPlan`]'s `domain_events`.
     DomainFail(u32),
+}
+
+/// Resolve shard windows in parallel only when the batch is big enough
+/// to amortize the fork/join, and a pool actually exists. Both branches
+/// run identical math on identical inputs and merge index-ordered, so
+/// the threshold affects wall clock only — never the outcome.
+const PAR_RESOLVE_MIN: usize = 64;
+
+/// The resolved, ready-to-apply effect of one shard-local event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum LocalEffect {
+    /// Retarget a running job's allocation group to its next phase draw.
+    SetGroupWatts { gid: GroupId, watts: f64 },
+    /// An idle node's shutdown drain completed: power it off.
+    NodeOff(NodeId),
+    /// Stale attempt (job killed/requeued since scheduling): no-op.
+    Skip,
+}
+
+/// Resolves one shard-local event against barrier state. Read-only —
+/// callable from any shard's window concurrently — and exactly the
+/// guard logic of the former single-queue dispatch arms.
+fn resolve_local(
+    attempts: &BTreeMap<JobId, u32>,
+    running: &BTreeMap<JobId, RunningJob>,
+    ev: LocalEv,
+) -> LocalEffect {
+    match ev {
+        LocalEv::PhaseChange(id, attempt, phase) => {
+            if attempts.get(&id).copied() == Some(attempt) {
+                if let Some(r) = running.get(&id) {
+                    if let Some(&watts) = r.phase_watts.get(phase) {
+                        return LocalEffect::SetGroupWatts {
+                            gid: r.meter_group,
+                            watts,
+                        };
+                    }
+                }
+            }
+            LocalEffect::Skip
+        }
+        LocalEv::ShutdownDone(n) => LocalEffect::NodeOff(n),
+    }
 }
 
 #[derive(Debug, Clone)]
@@ -197,10 +259,10 @@ struct RunningJob {
     true_run_secs: f64,
     /// Per-node draw in each phase, watts.
     phase_watts: Vec<f64>,
-    /// Meter reading `alloc_energy_to(nodes, start)` at job start. Job
-    /// energy at completion is the O(alloc) difference against the same
-    /// query at the end time — no historical trace walk.
-    energy_mark: f64,
+    /// The meter's allocation group for this attempt: opened at start,
+    /// stepped O(1) on each phase change, closed at completion (which
+    /// yields the job's energy directly — no per-node walk per phase).
+    meter_group: GroupId,
 }
 
 /// Completed-job record for metrics.
@@ -388,6 +450,13 @@ pub struct ClusterSim<'p> {
     /// registry as the single source of truth and are folded into the
     /// outcome's counter map at finalize.
     obs: Obs,
+    /// Per-cabinet shard queues for shard-local events (phase changes,
+    /// shutdown completions), drained in conservative windows between
+    /// global events. See [`crate::shards`].
+    shards: ShardSet,
+    /// Shard-local events applied so far; added to the global count so
+    /// `sim/events_processed` matches the single-queue engine exactly.
+    local_events: u64,
 }
 
 impl<'p> ClusterSim<'p> {
@@ -428,7 +497,15 @@ impl<'p> ClusterSim<'p> {
         for &(t, w) in &config.budget_schedule {
             sim.schedule_at(t, Ev::BudgetResize(w));
         }
-        let mut rng = epa_simcore::rng::SimRng::new(config.seed).stream("engine-failures");
+        let root_rng = epa_simcore::rng::SimRng::new(config.seed);
+        // Cabinet-aligned shards: the requested count (config, then the
+        // EPA_JSRM_SHARDS env, default 1) clamps to the cabinet count.
+        let requested = config.shards.or_else(env_shards).unwrap_or(1);
+        let shards = ShardSet::new(
+            ShardTopology::cabinet_aligned(total, system.spec().nodes_per_cabinet, requested),
+            &root_rng,
+        );
+        let mut rng = root_rng.stream("engine-failures");
         if let Some(mtbf) = config.node_mtbf {
             let first = rng.exponential(1.0 / mtbf.as_secs().max(1e-9));
             sim.schedule_at(SimTime::from_secs(first), Ev::NodeFail);
@@ -513,6 +590,8 @@ impl<'p> ClusterSim<'p> {
             repair_downtime_secs: 0.0,
             repairs_completed: 0,
             obs,
+            shards,
+            local_events: 0,
         })
     }
 
@@ -569,7 +648,36 @@ impl<'p> ClusterSim<'p> {
     /// [`ClusterSim::run`] returns for the same inputs regardless of the
     /// trace configuration.
     pub fn run_traced(mut self) -> (SimOutcome, ObsBundle) {
-        while let Some((t, ev)) = self.sim.next_event() {
+        loop {
+            // Conservative window: every shard-local event whose (t, seq)
+            // key lies strictly before the next global event's key can be
+            // applied without observing it. The ever-pending PowerTick
+            // bounds the window at the telemetry interval.
+            let bound = self.sim.peek_key();
+            if self.drain_local_window(bound) {
+                // A shard reached a past-horizon event; by key order the
+                // pending global head (if any) is past the horizon too.
+                let leftover = self.sim.next_event();
+                debug_assert!(
+                    leftover.is_none(),
+                    "a pre-horizon global event cannot follow a past-horizon local one"
+                );
+                break;
+            }
+            let Some((t, ev)) = self.sim.next_event() else {
+                // Global queue exhausted or past the horizon. The window
+                // drain already consumed every key before the global
+                // head, so whatever remains in the shard queues is past
+                // the horizon as well.
+                debug_assert!(
+                    self.shards
+                        .min_key()
+                        .is_none_or(|(lt, _)| lt > self.config.horizon),
+                    "pre-horizon local events must drain before the run ends"
+                );
+                self.shards.clear();
+                break;
+            };
             let t_dispatch = self.obs.profiler.start();
             match ev {
                 Ev::Submit(i) => {
@@ -596,16 +704,6 @@ impl<'p> ClusterSim<'p> {
                     self.finish_job(id, attempt, t);
                     self.try_schedule();
                 }
-                Ev::PhaseChange(id, attempt, phase) => {
-                    if self.attempts.get(&id).copied() == Some(attempt) {
-                        if let Some(r) = self.running.get(&id) {
-                            if let Some(&w) = r.phase_watts.get(phase) {
-                                self.meter.set_alloc_watts(&r.nodes, t, w);
-                                self.metrics.incr("jobs/phase_changes", 1);
-                            }
-                        }
-                    }
-                }
                 Ev::PowerTick => {
                     let t_meter = self.obs.profiler.start();
                     self.on_power_tick(t);
@@ -631,9 +729,6 @@ impl<'p> ClusterSim<'p> {
                     self.allocator.mark_available(n);
                     self.idle_since[n.index()] = Some(t);
                     self.try_schedule();
-                }
-                Ev::ShutdownDone(n) => {
-                    self.set_node_state(n, NodePowerState::Off, t);
                 }
                 Ev::BudgetResize(w) => {
                     if let Some(budget) = self.budget.as_mut() {
@@ -704,6 +799,61 @@ impl<'p> ClusterSim<'p> {
             self.obs.profiler.stop(Scope::Dispatch, t_dispatch);
         }
         self.finalize()
+    }
+
+    /// Drains every shard-local event with key strictly before `bound`
+    /// (all pending events when `None`), applying their effects in merged
+    /// `(t, seq)` order — the exact interleaving, and the exact
+    /// floating-point fold order, a single-queue engine would produce.
+    ///
+    /// Returns `true` when a past-horizon event was reached, which ends
+    /// the run (mirroring the single-queue engine's stop-at-first-event-
+    /// beyond-the-horizon semantics).
+    fn drain_local_window(&mut self, bound: Option<EventKey>) -> bool {
+        if self.shards.pending() == 0 {
+            return false;
+        }
+        debug_assert!(
+            self.shards.invariants_hold(&self.allocator),
+            "shard invariants violated before window drain"
+        );
+        let t_drain = self.obs.profiler.start();
+        let (windows, hit_horizon) = self.shards.pop_window(bound, self.config.horizon);
+        // Resolve each shard's window independently. Resolution reads
+        // only barrier state (attempts, running) that local effects never
+        // mutate, so neither shard order nor parallelism can matter.
+        let attempts = &self.attempts;
+        let running = &self.running;
+        let resolve = |(_, window): &(u32, ShardWindow)| {
+            window
+                .iter()
+                .map(|&(t, seq, ev)| (t, seq, resolve_local(attempts, running, ev)))
+                .collect::<Vec<_>>()
+        };
+        let total: usize = windows.iter().map(|(_, w)| w.len()).sum();
+        let resolved: Vec<Vec<(SimTime, u64, LocalEffect)>> =
+            if total >= PAR_RESOLVE_MIN && rayon::current_num_threads() > 1 {
+                use rayon::prelude::*;
+                windows.par_iter().map(resolve).collect()
+            } else {
+                windows.iter().map(resolve).collect()
+            };
+        let mut effects: Vec<(SimTime, u64, LocalEffect)> =
+            resolved.into_iter().flatten().collect();
+        effects.sort_unstable_by_key(|&(t, seq, _)| (t, seq));
+        for (t, _seq, eff) in effects {
+            match eff {
+                LocalEffect::SetGroupWatts { gid, watts } => {
+                    self.meter.set_group_watts(gid, t, watts);
+                    self.metrics.incr("jobs/phase_changes", 1);
+                }
+                LocalEffect::NodeOff(n) => self.set_node_state(n, NodePowerState::Off, t),
+                LocalEffect::Skip => {}
+            }
+            self.local_events += 1;
+        }
+        self.obs.profiler.stop(Scope::ShardDrain, t_drain);
+        hit_horizon
     }
 
     /// Fails one uniformly-chosen operational node: the job running on it
@@ -1061,11 +1211,14 @@ impl<'p> ClusterSim<'p> {
         if need == 0 || self.off_count == 0 {
             return;
         }
+        // Down nodes are Off too, but they belong to the repair state
+        // machine: booting one would bring it up with a RepairDone still
+        // pending and its downtime accounting live.
         let off: Vec<NodeId> = self
             .node_state
             .iter()
             .enumerate()
-            .filter(|(_, s)| matches!(s, NodePowerState::Off))
+            .filter(|&(i, s)| matches!(s, NodePowerState::Off) && !self.down[i])
             .map(|(i, _)| NodeId(i as u32))
             .take(need as usize)
             .collect();
@@ -1315,11 +1468,10 @@ impl<'p> ClusterSim<'p> {
             self.node_owner[i] = Some(job.id);
         }
         self.busy_count += nodes.len() as u32;
-        self.meter.set_alloc_watts(&nodes, now, first_watts);
-        // Mark the meter *at* the start instant: the update above folds
-        // all pre-job draw into the accumulators, so the mark equals the
-        // nodes' lifetime energy through `now`.
-        let energy_mark = self.meter.alloc_energy_to(&nodes, now);
+        // One allocation group per running job: phase changes retarget
+        // the whole allocation in O(1), and closing the group at job end
+        // yields the job's energy directly.
+        let (meter_group, _mark) = self.meter.open_group(&nodes, now, first_watts);
         self.metrics.incr("jobs/started", 1);
         let wait_secs = (now - job.submit).as_secs();
         self.metrics.observe("sched/wait_secs", wait_secs);
@@ -1343,12 +1495,18 @@ impl<'p> ClusterSim<'p> {
             *a
         };
         self.sim.schedule_at(end, Ev::Finish(job.id, attempt));
-        // Schedule the phase transitions that occur before the job ends.
+        // Stage the phase transitions that occur before the job ends in
+        // the owning shard's mailbox. A job's nodes may span shards; the
+        // first node's shard owns its events (any fixed rule works — the
+        // handler touches only the job's meter group, and the shared seq
+        // numbering makes the merged order routing-independent).
+        let home = self.shards.topo().shard_of(nodes[0]);
         for (k, &t_k) in phase_ends.iter().enumerate() {
             let next = k + 1;
             if next < phase_watts.len() && t_k < end {
-                self.sim
-                    .schedule_at(t_k, Ev::PhaseChange(job.id, attempt, next));
+                let seq = self.sim.alloc_seq();
+                self.shards
+                    .post(home, t_k, seq, LocalEv::PhaseChange(job.id, attempt, next));
             }
         }
         self.summary_insert(RunningSummary {
@@ -1371,7 +1529,7 @@ impl<'p> ClusterSim<'p> {
                 base_effective: base_runtime,
                 true_run_secs: true_run.as_secs(),
                 phase_watts,
-                energy_mark,
+                meter_group,
             },
         );
         true
@@ -1391,9 +1549,6 @@ impl<'p> ClusterSim<'p> {
 
     fn complete(&mut self, r: RunningJob, t: SimTime, departure: Departure) {
         self.summary_remove(r.job.id, r.estimated_end);
-        // Job energy = lifetime energy of its nodes at `t` minus the mark
-        // taken at start — O(alloc size), no trace walk.
-        let energy = self.meter.alloc_energy_to(&r.nodes, t) - r.energy_mark;
         let run_secs = (t - r.start).as_secs();
         self.busy_node_seconds += run_secs * r.nodes.len() as f64;
         // Bulk Busy→Idle: a running job's nodes are all busy, so the
@@ -1414,7 +1569,12 @@ impl<'p> ClusterSim<'p> {
             0.0,
             self.system.spec().node.cpu.base_freq_ghz,
         );
-        self.meter.set_alloc_watts(&r.nodes, t, idle_watts);
+        // Closing the group folds the job's accumulated energy (shared by
+        // every member node), resets the nodes to idle draw, and returns
+        // the job's total energy — no per-node mark/diff needed.
+        let energy = self
+            .meter
+            .close_group(r.meter_group, &r.nodes, t, idle_watts);
         self.allocator.release(&r.nodes);
         if self.obs.bus.enabled(TraceCategory::Job) {
             let event = match departure {
@@ -1610,8 +1770,15 @@ impl<'p> ClusterSim<'p> {
                         if self.allocator.mark_unavailable(n) {
                             self.idle_since[n.index()] = None;
                             self.metrics.incr("rm/shutdowns", 1);
-                            // Shutdown takes effect after a short drain.
-                            self.sim.schedule_in(sd.shutdown_time, Ev::ShutdownDone(n));
+                            // Shutdown takes effect after a short drain;
+                            // completion is shard-local to the node.
+                            let seq = self.sim.alloc_seq();
+                            self.shards.post(
+                                self.shards.topo().shard_of(n),
+                                t + sd.shutdown_time,
+                                seq,
+                                LocalEv::ShutdownDone(n),
+                            );
                         }
                     }
                 }
@@ -1636,8 +1803,10 @@ impl<'p> ClusterSim<'p> {
             let denom = c.run_secs.max(10.0);
             slowdowns.push(((c.wait_secs + c.run_secs) / denom).max(1.0));
         }
-        self.metrics
-            .incr("sim/events_processed", self.sim.events_processed());
+        self.metrics.incr(
+            "sim/events_processed",
+            self.sim.events_processed() + self.local_events,
+        );
         let energy = self.meter.system_energy_joules(SimTime::ZERO, end);
         let peak = self.meter.peak_system_watts(SimTime::ZERO, end);
         let avg = self.meter.avg_system_watts(SimTime::ZERO, end);

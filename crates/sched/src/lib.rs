@@ -38,6 +38,7 @@ pub mod intersystem;
 pub mod limiting;
 pub mod policies;
 pub mod queue;
+pub mod shards;
 pub mod shutdown;
 pub mod view;
 

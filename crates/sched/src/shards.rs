@@ -1,0 +1,288 @@
+//! Shard-local event staging for the partitioned engine.
+//!
+//! [`ClusterSim`](crate::engine::ClusterSim) partitions the cluster into
+//! cabinet-aligned shards ([`ShardTopology`]) and routes the two event
+//! kinds whose handlers touch only shard-owned state — phase changes of a
+//! running job and node shutdown completions — into per-shard
+//! [`EventQueue`]s instead of the global simulation queue. Everything
+//! else (submits, finishes, power ticks, failures, budget resizes) stays
+//! centralized and acts as a synchronization barrier.
+//!
+//! ## Mailbox protocol
+//!
+//! A global handler *posts* a shard-local event to the owning shard's
+//! queue, stamped with a sequence number allocated from the global
+//! simulation queue ([`Simulation::alloc_seq`](
+//! epa_simcore::engine::Simulation::alloc_seq)). Because every queue
+//! shares one `(time, seq)` numbering, the merged order across all queues
+//! is exactly the order a single queue would deliver — sharding moves
+//! *where* events wait, never *when* they act.
+//!
+//! ## Conservative time windows
+//!
+//! Between two global events the engine drains every shard event whose
+//! key lies strictly before the next global event's `(time, seq)` key —
+//! the conservative lookahead window. The ever-pending `PowerTick` caps
+//! the window at the telemetry interval, so no shard can run ahead of a
+//! telemetry/emergency/shutdown decision that might affect it. Shards
+//! *resolve* their windows independently (parallelizable: resolution
+//! reads only state that shard-local effects never mutate); the effects
+//! are then applied serially in merged key order, which keeps every
+//! floating-point fold in the exact serial-engine order — the outcome is
+//! byte-identical at any shard count and any thread count.
+
+use epa_cluster::alloc::Allocator;
+use epa_cluster::node::NodeId;
+use epa_cluster::shard::ShardTopology;
+use epa_simcore::event::EventQueue;
+use epa_simcore::rng::SimRng;
+use epa_simcore::time::SimTime;
+use epa_workload::job::JobId;
+
+/// An event whose handler touches only state owned by one shard.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LocalEv {
+    /// A running job enters its `usize`-th phase (attempt-stamped; stale
+    /// attempts resolve to a no-op, exactly like the serial handler).
+    PhaseChange(JobId, u32, usize),
+    /// An idle node finishes its shutdown drain and powers off.
+    ShutdownDone(NodeId),
+}
+
+/// A `(time, seq)` event key in the global numbering.
+pub type EventKey = (SimTime, u64);
+
+/// One shard's drained window: key-sorted `(t, seq, event)` triples.
+pub type ShardWindow = Vec<(SimTime, u64, LocalEv)>;
+
+/// The per-shard event queues, deterministic RNG substreams, and local
+/// clocks of a partitioned run.
+#[derive(Debug)]
+pub struct ShardSet {
+    topo: ShardTopology,
+    queues: Vec<EventQueue<LocalEv>>,
+    /// Deterministic substream per shard, split from the engine's root
+    /// RNG by index — identical for shard `i` at any shard count. Local
+    /// handlers today are deterministic; the substream is the designated
+    /// draw source for any future shard-local stochastic model so that
+    /// adding one cannot perturb the global sequence.
+    rngs: Vec<SimRng>,
+    /// Each shard's local clock: the key of the last event it applied.
+    /// Mailbox messages must never land at-or-behind it.
+    clocks: Vec<Option<EventKey>>,
+}
+
+impl ShardSet {
+    /// Builds the shard set for a topology, splitting one RNG substream
+    /// per shard from `root`.
+    #[must_use]
+    pub fn new(topo: ShardTopology, root: &SimRng) -> Self {
+        let n = topo.shards() as usize;
+        ShardSet {
+            rngs: root.substreams("shard", n),
+            queues: (0..n).map(|_| EventQueue::new()).collect(),
+            clocks: vec![None; n],
+            topo,
+        }
+    }
+
+    /// The shard topology.
+    #[must_use]
+    pub fn topo(&self) -> &ShardTopology {
+        &self.topo
+    }
+
+    /// This shard's deterministic RNG substream.
+    pub fn rng(&mut self, shard: u32) -> &mut SimRng {
+        &mut self.rngs[shard as usize]
+    }
+
+    /// Total events pending across all shard queues.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.queues.iter().map(EventQueue::len).sum()
+    }
+
+    /// The earliest pending key across all shard queues.
+    #[must_use]
+    pub fn min_key(&self) -> Option<EventKey> {
+        self.queues.iter().filter_map(EventQueue::peek_key).min()
+    }
+
+    /// Posts an event to `shard`'s mailbox under a caller-allocated
+    /// global sequence number.
+    ///
+    /// # Panics
+    /// In debug builds, panics if the message would time-travel behind
+    /// the shard's local clock (its last applied event key).
+    pub fn post(&mut self, shard: u32, t: SimTime, seq: u64, ev: LocalEv) {
+        debug_assert!(
+            self.clocks[shard as usize].is_none_or(|c| (t, seq) > c),
+            "mailbox message ({t}, {seq}) behind shard {shard}'s clock {:?}",
+            self.clocks[shard as usize]
+        );
+        self.queues[shard as usize].push_with_seq(t, seq, ev);
+    }
+
+    /// Pops every event with key strictly before `bound` (all pending
+    /// events when `bound` is `None`), stopping at the horizon.
+    ///
+    /// Returns the per-shard windows — each internally key-sorted, ready
+    /// for independent resolution — and whether a past-horizon event was
+    /// reached. Because keys are globally ordered and time is
+    /// non-decreasing along the merged order, every returned event
+    /// precedes the first past-horizon event; a shard whose head is past
+    /// the horizon is cleared (nothing behind it can be earlier).
+    pub fn pop_window(
+        &mut self,
+        bound: Option<EventKey>,
+        horizon: SimTime,
+    ) -> (Vec<(u32, ShardWindow)>, bool) {
+        let mut hit_horizon = false;
+        let mut windows = Vec::new();
+        for s in 0..self.queues.len() {
+            let mut window = Vec::new();
+            while let Some(key) = self.queues[s].peek_key() {
+                if bound.is_some_and(|b| key >= b) {
+                    break;
+                }
+                if key.0 > horizon {
+                    // Everything behind this head is later still.
+                    hit_horizon = true;
+                    self.queues[s].clear();
+                    break;
+                }
+                let (t, seq, ev) = self.queues[s].pop_keyed().expect("peeked head");
+                debug_assert!(
+                    self.clocks[s].is_none_or(|c| (t, seq) > c),
+                    "shard {s} clock moved backwards"
+                );
+                self.clocks[s] = Some((t, seq));
+                window.push((t, seq, ev));
+            }
+            if !window.is_empty() {
+                windows.push((s as u32, window));
+            }
+        }
+        (windows, hit_horizon)
+    }
+
+    /// Drops all pending events (end of run).
+    pub fn clear(&mut self) {
+        for q in &mut self.queues {
+            q.clear();
+        }
+    }
+
+    /// Structural shard invariant, checked by the engine behind
+    /// `debug_assert!`: the topology is an exact partition (no node
+    /// owned by two shards, none unowned) and the shard-scoped view of
+    /// the allocator's free runs partitions the global free set.
+    #[must_use]
+    pub fn invariants_hold(&self, allocator: &Allocator) -> bool {
+        if !self.topo.is_partition() {
+            return false;
+        }
+        let sharded_free: usize = (0..self.topo.shards())
+            .map(|s| {
+                let (lo, hi) = self.topo.range(s);
+                allocator.free_count_in(lo, hi)
+            })
+            .sum();
+        sharded_free == allocator.free_count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epa_cluster::alloc::AllocStrategy;
+    use epa_cluster::topology::Topology;
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn set(total: u32, npc: u32, shards: u32) -> ShardSet {
+        ShardSet::new(
+            ShardTopology::cabinet_aligned(total, npc, shards),
+            &SimRng::new(7),
+        )
+    }
+
+    #[test]
+    fn windows_merge_in_global_key_order() {
+        let mut s = set(32, 8, 4);
+        // Post out of shard order under one shared numbering.
+        s.post(2, t(5.0), 10, LocalEv::ShutdownDone(NodeId(16)));
+        s.post(0, t(5.0), 3, LocalEv::ShutdownDone(NodeId(1)));
+        s.post(1, t(2.0), 7, LocalEv::ShutdownDone(NodeId(9)));
+        s.post(0, t(9.0), 20, LocalEv::ShutdownDone(NodeId(0)));
+        let (windows, hit) = s.pop_window(Some((t(9.0), 20)), t(100.0));
+        assert!(!hit);
+        let mut merged: Vec<(SimTime, u64, LocalEv)> =
+            windows.into_iter().flat_map(|(_, w)| w).collect();
+        merged.sort_unstable_by_key(|&(time, seq, _)| (time, seq));
+        let keys: Vec<u64> = merged.iter().map(|&(_, seq, _)| seq).collect();
+        assert_eq!(keys, vec![7, 3, 10], "strictly-before-bound, key order");
+        assert_eq!(s.pending(), 1, "the bound event itself stays");
+    }
+
+    #[test]
+    fn bound_none_drains_everything() {
+        let mut s = set(16, 8, 2);
+        s.post(0, t(1.0), 1, LocalEv::ShutdownDone(NodeId(0)));
+        s.post(1, t(3.0), 2, LocalEv::ShutdownDone(NodeId(8)));
+        let (windows, hit) = s.pop_window(None, t(100.0));
+        assert!(!hit);
+        assert_eq!(windows.len(), 2);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn horizon_cuts_window_and_reports_hit() {
+        let mut s = set(16, 8, 2);
+        s.post(0, t(1.0), 1, LocalEv::ShutdownDone(NodeId(0)));
+        s.post(0, t(50.0), 2, LocalEv::ShutdownDone(NodeId(1)));
+        s.post(0, t(60.0), 3, LocalEv::ShutdownDone(NodeId(2)));
+        let (windows, hit) = s.pop_window(None, t(10.0));
+        assert!(hit, "past-horizon head must be reported");
+        assert_eq!(windows.len(), 1);
+        assert_eq!(windows[0].1.len(), 1, "only the pre-horizon event pops");
+        assert_eq!(s.pending(), 0, "past-horizon tail is dropped");
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "behind shard")]
+    fn time_travel_post_panics() {
+        let mut s = set(16, 8, 2);
+        s.post(0, t(5.0), 9, LocalEv::ShutdownDone(NodeId(0)));
+        let _ = s.pop_window(None, t(100.0));
+        // The shard's clock is now (5.0, 9); an earlier key must refuse.
+        s.post(0, t(4.0), 2, LocalEv::ShutdownDone(NodeId(1)));
+    }
+
+    #[test]
+    fn shard_rngs_are_independent_of_shard_count() {
+        let mut four = set(64, 16, 4);
+        let mut two = set(64, 16, 2);
+        assert_eq!(four.rng(0).uniform(), two.rng(0).uniform());
+        assert_eq!(four.rng(1).uniform(), two.rng(1).uniform());
+        let mut a = four.rng(2).clone();
+        let mut b = four.rng(3).clone();
+        assert_ne!(a.uniform(), b.uniform());
+    }
+
+    #[test]
+    fn allocator_partition_invariant() {
+        let topo = Topology::FatTree { arity: 8 };
+        let mut alloc = Allocator::new(32, AllocStrategy::FirstFit, topo);
+        let s = set(32, 8, 4);
+        assert!(s.invariants_hold(&alloc));
+        let held = alloc.allocate(10).unwrap();
+        assert!(s.invariants_hold(&alloc));
+        alloc.release(&held);
+        assert!(s.invariants_hold(&alloc));
+    }
+}

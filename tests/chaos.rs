@@ -76,8 +76,15 @@ fn chaos_faults(seed: u64) -> FaultConfig {
 
 /// One fully-loaded chaos run: budget + demand response, emergency
 /// response, requeue + checkpointing, independent node failures, and
-/// every fault stream. Returns the outcome and the submitted-job count.
+/// every fault stream — executed on the 4-shard partitioned engine, so
+/// the debug-build shard invariant checker (partition integrity, no
+/// time-travelling mailbox messages) runs under full chaos.
+/// Returns the outcome and the submitted-job count.
 fn chaos_run(seed: u64) -> (SimOutcome, u64) {
+    chaos_run_sharded(seed, 4)
+}
+
+fn chaos_run_sharded(seed: u64, shards: u32) -> (SimOutcome, u64) {
     let horizon = SimTime::from_days(2.0);
     let jobs = WorkloadGenerator::new(WorkloadParams::typical(NODES, seed)).generate(horizon, 0);
     let n = jobs.len() as u64;
@@ -90,6 +97,7 @@ fn chaos_run(seed: u64) -> (SimOutcome, u64) {
     config.repair_time = SimDuration::from_hours(REPAIR_HOURS);
     config.seed = seed;
     config.faults = Some(chaos_faults(seed));
+    config.shards = Some(shards);
     let mut policy = EasyBackfill;
     let out = ClusterSim::new(chaos_system(), jobs, &mut policy, config).run();
     (out, n)
@@ -200,6 +208,29 @@ fn chaos_runs_are_byte_identical_per_seed() {
         .collect();
     for (seed, sa, sb) in &pairs {
         assert!(sa == sb, "seed {seed}: outcomes drifted between runs");
+    }
+}
+
+#[test]
+fn chaos_runs_are_byte_identical_across_shard_counts() {
+    // The partitioned engine must survive full chaos — correlated domain
+    // failures killing jobs whose phase changes sit in other shards'
+    // mailboxes — without a byte of drift from the single-shard run.
+    let pairs: Vec<(u64, String, String)> = SEEDS[..4]
+        .par_iter()
+        .map(|&seed| {
+            let (a, _) = chaos_run_sharded(seed, 1);
+            let (b, _) = chaos_run_sharded(seed, 4);
+            let sa = serde_json::to_string_pretty(&a).expect("serializes");
+            let sb = serde_json::to_string_pretty(&b).expect("serializes");
+            (seed, sa, sb)
+        })
+        .collect();
+    for (seed, sa, sb) in &pairs {
+        assert!(
+            sa == sb,
+            "seed {seed}: outcomes drifted between 1 and 4 shards"
+        );
     }
 }
 
