@@ -4,9 +4,10 @@
 //! a `threads` section measuring the campaign runner's parallel
 //! replication sweep (12 seeds, serial vs 4 threads) and a `shards`
 //! section measuring the partitioned engine (1/4/16 shards × 1/4 threads
-//! at 16,384 nodes), both recording byte-identity of their outputs. Run
-//! after engine changes to track the hot-path budget (see DESIGN.md,
-//! "Performance notes"):
+//! at 16,384 nodes), both recording byte-identity of their outputs, and a
+//! `snapshot` section (crash-safe snapshot size and save/restore latency
+//! at 4,096 and 16,384 nodes, mid-day). Run after engine changes to track
+//! the hot-path budget (see DESIGN.md, "Performance notes"):
 //!
 //! ```text
 //! cargo run --release -p epa-bench --bin bench_baseline [out.json]
@@ -286,6 +287,67 @@ fn observability_section() -> serde_json::Value {
     })
 }
 
+/// Machine sizes for the `snapshot` section.
+const SNAP_NODES: [u32; 2] = [4096, 16384];
+const SNAP_REPS: usize = 2;
+
+/// The `snapshot` section: crash-safe snapshot cost at mid-day on the
+/// standard workload — frame size in bytes, save latency (freezing a
+/// live engine into a `Snapshot`), and restore latency (rebuilding a
+/// resumable engine from the bytes). Best-of-`SNAP_REPS` like the other
+/// latency rows.
+fn snapshot_section() -> serde_json::Value {
+    let mut rows = Vec::new();
+    for &nodes in &SNAP_NODES {
+        let mut best: Option<(usize, f64, f64)> = None;
+        for _ in 0..SNAP_REPS {
+            let jobs = WorkloadGenerator::new(WorkloadParams::typical(nodes, 9))
+                .generate(SimTime::from_days(SIM_DAYS), 0);
+            let mut policy = EasyBackfill;
+            let config = EngineConfig::new(SimTime::from_days(SIM_DAYS));
+            let mut sim =
+                ClusterSim::new(experiment_system(nodes), jobs.clone(), &mut policy, config);
+            // Advance to a mid-campaign barrier so the snapshot carries a
+            // loaded machine, then time the capture alone.
+            let _ = sim.run_until(SimTime::from_hours(12.0));
+            let t0 = Instant::now();
+            let snap = sim.snapshot();
+            let save_secs = t0.elapsed().as_secs_f64();
+            let size = snap.len();
+            drop(sim);
+            let mut policy = EasyBackfill;
+            let config = EngineConfig::new(SimTime::from_days(SIM_DAYS));
+            let t0 = Instant::now();
+            let resumed =
+                ClusterSim::resume(experiment_system(nodes), jobs, &mut policy, config, &snap)
+                    .expect("bench snapshot resumes");
+            let restore_secs = t0.elapsed().as_secs_f64();
+            drop(resumed);
+            if best.is_none_or(|b| save_secs + restore_secs < b.1 + b.2) {
+                best = Some((size, save_secs, restore_secs));
+            }
+        }
+        let (size, save_secs, restore_secs) = best.expect("reps > 0");
+        eprintln!(
+            "snapshot: {nodes:>5} nodes at mid-day: {:.1} KiB, save {:.3} ms, restore {:.3} ms",
+            size as f64 / 1024.0,
+            save_secs * 1e3,
+            restore_secs * 1e3
+        );
+        rows.push(json!({
+            "nodes": nodes,
+            "size_bytes": size,
+            "save_secs": save_secs,
+            "restore_secs": restore_secs,
+        }));
+    }
+    json!({
+        "at_sim_hours": 12.0,
+        "reps": SNAP_REPS,
+        "results": rows,
+    })
+}
+
 /// CI guard: events/sec at 4,096 nodes within `SCALING_BOUND`× of 256,
 /// and the 16-shard engine at 65,536 nodes within
 /// `SHARDED_SCALING_BOUND`× of 256.
@@ -352,6 +414,7 @@ fn main() {
     let threads = threads_section();
     let shards = shards_section();
     let observability = observability_section();
+    let snapshot = snapshot_section();
     let rows: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {
@@ -374,6 +437,7 @@ fn main() {
         "threads": threads,
         "shards": shards,
         "observability": observability,
+        "snapshot": snapshot,
     });
     std::fs::write(
         &out_path,

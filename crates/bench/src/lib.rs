@@ -23,7 +23,7 @@ use serde::Serialize;
 /// Schema version stamped into every `BENCH_*.json` document. Bump when
 /// a bench output's key set or semantics change, so downstream tooling
 /// that diffs committed bench files can detect format drift.
-pub const BENCH_SCHEMA_VERSION: u32 = 2;
+pub const BENCH_SCHEMA_VERSION: u32 = 3;
 
 /// Builds the standard experiment machine: `nodes` Xeon nodes, fat-tree.
 #[must_use]

@@ -176,6 +176,69 @@ impl Allocator {
             .sum()
     }
 
+    // ---- snapshot -----------------------------------------------------
+
+    /// Encodes the allocator's dynamic state: free runs, busy flags, and
+    /// the unavailable set. Strategy and topology are configuration and
+    /// must be re-supplied at [`Allocator::restore_from`]; the `(len,
+    /// start)` mirror and the counts are derived, so they are rebuilt
+    /// rather than stored.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        w.u32(self.total);
+        let runs: Vec<(u32, u32)> = self.free_runs.iter().map(|(&s, &l)| (s, l)).collect();
+        w.seq(&runs, |w, &(s, l)| {
+            w.u32(s);
+            w.u32(l);
+        });
+        w.seq(&self.busy, |w, &b| w.bool(b));
+        let unavailable: Vec<u32> = self.unavailable.iter().map(|n| n.0).collect();
+        w.seq(&unavailable, |w, &n| w.u32(n));
+    }
+
+    /// Decodes an allocator written by [`Allocator::snapshot_into`],
+    /// rebuilding the best-fit mirror and the free/busy counts.
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+        strategy: AllocStrategy,
+        topology: Topology,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        use epa_simcore::snap::SnapshotError;
+        let total = r.u32()?;
+        let runs = r.seq(|r| Ok((r.u32()?, r.u32()?)))?;
+        let busy: Vec<bool> = r.seq(epa_simcore::snap::SnapReader::bool)?;
+        let unavailable: BTreeSet<NodeId> = r.seq(|r| Ok(NodeId(r.u32()?)))?.into_iter().collect();
+        if busy.len() != total as usize {
+            return Err(SnapshotError::Corrupt {
+                detail: format!("busy flags {} != total nodes {total}", busy.len()),
+            });
+        }
+        let mut free_runs = BTreeMap::new();
+        let mut runs_by_len = BTreeSet::new();
+        let mut free_count = 0usize;
+        for (start, len) in runs {
+            let end = start.checked_add(len).filter(|&e| e <= total);
+            if len == 0 || end.is_none() || free_runs.insert(start, len).is_some() {
+                return Err(SnapshotError::Corrupt {
+                    detail: format!("invalid free run ({start},{len}) over {total} nodes"),
+                });
+            }
+            runs_by_len.insert((len, start));
+            free_count += len as usize;
+        }
+        let busy_count = busy.iter().filter(|&&b| b).count();
+        Ok(Allocator {
+            total,
+            free_runs,
+            runs_by_len,
+            free_count,
+            busy,
+            busy_count,
+            unavailable,
+            strategy,
+            topology,
+        })
+    }
+
     // ---- free-run structure maintenance -------------------------------
 
     fn run_insert(&mut self, start: u32, len: u32) {

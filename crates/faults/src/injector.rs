@@ -124,6 +124,33 @@ impl FaultInjector {
         self.config.sensor.as_ref()
     }
 
+    /// Encodes the positions of the two online fault streams. The config
+    /// is not stored — it is re-supplied at [`FaultInjector::restore_from`]
+    /// (and cross-checked against the engine fingerprint by the caller).
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        let (seed, pos) = self.sensor_rng.snapshot_state();
+        w.u64(seed);
+        w.u64(pos);
+        let (seed, pos) = self.actuator_rng.snapshot_state();
+        w.u64(seed);
+        w.u64(pos);
+    }
+
+    /// Rebuilds an injector at the exact stream positions written by
+    /// [`FaultInjector::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+        config: FaultConfig,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let sensor_rng = SimRng::from_state(r.u64()?, r.u64()?);
+        let actuator_rng = SimRng::from_state(r.u64()?, r.u64()?);
+        Ok(FaultInjector {
+            config,
+            sensor_rng,
+            actuator_rng,
+        })
+    }
+
     /// Draws the fate of one telemetry sample. Returns [`SensorSample::Ok`]
     /// (without consuming randomness) when sensor faults are disabled.
     pub fn sensor_sample(&mut self) -> SensorSample {

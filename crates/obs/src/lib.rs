@@ -95,6 +95,27 @@ impl Obs {
         Obs::new(&TraceConfig::default())
     }
 
+    /// Encodes the deterministic halves (trace bus and registry). The
+    /// profiler is wall clock and excluded from goldens, so it is not
+    /// captured; restore starts a fresh one.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        self.bus.snapshot_into(w);
+        self.registry.snapshot_into(w);
+    }
+
+    /// Decodes observability state written by [`Obs::snapshot_into`],
+    /// attaching a fresh profiler (enabled when `profile` is set).
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+        profile: bool,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        Ok(Obs {
+            bus: TraceBus::restore_from(r)?,
+            registry: ObsRegistry::restore_from(r)?,
+            profiler: Profiler::new(profile),
+        })
+    }
+
     /// Freezes the live state into the bundle a finished run returns.
     #[must_use]
     pub fn into_bundle(self) -> ObsBundle {

@@ -227,6 +227,69 @@ impl ObsRegistry {
         }
     }
 
+    /// Encodes the full registry (counters, gauges, histograms).
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        let counters: Vec<_> = self.counters.iter().collect();
+        w.seq(&counters, |w, (k, v)| {
+            w.str(k);
+            w.u64(**v);
+        });
+        let gauges: Vec<_> = self.gauges.iter().collect();
+        w.seq(&gauges, |w, (k, v)| {
+            w.str(k);
+            w.f64(**v);
+        });
+        let histograms: Vec<_> = self.histograms.iter().collect();
+        w.seq(&histograms, |w, (k, h)| {
+            w.str(k);
+            w.seq(&h.bounds, |w, &b| w.f64(b));
+            w.seq(&h.counts, |w, &c| w.u64(c));
+            w.u64(h.total);
+            w.f64(h.sum);
+        });
+    }
+
+    /// Decodes a registry written by [`ObsRegistry::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let counters = r.seq(|r| Ok((r.str()?, r.u64()?)))?.into_iter().collect();
+        let gauges = r.seq(|r| Ok((r.str()?, r.f64()?)))?.into_iter().collect();
+        let histograms: BTreeMap<String, Histogram> = r
+            .seq(|r| {
+                let name = r.str()?;
+                let bounds = r.seq(epa_simcore::snap::SnapReader::f64)?;
+                let counts = r.seq(epa_simcore::snap::SnapReader::u64)?;
+                let total = r.u64()?;
+                let sum = r.f64()?;
+                if counts.len() != bounds.len() + 1 {
+                    return Err(epa_simcore::snap::SnapshotError::Corrupt {
+                        detail: format!(
+                            "histogram {name:?}: {} counts for {} bounds",
+                            counts.len(),
+                            bounds.len()
+                        ),
+                    });
+                }
+                Ok((
+                    name,
+                    Histogram {
+                        bounds,
+                        counts,
+                        total,
+                        sum,
+                    },
+                ))
+            })?
+            .into_iter()
+            .collect();
+        Ok(ObsRegistry {
+            counters,
+            gauges,
+            histograms,
+        })
+    }
+
     /// Renders the Prometheus text exposition format. Metric names are
     /// sanitized (`/`, `-`, etc. become `_`) and prefixed `epa_`.
     #[must_use]

@@ -374,6 +374,319 @@ pub enum TraceEvent {
 }
 
 impl TraceEvent {
+    /// Encodes the event as a tag byte plus its fields.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        fn kill_tag(r: KillReason) -> u8 {
+            match r {
+                KillReason::Walltime => 0,
+                KillReason::Emergency => 1,
+                KillReason::Failure => 2,
+            }
+        }
+        fn reject_tag(r: RejectReason) -> u8 {
+            match r {
+                RejectReason::UnknownJob => 0,
+                RejectReason::InsufficientNodes => 1,
+                RejectReason::PowerDenied => 2,
+                RejectReason::AllocFailed => 3,
+                RejectReason::ActuationFailed => 4,
+            }
+        }
+        match self {
+            TraceEvent::JobSubmitted {
+                job,
+                nodes,
+                queue_depth,
+            } => {
+                w.u8(0);
+                w.u64(*job);
+                w.u32(*nodes);
+                w.u64(*queue_depth);
+            }
+            TraceEvent::JobStarted {
+                job,
+                nodes,
+                watts_per_node,
+                wait_secs,
+                backfilled,
+                capped_to_fit,
+            } => {
+                w.u8(1);
+                w.u64(*job);
+                w.u32(*nodes);
+                w.f64(*watts_per_node);
+                w.f64(*wait_secs);
+                w.bool(*backfilled);
+                w.bool(*capped_to_fit);
+            }
+            TraceEvent::JobFinished {
+                job,
+                run_secs,
+                energy_joules,
+            } => {
+                w.u8(2);
+                w.u64(*job);
+                w.f64(*run_secs);
+                w.f64(*energy_joules);
+            }
+            TraceEvent::JobKilled {
+                job,
+                reason,
+                run_secs,
+            } => {
+                w.u8(3);
+                w.u64(*job);
+                w.u8(kill_tag(*reason));
+                w.f64(*run_secs);
+            }
+            TraceEvent::JobRequeued {
+                job,
+                remaining_secs,
+            } => {
+                w.u8(4);
+                w.u64(*job);
+                w.f64(*remaining_secs);
+            }
+            TraceEvent::StartRejected { job, reason } => {
+                w.u8(5);
+                w.u64(*job);
+                w.u8(reject_tag(*reason));
+            }
+            TraceEvent::CapWrite {
+                nodes,
+                watts,
+                attempts,
+                succeeded,
+                delay_secs,
+            } => {
+                w.u8(6);
+                w.u32(*nodes);
+                w.f64(*watts);
+                w.u64(*attempts);
+                w.bool(*succeeded);
+                w.f64(*delay_secs);
+            }
+            TraceEvent::ActuationRetry {
+                node,
+                attempts,
+                succeeded,
+            } => {
+                w.u8(7);
+                w.u32(*node);
+                w.u32(*attempts);
+                w.bool(*succeeded);
+            }
+            TraceEvent::NodeFenced { node } => {
+                w.u8(8);
+                w.u32(*node);
+            }
+            TraceEvent::BudgetGrant {
+                grant,
+                watts,
+                headroom_watts,
+            } => {
+                w.u8(9);
+                w.u64(*grant);
+                w.f64(*watts);
+                w.f64(*headroom_watts);
+            }
+            TraceEvent::BudgetDenied {
+                grant,
+                watts,
+                headroom_watts,
+            } => {
+                w.u8(10);
+                w.u64(*grant);
+                w.f64(*watts);
+                w.f64(*headroom_watts);
+            }
+            TraceEvent::BudgetRelease { grant, watts } => {
+                w.u8(11);
+                w.u64(*grant);
+                w.f64(*watts);
+            }
+            TraceEvent::BudgetResize { total_watts, ok } => {
+                w.u8(12);
+                w.f64(*total_watts);
+                w.bool(*ok);
+            }
+            TraceEvent::EmergencyBreach {
+                observed_watts,
+                limit_watts,
+            } => {
+                w.u8(13);
+                w.f64(*observed_watts);
+                w.f64(*limit_watts);
+            }
+            TraceEvent::EmergencyKill { job, shed_watts } => {
+                w.u8(14);
+                w.u64(*job);
+                w.f64(*shed_watts);
+            }
+            TraceEvent::NodeFailed { node, correlated } => {
+                w.u8(15);
+                w.u32(*node);
+                w.bool(*correlated);
+            }
+            TraceEvent::NodeRepaired { node, down_secs } => {
+                w.u8(16);
+                w.u32(*node);
+                w.f64(*down_secs);
+            }
+            TraceEvent::SensorDropout => w.u8(17),
+            TraceEvent::SensorStuck { held_watts } => {
+                w.u8(18);
+                w.f64(*held_watts);
+            }
+            TraceEvent::TelemetryFallback { engaged, age_secs } => {
+                w.u8(19);
+                w.bool(*engaged);
+                w.f64(*age_secs);
+            }
+            TraceEvent::Enforcement {
+                window_avg_watts,
+                cap_watts,
+                delta_nodes,
+            } => {
+                w.u8(20);
+                w.f64(*window_avg_watts);
+                w.f64(*cap_watts);
+                w.i64(*delta_nodes);
+            }
+        }
+    }
+
+    /// Decodes an event written by [`TraceEvent::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        use epa_simcore::snap::SnapshotError;
+        fn kill(tag: u8) -> Result<KillReason, SnapshotError> {
+            Ok(match tag {
+                0 => KillReason::Walltime,
+                1 => KillReason::Emergency,
+                2 => KillReason::Failure,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        detail: format!("unknown kill-reason tag {tag}"),
+                    })
+                }
+            })
+        }
+        fn reject(tag: u8) -> Result<RejectReason, SnapshotError> {
+            Ok(match tag {
+                0 => RejectReason::UnknownJob,
+                1 => RejectReason::InsufficientNodes,
+                2 => RejectReason::PowerDenied,
+                3 => RejectReason::AllocFailed,
+                4 => RejectReason::ActuationFailed,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        detail: format!("unknown reject-reason tag {tag}"),
+                    })
+                }
+            })
+        }
+        Ok(match r.u8()? {
+            0 => TraceEvent::JobSubmitted {
+                job: r.u64()?,
+                nodes: r.u32()?,
+                queue_depth: r.u64()?,
+            },
+            1 => TraceEvent::JobStarted {
+                job: r.u64()?,
+                nodes: r.u32()?,
+                watts_per_node: r.f64()?,
+                wait_secs: r.f64()?,
+                backfilled: r.bool()?,
+                capped_to_fit: r.bool()?,
+            },
+            2 => TraceEvent::JobFinished {
+                job: r.u64()?,
+                run_secs: r.f64()?,
+                energy_joules: r.f64()?,
+            },
+            3 => TraceEvent::JobKilled {
+                job: r.u64()?,
+                reason: kill(r.u8()?)?,
+                run_secs: r.f64()?,
+            },
+            4 => TraceEvent::JobRequeued {
+                job: r.u64()?,
+                remaining_secs: r.f64()?,
+            },
+            5 => TraceEvent::StartRejected {
+                job: r.u64()?,
+                reason: reject(r.u8()?)?,
+            },
+            6 => TraceEvent::CapWrite {
+                nodes: r.u32()?,
+                watts: r.f64()?,
+                attempts: r.u64()?,
+                succeeded: r.bool()?,
+                delay_secs: r.f64()?,
+            },
+            7 => TraceEvent::ActuationRetry {
+                node: r.u32()?,
+                attempts: r.u32()?,
+                succeeded: r.bool()?,
+            },
+            8 => TraceEvent::NodeFenced { node: r.u32()? },
+            9 => TraceEvent::BudgetGrant {
+                grant: r.u64()?,
+                watts: r.f64()?,
+                headroom_watts: r.f64()?,
+            },
+            10 => TraceEvent::BudgetDenied {
+                grant: r.u64()?,
+                watts: r.f64()?,
+                headroom_watts: r.f64()?,
+            },
+            11 => TraceEvent::BudgetRelease {
+                grant: r.u64()?,
+                watts: r.f64()?,
+            },
+            12 => TraceEvent::BudgetResize {
+                total_watts: r.f64()?,
+                ok: r.bool()?,
+            },
+            13 => TraceEvent::EmergencyBreach {
+                observed_watts: r.f64()?,
+                limit_watts: r.f64()?,
+            },
+            14 => TraceEvent::EmergencyKill {
+                job: r.u64()?,
+                shed_watts: r.f64()?,
+            },
+            15 => TraceEvent::NodeFailed {
+                node: r.u32()?,
+                correlated: r.bool()?,
+            },
+            16 => TraceEvent::NodeRepaired {
+                node: r.u32()?,
+                down_secs: r.f64()?,
+            },
+            17 => TraceEvent::SensorDropout,
+            18 => TraceEvent::SensorStuck {
+                held_watts: r.f64()?,
+            },
+            19 => TraceEvent::TelemetryFallback {
+                engaged: r.bool()?,
+                age_secs: r.f64()?,
+            },
+            20 => TraceEvent::Enforcement {
+                window_avg_watts: r.f64()?,
+                cap_watts: r.f64()?,
+                delta_nodes: r.i64()?,
+            },
+            tag => {
+                return Err(SnapshotError::Corrupt {
+                    detail: format!("unknown trace-event tag {tag}"),
+                })
+            }
+        })
+    }
+
     /// The category this event records under.
     #[must_use]
     pub fn category(&self) -> TraceCategory {
@@ -548,6 +861,75 @@ impl TraceBus {
     pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
         let (tail, head) = self.records.split_at(self.head);
         head.iter().chain(tail.iter())
+    }
+
+    /// Encodes the full bus — mask, capacity, ring contents in raw slot
+    /// order with the head position, sequence/drop/sampling counters — so
+    /// a restored bus continues the ring exactly where it left off.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        w.u32(self.mask.0);
+        w.usize(self.capacity);
+        w.seq(&self.records, |w, rec| {
+            w.f64(rec.t.as_secs());
+            w.u64(rec.seq);
+            rec.event.snapshot_into(w);
+        });
+        w.usize(self.head);
+        w.u64(self.seq);
+        w.u64(self.dropped);
+        for s in &self.stride {
+            w.u32(*s);
+        }
+        for s in &self.seen {
+            w.u64(*s);
+        }
+        w.u64(self.sampled_out);
+    }
+
+    /// Decodes a bus written by [`TraceBus::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let mask = CategoryMask(r.u32()?);
+        let capacity = r.usize()?;
+        let records = r.seq(|r| {
+            Ok(TraceRecord {
+                t: SimTime::from_secs(r.f64()?),
+                seq: r.u64()?,
+                event: TraceEvent::restore_from(r)?,
+            })
+        })?;
+        let head = r.usize()?;
+        let seq = r.u64()?;
+        let dropped = r.u64()?;
+        let mut stride = [0u32; N_CATEGORIES];
+        for s in &mut stride {
+            *s = r.u32()?;
+        }
+        let mut seen = [0u64; N_CATEGORIES];
+        for s in &mut seen {
+            *s = r.u64()?;
+        }
+        let sampled_out = r.u64()?;
+        if capacity == 0 || records.len() > capacity || (head != 0 && head >= records.len()) {
+            return Err(epa_simcore::snap::SnapshotError::Corrupt {
+                detail: format!(
+                    "trace ring inconsistent: {} records, capacity {capacity}, head {head}",
+                    records.len()
+                ),
+            });
+        }
+        Ok(TraceBus {
+            mask,
+            capacity,
+            records,
+            head,
+            seq,
+            dropped,
+            stride,
+            seen,
+            sampled_out,
+        })
     }
 }
 

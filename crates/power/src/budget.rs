@@ -179,6 +179,41 @@ impl PowerBudget {
         Ok(())
     }
 
+    /// Encodes the full ledger — grants, running totals, high-water mark,
+    /// rejection count — bit-exactly.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        w.f64(self.total_watts);
+        let grants: Vec<(u64, f64)> = self.grants.iter().map(|(&id, &g)| (id.0, g)).collect();
+        w.seq(&grants, |w, &(id, g)| {
+            w.u64(id);
+            w.f64(g);
+        });
+        w.f64(self.granted_watts);
+        w.f64(self.peak_granted_watts);
+        w.u64(self.rejections);
+    }
+
+    /// Decodes a ledger written by [`PowerBudget::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let total_watts = r.f64()?;
+        let grants: BTreeMap<GrantId, f64> = r
+            .seq(|r| Ok((GrantId(r.u64()?), r.f64()?)))?
+            .into_iter()
+            .collect();
+        let granted_watts = r.f64()?;
+        let peak_granted_watts = r.f64()?;
+        let rejections = r.u64()?;
+        Ok(PowerBudget {
+            total_watts,
+            grants,
+            granted_watts,
+            peak_granted_watts,
+            rejections,
+        })
+    }
+
     /// [`PowerBudget::request`] with decision tracing: the grant or denial
     /// is recorded on `bus` (one bitset branch when the `Budget` category
     /// is masked off). Semantics are identical to the untraced call.

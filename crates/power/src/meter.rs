@@ -64,6 +64,22 @@ impl Default for NodeAccum {
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GroupId(u32);
 
+impl GroupId {
+    /// The raw slot index, for snapshot encoding.
+    #[must_use]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Rebuilds a handle from a snapshot-encoded raw slot index. Only
+    /// valid for indices previously obtained from [`GroupId::raw`] against
+    /// the same (restored) meter.
+    #[must_use]
+    pub fn from_raw(raw: u32) -> Self {
+        GroupId(raw)
+    }
+}
+
 /// Shared metering state for one allocation drawing a uniform per-node
 /// wattage: a job's whole node set steps power together at every phase
 /// change, so one `(watts, since, acc)` triple serves the entire group
@@ -291,6 +307,72 @@ impl EnergyMeter {
         self.commit_delta(delta, nodes.len() as u32);
         self.system_trace.push(t, self.system_watts);
         energy
+    }
+
+    /// Encodes the full metering state — per-node accumulators, open and
+    /// recycled groups, the running system sum, the system trace, and the
+    /// resync counter — bit-exactly, so a restored meter produces the same
+    /// floating-point results as one that was never snapshotted.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        w.seq(&self.nodes, |w, n| {
+            w.f64(n.watts);
+            w.f64(n.since.as_secs());
+            w.f64(n.acc);
+            w.u32(n.group);
+        });
+        w.seq(&self.groups, |w, g| {
+            w.f64(g.watts);
+            w.f64(g.since.as_secs());
+            w.f64(g.acc_per_node);
+            w.u32(g.members);
+            w.bool(g.in_use);
+        });
+        w.seq(&self.free_groups, |w, &g| w.u32(g));
+        w.f64(self.system_watts);
+        self.system_trace.snapshot_into(w);
+        w.u32(self.updates_since_resync);
+    }
+
+    /// Decodes a meter written by [`EnergyMeter::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let nodes = r.seq(|r| {
+            Ok(NodeAccum {
+                watts: r.f64()?,
+                since: SimTime::from_secs(r.f64()?),
+                acc: r.f64()?,
+                group: r.u32()?,
+            })
+        })?;
+        let groups = r.seq(|r| {
+            Ok(AllocGroup {
+                watts: r.f64()?,
+                since: SimTime::from_secs(r.f64()?),
+                acc_per_node: r.f64()?,
+                members: r.u32()?,
+                in_use: r.bool()?,
+            })
+        })?;
+        let free_groups = r.seq(epa_simcore::snap::SnapReader::u32)?;
+        let system_watts = r.f64()?;
+        let system_trace = TimeSeries::restore_from(r)?;
+        let updates_since_resync = r.u32()?;
+        for (i, n) in nodes.iter().enumerate() {
+            if n.group != NO_GROUP && n.group as usize >= groups.len() {
+                return Err(epa_simcore::snap::SnapshotError::Corrupt {
+                    detail: format!("node {i} references missing group {}", n.group),
+                });
+            }
+        }
+        Ok(EnergyMeter {
+            nodes,
+            groups,
+            free_groups,
+            system_watts,
+            system_trace,
+            updates_since_resync,
+        })
     }
 
     /// Current draw of one node in watts (0 if never recorded). Grouped

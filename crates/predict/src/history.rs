@@ -114,6 +114,41 @@ impl HistoryStore {
             .map(|&i| &self.records[i])
     }
 
+    /// Encodes the archive. Only the records are stored; the tag and
+    /// (user, tag) indices are rebuilt on restore.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        w.seq(&self.records, |w, rec| {
+            w.u32(rec.user);
+            w.str(&rec.tag);
+            w.u32(rec.nodes);
+            w.f64(rec.runtime_secs);
+            w.f64(rec.watts_per_node);
+            w.f64(rec.ambient_c);
+        });
+    }
+
+    /// Decodes an archive written by [`HistoryStore::snapshot_into`],
+    /// rebuilding both indices.
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let records = r.seq(|r| {
+            Ok(RunRecord {
+                user: r.u32()?,
+                tag: r.str()?,
+                nodes: r.u32()?,
+                runtime_secs: r.f64()?,
+                watts_per_node: r.f64()?,
+                ambient_c: r.f64()?,
+            })
+        })?;
+        let mut store = HistoryStore::new();
+        for rec in records {
+            store.record(rec);
+        }
+        Ok(store)
+    }
+
     /// Mean watts-per-node over all history (the global fallback).
     #[must_use]
     pub fn global_mean_watts(&self) -> Option<f64> {

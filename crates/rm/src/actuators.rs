@@ -75,6 +75,83 @@ pub enum Actuation {
 }
 
 impl Actuation {
+    /// Encodes the actuation as a tag byte plus its fields.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        match self {
+            Actuation::SetFrequency { node, ghz } => {
+                w.u8(0);
+                w.u32(node.0);
+                w.f64(*ghz);
+            }
+            Actuation::SetNodeCap { node, watts } => {
+                w.u8(1);
+                w.u32(node.0);
+                w.opt(watts.as_ref(), |w, &v| w.f64(v));
+            }
+            Actuation::SetSystemCap { watts } => {
+                w.u8(2);
+                w.opt(watts.as_ref(), |w, &v| w.f64(v));
+            }
+            Actuation::PowerOn { node } => {
+                w.u8(3);
+                w.u32(node.0);
+            }
+            Actuation::PowerOff { node } => {
+                w.u8(4);
+                w.u32(node.0);
+            }
+            Actuation::KillJob { job } => {
+                w.u8(5);
+                w.u64(*job);
+            }
+            Actuation::SplitVm { node, vms } => {
+                w.u8(6);
+                w.u32(node.0);
+                w.u32(*vms);
+            }
+            Actuation::SelectSupply { source } => {
+                w.u8(7);
+                w.usize(*source);
+            }
+        }
+    }
+
+    /// Decodes an actuation written by [`Actuation::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        Ok(match r.u8()? {
+            0 => Actuation::SetFrequency {
+                node: NodeId(r.u32()?),
+                ghz: r.f64()?,
+            },
+            1 => Actuation::SetNodeCap {
+                node: NodeId(r.u32()?),
+                watts: r.opt(epa_simcore::snap::SnapReader::f64)?,
+            },
+            2 => Actuation::SetSystemCap {
+                watts: r.opt(epa_simcore::snap::SnapReader::f64)?,
+            },
+            3 => Actuation::PowerOn {
+                node: NodeId(r.u32()?),
+            },
+            4 => Actuation::PowerOff {
+                node: NodeId(r.u32()?),
+            },
+            5 => Actuation::KillJob { job: r.u64()? },
+            6 => Actuation::SplitVm {
+                node: NodeId(r.u32()?),
+                vms: r.u32()?,
+            },
+            7 => Actuation::SelectSupply { source: r.usize()? },
+            tag => {
+                return Err(epa_simcore::snap::SnapshotError::Corrupt {
+                    detail: format!("unknown actuation tag {tag}"),
+                })
+            }
+        })
+    }
+
     /// The interaction-ledger classification of this actuation.
     #[must_use]
     pub fn kind(&self) -> InteractionKind {
@@ -156,6 +233,27 @@ impl ActuatorLog {
     pub fn count_matching(&self, pred: impl Fn(&Actuation) -> bool) -> usize {
         self.records.iter().filter(|r| pred(&r.actuation)).count()
     }
+
+    /// Encodes the full audit log.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        w.seq(&self.records, |w, rec| {
+            w.f64(rec.t.as_secs());
+            rec.actuation.snapshot_into(w);
+        });
+    }
+
+    /// Decodes a log written by [`ActuatorLog::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let records = r.seq(|r| {
+            Ok(ActuationRecord {
+                t: SimTime::from_secs(r.f64()?),
+                actuation: Actuation::restore_from(r)?,
+            })
+        })?;
+        Ok(ActuatorLog { records })
+    }
 }
 
 /// Result of programming one command across a node set through the
@@ -208,6 +306,39 @@ impl RetryingActuator {
     #[must_use]
     pub fn consecutive_failures(&self, node: NodeId) -> u32 {
         self.consecutive_failures.get(&node.0).copied().unwrap_or(0)
+    }
+
+    /// Encodes the retry stream position and per-node escalation counters.
+    /// The fault config is re-supplied at [`RetryingActuator::restore_from`].
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        let (seed, pos) = self.rng.snapshot_state();
+        w.u64(seed);
+        w.u64(pos);
+        let failures: Vec<(u32, u32)> = self
+            .consecutive_failures
+            .iter()
+            .map(|(&n, &c)| (n, c))
+            .collect();
+        w.seq(&failures, |w, &(n, c)| {
+            w.u32(n);
+            w.u32(c);
+        });
+    }
+
+    /// Rebuilds an actuator at the exact stream position and escalation
+    /// state written by [`RetryingActuator::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+        config: ActuatorFaultConfig,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let rng = SimRng::from_state(r.u64()?, r.u64()?);
+        let consecutive_failures: BTreeMap<u32, u32> =
+            r.seq(|r| Ok((r.u32()?, r.u32()?)))?.into_iter().collect();
+        Ok(RetryingActuator {
+            config,
+            rng,
+            consecutive_failures,
+        })
     }
 
     /// Programs a per-node power cap (`watts`; `None` clears) on every

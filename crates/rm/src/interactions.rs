@@ -186,6 +186,88 @@ impl InteractionLedger {
         out
     }
 
+    /// Encodes the full ledger (edge counts, total, first/last times).
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        fn comp_tag(c: Component) -> u8 {
+            match c {
+                Component::JobScheduler => 0,
+                Component::ResourceManager => 1,
+                Component::Telemetry => 2,
+                Component::Hardware => 3,
+                Component::Facility => 4,
+                Component::Users => 5,
+                Component::Analytics => 6,
+            }
+        }
+        fn kind_tag(k: InteractionKind) -> u8 {
+            match k {
+                InteractionKind::PowerMonitor => 0,
+                InteractionKind::PowerControl => 1,
+                InteractionKind::ResourceMonitor => 2,
+                InteractionKind::ResourceControl => 3,
+            }
+        }
+        let counts: Vec<_> = self.counts.iter().collect();
+        w.seq(&counts, |w, (&(from, to, kind), &n)| {
+            w.u8(comp_tag(from));
+            w.u8(comp_tag(to));
+            w.u8(kind_tag(kind));
+            w.u64(n);
+        });
+        w.u64(self.total);
+        w.opt(self.first.as_ref(), |w, t| w.f64(t.as_secs()));
+        w.opt(self.last.as_ref(), |w, t| w.f64(t.as_secs()));
+    }
+
+    /// Decodes a ledger written by [`InteractionLedger::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        use epa_simcore::snap::SnapshotError;
+        fn comp(tag: u8) -> Result<Component, SnapshotError> {
+            Ok(match tag {
+                0 => Component::JobScheduler,
+                1 => Component::ResourceManager,
+                2 => Component::Telemetry,
+                3 => Component::Hardware,
+                4 => Component::Facility,
+                5 => Component::Users,
+                6 => Component::Analytics,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        detail: format!("unknown component tag {tag}"),
+                    })
+                }
+            })
+        }
+        fn kind(tag: u8) -> Result<InteractionKind, SnapshotError> {
+            Ok(match tag {
+                0 => InteractionKind::PowerMonitor,
+                1 => InteractionKind::PowerControl,
+                2 => InteractionKind::ResourceMonitor,
+                3 => InteractionKind::ResourceControl,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        detail: format!("unknown interaction tag {tag}"),
+                    })
+                }
+            })
+        }
+        let counts: BTreeMap<(Component, Component, InteractionKind), u64> = r
+            .seq(|r| Ok(((comp(r.u8()?)?, comp(r.u8()?)?, kind(r.u8()?)?), r.u64()?)))?
+            .into_iter()
+            .collect();
+        let total = r.u64()?;
+        let first = r.opt(|r| Ok(SimTime::from_secs(r.f64()?)))?;
+        let last = r.opt(|r| Ok(SimTime::from_secs(r.f64()?)))?;
+        Ok(InteractionLedger {
+            counts,
+            total,
+            first,
+            last,
+        })
+    }
+
     /// Merges another ledger into this one.
     pub fn merge(&mut self, other: &InteractionLedger) {
         for (k, v) in &other.counts {

@@ -24,6 +24,7 @@ use crate::limiting::JobLimitGate;
 use crate::queue::JobQueue;
 use crate::shards::{EventKey, LocalEv, ShardSet, ShardWindow};
 use crate::shutdown::ShutdownPolicy;
+use crate::snapshot::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
 use crate::view::{Decision, Policy, RunningSummary, SchedView};
 use epa_cluster::alloc::{AllocStrategy, Allocator};
 use epa_cluster::layout::FacilityLayout;
@@ -44,6 +45,7 @@ use epa_rm::actuators::{ActuatorLog, RetryingActuator};
 use epa_rm::interactions::InteractionLedger;
 use epa_simcore::engine::Simulation;
 use epa_simcore::metrics::MetricsRegistry;
+use epa_simcore::snap::{Fingerprint, SnapReader, SnapWriter, SnapshotError};
 use epa_simcore::stats::Percentiles;
 use epa_simcore::time::{SimDuration, SimTime};
 use epa_workload::job::{Job, JobId};
@@ -109,16 +111,35 @@ pub struct EngineConfig {
     pub shards: Option<u32>,
 }
 
+/// Parses an `EPA_JSRM_SHARDS` value: a positive integer, or `None` for
+/// anything else (with a description of why it was rejected).
+fn parse_shards(raw: &str) -> Result<u32, String> {
+    match raw.trim().parse::<u32>() {
+        Ok(n) if n >= 1 => Ok(n),
+        Ok(n) => Err(format!("{n} is not a positive shard count")),
+        Err(_) => Err(format!("{raw:?} is not an integer")),
+    }
+}
+
 /// `EPA_JSRM_SHARDS` (read once per process): requested shard count, or
-/// `None` when unset/invalid.
+/// `None` when unset/invalid. An invalid value is *not* silently
+/// dropped: a one-time stderr warning names the variable and the value
+/// so a typo'd `EPA_JSRM_SHARDS=abc` cannot masquerade as "unset".
 fn env_shards() -> Option<u32> {
     use std::sync::OnceLock;
     static SHARDS: OnceLock<Option<u32>> = OnceLock::new();
-    *SHARDS.get_or_init(|| {
-        std::env::var("EPA_JSRM_SHARDS")
-            .ok()
-            .and_then(|v| v.trim().parse::<u32>().ok())
-            .filter(|&n| n >= 1)
+    *SHARDS.get_or_init(|| match std::env::var("EPA_JSRM_SHARDS") {
+        Ok(raw) => match parse_shards(&raw) {
+            Ok(n) => Some(n),
+            Err(why) => {
+                eprintln!(
+                    "warning: ignoring invalid EPA_JSRM_SHARDS={raw:?}: {why} \
+                     (falling back to 1 shard)"
+                );
+                None
+            }
+        },
+        Err(_) => None,
     })
 }
 
@@ -200,6 +221,83 @@ enum Ev {
     DomainFail(u32),
 }
 
+impl Ev {
+    /// Wire tags are part of the snapshot format: stable, append-only.
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        match self {
+            Ev::Submit(i) => {
+                w.u8(0);
+                w.usize(*i);
+            }
+            Ev::Finish(id, attempt) => {
+                w.u8(1);
+                w.u64(id.0);
+                w.u32(*attempt);
+            }
+            Ev::PowerTick => w.u8(2),
+            Ev::BootDone(n) => {
+                w.u8(3);
+                w.u32(n.0);
+            }
+            Ev::BudgetResize(watts) => {
+                w.u8(4);
+                w.f64(*watts);
+            }
+            Ev::NodeFail => w.u8(5),
+            Ev::RepairDone(n) => {
+                w.u8(6);
+                w.u32(n.0);
+            }
+            Ev::DomainFail(idx) => {
+                w.u8(7);
+                w.u32(*idx);
+            }
+        }
+    }
+
+    fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(match r.u8()? {
+            0 => Ev::Submit(r.usize()?),
+            1 => Ev::Finish(JobId(r.u64()?), r.u32()?),
+            2 => Ev::PowerTick,
+            3 => Ev::BootDone(NodeId(r.u32()?)),
+            4 => Ev::BudgetResize(r.f64()?),
+            5 => Ev::NodeFail,
+            6 => Ev::RepairDone(NodeId(r.u32()?)),
+            7 => Ev::DomainFail(r.u32()?),
+            tag => {
+                return Err(SnapshotError::Corrupt {
+                    detail: format!("unknown engine event tag {tag}"),
+                })
+            }
+        })
+    }
+}
+
+/// `NodePowerState` wire tags (snapshot format: stable, append-only).
+fn node_state_tag(s: NodePowerState) -> u8 {
+    match s {
+        NodePowerState::Off => 0,
+        NodePowerState::Booting => 1,
+        NodePowerState::Idle => 2,
+        NodePowerState::Busy => 3,
+    }
+}
+
+fn node_state_from_tag(tag: u8) -> Result<NodePowerState, SnapshotError> {
+    Ok(match tag {
+        0 => NodePowerState::Off,
+        1 => NodePowerState::Booting,
+        2 => NodePowerState::Idle,
+        3 => NodePowerState::Busy,
+        t => {
+            return Err(SnapshotError::Corrupt {
+                detail: format!("unknown node power state tag {t}"),
+            })
+        }
+    })
+}
+
 /// Resolve shard windows in parallel only when the batch is big enough
 /// to amortize the fork/join, and a pool actually exists. Both branches
 /// run identical math on identical inputs and merge index-ordered, so
@@ -265,6 +363,38 @@ struct RunningJob {
     meter_group: GroupId,
 }
 
+impl RunningJob {
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        self.job.snapshot_into(w);
+        w.seq(&self.nodes, |w, n| w.u32(n.0));
+        w.f64(self.start.as_secs());
+        w.f64(self.estimated_end.as_secs());
+        w.f64(self.watts_per_node);
+        w.bool(self.killed_at_walltime);
+        w.opt(self.grant.as_ref(), |w, g| w.u64(g.0));
+        w.f64(self.base_effective.as_secs());
+        w.f64(self.true_run_secs);
+        w.seq(&self.phase_watts, |w, &p| w.f64(p));
+        w.u32(self.meter_group.raw());
+    }
+
+    fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(RunningJob {
+            job: Job::restore_from(r)?,
+            nodes: r.seq(|r| Ok(NodeId(r.u32()?)))?,
+            start: SimTime::from_secs(r.f64()?),
+            estimated_end: SimTime::from_secs(r.f64()?),
+            watts_per_node: r.f64()?,
+            killed_at_walltime: r.bool()?,
+            grant: r.opt(|r| Ok(GrantId(r.u64()?)))?,
+            base_effective: SimDuration::from_secs(r.f64()?),
+            true_run_secs: r.f64()?,
+            phase_watts: r.seq(SnapReader::f64)?,
+            meter_group: GroupId::from_raw(r.u32()?),
+        })
+    }
+}
+
 /// Completed-job record for metrics.
 #[derive(Debug, Clone, Serialize)]
 pub struct CompletedJob {
@@ -288,6 +418,36 @@ pub struct CompletedJob {
     pub node_ids: Vec<u32>,
     /// Start time of the execution, seconds.
     pub start_secs: f64,
+}
+
+impl CompletedJob {
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.u64(self.id.0);
+        w.u32(self.nodes);
+        w.f64(self.wait_secs);
+        w.f64(self.run_secs);
+        w.f64(self.energy_joules);
+        w.bool(self.killed_at_walltime);
+        w.bool(self.killed_by_emergency);
+        w.bool(self.killed_by_failure);
+        w.seq(&self.node_ids, |w, &n| w.u32(n));
+        w.f64(self.start_secs);
+    }
+
+    fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CompletedJob {
+            id: JobId(r.u64()?),
+            nodes: r.u32()?,
+            wait_secs: r.f64()?,
+            run_secs: r.f64()?,
+            energy_joules: r.f64()?,
+            killed_at_walltime: r.bool()?,
+            killed_by_emergency: r.bool()?,
+            killed_by_failure: r.bool()?,
+            node_ids: r.seq(SnapReader::u32)?,
+            start_secs: r.f64()?,
+        })
+    }
 }
 
 /// Why a job left the machine.
@@ -648,157 +808,584 @@ impl<'p> ClusterSim<'p> {
     /// [`ClusterSim::run`] returns for the same inputs regardless of the
     /// trace configuration.
     pub fn run_traced(mut self) -> (SimOutcome, ObsBundle) {
-        loop {
-            // Conservative window: every shard-local event whose (t, seq)
-            // key lies strictly before the next global event's key can be
-            // applied without observing it. The ever-pending PowerTick
-            // bounds the window at the telemetry interval.
-            let bound = self.sim.peek_key();
-            if self.drain_local_window(bound) {
-                // A shard reached a past-horizon event; by key order the
-                // pending global head (if any) is past the horizon too.
-                let leftover = self.sim.next_event();
-                debug_assert!(
-                    leftover.is_none(),
-                    "a pre-horizon global event cannot follow a past-horizon local one"
-                );
-                break;
+        while !self.step() {}
+        self.finalize()
+    }
+
+    /// Advances the run by one window barrier: drains the conservative
+    /// shard window before the next global event, then dispatches that
+    /// event. Returns `true` when the run is over (global queue exhausted
+    /// or the horizon reached) — and stays idempotent from then on, so
+    /// callers may keep stepping safely. Every instant *between* two
+    /// `step` calls is a barrier: no shard window is in flight, which is
+    /// what makes it a legal snapshot point.
+    fn step(&mut self) -> bool {
+        // Conservative window: every shard-local event whose (t, seq)
+        // key lies strictly before the next global event's key can be
+        // applied without observing it. The ever-pending PowerTick
+        // bounds the window at the telemetry interval.
+        let bound = self.sim.peek_key();
+        if self.drain_local_window(bound) {
+            // A shard reached a past-horizon event; by key order the
+            // pending global head (if any) is past the horizon too.
+            let leftover = self.sim.next_event();
+            debug_assert!(
+                leftover.is_none(),
+                "a pre-horizon global event cannot follow a past-horizon local one"
+            );
+            return true;
+        }
+        let Some((t, ev)) = self.sim.next_event() else {
+            // Global queue exhausted or past the horizon. The window
+            // drain already consumed every key before the global
+            // head, so whatever remains in the shard queues is past
+            // the horizon as well.
+            debug_assert!(
+                self.shards
+                    .min_key()
+                    .is_none_or(|(lt, _)| lt > self.config.horizon),
+                "pre-horizon local events must drain before the run ends"
+            );
+            self.shards.clear();
+            return true;
+        };
+        let t_dispatch = self.obs.profiler.start();
+        match ev {
+            Ev::Submit(i) => {
+                let job = self.jobs[i].clone();
+                let (jid, jnodes) = (job.id.0, job.nodes);
+                self.metrics.incr("jobs/submitted", 1);
+                self.queue.push(job);
+                self.obs
+                    .registry
+                    .observe("sched/queue_depth", self.queue.len() as f64);
+                if self.obs.bus.enabled(TraceCategory::Job) {
+                    self.obs.bus.record(
+                        t,
+                        TraceEvent::JobSubmitted {
+                            job: jid,
+                            nodes: jnodes,
+                            queue_depth: self.queue.len() as u64,
+                        },
+                    );
+                }
+                self.try_schedule();
             }
-            let Some((t, ev)) = self.sim.next_event() else {
-                // Global queue exhausted or past the horizon. The window
-                // drain already consumed every key before the global
-                // head, so whatever remains in the shard queues is past
-                // the horizon as well.
-                debug_assert!(
-                    self.shards
-                        .min_key()
-                        .is_none_or(|(lt, _)| lt > self.config.horizon),
-                    "pre-horizon local events must drain before the run ends"
-                );
-                self.shards.clear();
-                break;
-            };
-            let t_dispatch = self.obs.profiler.start();
-            match ev {
-                Ev::Submit(i) => {
-                    let job = self.jobs[i].clone();
-                    let (jid, jnodes) = (job.id.0, job.nodes);
-                    self.metrics.incr("jobs/submitted", 1);
-                    self.queue.push(job);
-                    self.obs
-                        .registry
-                        .observe("sched/queue_depth", self.queue.len() as f64);
-                    if self.obs.bus.enabled(TraceCategory::Job) {
+            Ev::Finish(id, attempt) => {
+                self.finish_job(id, attempt, t);
+                self.try_schedule();
+            }
+            Ev::PowerTick => {
+                let t_meter = self.obs.profiler.start();
+                self.on_power_tick(t);
+                self.obs.profiler.stop(Scope::Meter, t_meter);
+                // The tick after an emergency cooldown expires resumes
+                // scheduling (a full heartbeat on *every* tick would be
+                // quadratic with conservative backfilling's planning).
+                if self.hold_resume_pending && t >= self.start_hold_until && !self.queue.is_empty()
+                {
+                    self.hold_resume_pending = false;
+                    self.try_schedule();
+                }
+                let next = t + self.config.power_tick;
+                if next <= self.config.horizon {
+                    self.sim.schedule_at(next, Ev::PowerTick);
+                }
+            }
+            Ev::BootDone(n) => {
+                self.booting = self.booting.saturating_sub(1);
+                self.set_node_state(n, NodePowerState::Idle, t);
+                self.allocator.mark_available(n);
+                self.idle_since[n.index()] = Some(t);
+                self.try_schedule();
+            }
+            Ev::BudgetResize(w) => {
+                if let Some(budget) = self.budget.as_mut() {
+                    if budget.resize_traced(w, t, &mut self.obs.bus).is_ok() {
+                        self.metrics.incr("power/budget_resizes", 1);
+                    }
+                }
+                self.try_schedule();
+            }
+            Ev::NodeFail => {
+                self.on_node_fail(t);
+                if let Some(mtbf) = self.config.node_mtbf {
+                    let gap = self.rng.exponential(1.0 / mtbf.as_secs().max(1e-9));
+                    let next = t + SimDuration::from_secs(gap);
+                    if next <= self.config.horizon {
+                        self.sim.schedule_at(next, Ev::NodeFail);
+                    }
+                }
+            }
+            Ev::RepairDone(n) => {
+                if let Some(since) = self.down_since[n.index()].take() {
+                    self.repair_downtime_secs += (t - since).as_secs();
+                    self.repairs_completed += 1;
+                    if self.obs.bus.enabled(TraceCategory::Fault) {
                         self.obs.bus.record(
                             t,
-                            TraceEvent::JobSubmitted {
-                                job: jid,
-                                nodes: jnodes,
-                                queue_depth: self.queue.len() as u64,
+                            TraceEvent::NodeRepaired {
+                                node: n.0,
+                                down_secs: (t - since).as_secs(),
                             },
                         );
                     }
-                    self.try_schedule();
                 }
-                Ev::Finish(id, attempt) => {
-                    self.finish_job(id, attempt, t);
-                    self.try_schedule();
-                }
-                Ev::PowerTick => {
-                    let t_meter = self.obs.profiler.start();
-                    self.on_power_tick(t);
-                    self.obs.profiler.stop(Scope::Meter, t_meter);
-                    // The tick after an emergency cooldown expires resumes
-                    // scheduling (a full heartbeat on *every* tick would be
-                    // quadratic with conservative backfilling's planning).
-                    if self.hold_resume_pending
-                        && t >= self.start_hold_until
-                        && !self.queue.is_empty()
+                self.down[n.index()] = false;
+                self.set_node_state(n, NodePowerState::Idle, t);
+                self.allocator.mark_available(n);
+                self.idle_since[n.index()] = Some(t);
+                self.metrics.incr("rm/repairs", 1);
+                self.try_schedule();
+            }
+            Ev::DomainFail(idx) => {
+                let event = self.fault_plan.domain_events[idx as usize];
+                self.metrics.incr("faults/domain_events", 1);
+                // Only operational nodes go down; Off/Booting nodes
+                // ride through (their state machines are elsewhere).
+                for n in self.system.cabinet_nodes(event.domain) {
+                    let i = n.index();
+                    if matches!(
+                        self.node_state[i],
+                        NodePowerState::Idle | NodePowerState::Busy
+                    ) && !self.down[i]
                     {
-                        self.hold_resume_pending = false;
-                        self.try_schedule();
-                    }
-                    let next = t + self.config.power_tick;
-                    if next <= self.config.horizon {
-                        self.sim.schedule_at(next, Ev::PowerTick);
-                    }
-                }
-                Ev::BootDone(n) => {
-                    self.booting = self.booting.saturating_sub(1);
-                    self.set_node_state(n, NodePowerState::Idle, t);
-                    self.allocator.mark_available(n);
-                    self.idle_since[n.index()] = Some(t);
-                    self.try_schedule();
-                }
-                Ev::BudgetResize(w) => {
-                    if let Some(budget) = self.budget.as_mut() {
-                        if budget.resize_traced(w, t, &mut self.obs.bus).is_ok() {
-                            self.metrics.incr("power/budget_resizes", 1);
-                        }
-                    }
-                    self.try_schedule();
-                }
-                Ev::NodeFail => {
-                    self.on_node_fail(t);
-                    if let Some(mtbf) = self.config.node_mtbf {
-                        let gap = self.rng.exponential(1.0 / mtbf.as_secs().max(1e-9));
-                        let next = t + SimDuration::from_secs(gap);
-                        if next <= self.config.horizon {
-                            self.sim.schedule_at(next, Ev::NodeFail);
-                        }
-                    }
-                }
-                Ev::RepairDone(n) => {
-                    if let Some(since) = self.down_since[n.index()].take() {
-                        self.repair_downtime_secs += (t - since).as_secs();
-                        self.repairs_completed += 1;
                         if self.obs.bus.enabled(TraceCategory::Fault) {
                             self.obs.bus.record(
                                 t,
-                                TraceEvent::NodeRepaired {
+                                TraceEvent::NodeFailed {
                                     node: n.0,
-                                    down_secs: (t - since).as_secs(),
+                                    correlated: true,
                                 },
                             );
                         }
+                        self.take_node_down(n, t, event.repair_time);
                     }
-                    self.down[n.index()] = false;
-                    self.set_node_state(n, NodePowerState::Idle, t);
-                    self.allocator.mark_available(n);
-                    self.idle_since[n.index()] = Some(t);
-                    self.metrics.incr("rm/repairs", 1);
-                    self.try_schedule();
                 }
-                Ev::DomainFail(idx) => {
-                    let event = self.fault_plan.domain_events[idx as usize];
-                    self.metrics.incr("faults/domain_events", 1);
-                    // Only operational nodes go down; Off/Booting nodes
-                    // ride through (their state machines are elsewhere).
-                    for n in self.system.cabinet_nodes(event.domain) {
-                        let i = n.index();
-                        if matches!(
-                            self.node_state[i],
-                            NodePowerState::Idle | NodePowerState::Busy
-                        ) && !self.down[i]
-                        {
-                            if self.obs.bus.enabled(TraceCategory::Fault) {
-                                self.obs.bus.record(
-                                    t,
-                                    TraceEvent::NodeFailed {
-                                        node: n.0,
-                                        correlated: true,
-                                    },
-                                );
-                            }
-                            self.take_node_down(n, t, event.repair_time);
-                        }
+                self.try_schedule();
+            }
+        }
+        self.obs.profiler.stop(Scope::Dispatch, t_dispatch);
+        false
+    }
+
+    /// Runs the simulation up to (at most) `until`, stopping at the first
+    /// window barrier where the next global event lies past `until`, and
+    /// returns a [`Snapshot`] of the full engine state at that barrier.
+    ///
+    /// Shard-local events before the next global event that have not been
+    /// drained yet are captured *queued*, not applied — the resumed
+    /// engine drains them in exactly the order the uninterrupted engine
+    /// would have. If the run finishes before `until`, the snapshot
+    /// captures the finished state (resuming it finalizes immediately
+    /// with the identical outcome). Call repeatedly to checkpoint a run
+    /// at several points, and [`ClusterSim::run`] /
+    /// [`ClusterSim::run_traced`] to finish it.
+    pub fn run_until(&mut self, until: SimTime) -> Snapshot {
+        loop {
+            match self.sim.peek_key() {
+                Some((t, _)) if t > until => break,
+                Some(_) => {
+                    if self.step() {
+                        break;
                     }
-                    self.try_schedule();
+                }
+                None => {
+                    // No global events left: one final step drains any
+                    // remaining shard windows and ends the run.
+                    let _ = self.step();
+                    break;
                 }
             }
-            self.obs.profiler.stop(Scope::Dispatch, t_dispatch);
         }
-        self.finalize()
+        self.snapshot()
+    }
+
+    /// Fingerprint of everything the snapshot does *not* store but the
+    /// resumed engine depends on: the outcome-affecting configuration,
+    /// the workload, the policy name, and the machine shape. Stored in
+    /// the snapshot and re-checked at resume so a mismatched resume fails
+    /// with a typed error instead of silently diverging.
+    fn fingerprint(&self) -> u64 {
+        let c = &self.config;
+        let mut fp = Fingerprint::new();
+        fp.u64(c.seed);
+        fp.f64(c.horizon.as_secs());
+        fp.f64(c.power_tick.as_secs());
+        match c.power_budget_watts {
+            Some(w) => {
+                fp.u64(1);
+                fp.f64(w);
+            }
+            None => {
+                fp.u64(0);
+            }
+        }
+        fp.u64(c.budget_schedule.len() as u64);
+        for &(t, w) in &c.budget_schedule {
+            fp.f64(t.as_secs());
+            fp.f64(w);
+        }
+        fp.u64(u64::from(c.requeue_killed));
+        match c.checkpoint_interval {
+            Some(d) => {
+                fp.u64(1);
+                fp.f64(d.as_secs());
+            }
+            None => {
+                fp.u64(0);
+            }
+        }
+        match c.node_mtbf {
+            Some(d) => {
+                fp.u64(1);
+                fp.f64(d.as_secs());
+            }
+            None => {
+                fp.u64(0);
+            }
+        }
+        fp.f64(c.repair_time.as_secs());
+        fp.u64(match c.alloc_strategy {
+            AllocStrategy::FirstFit => 0,
+            AllocStrategy::Contiguous => 1,
+            AllocStrategy::TopologyAware => 2,
+        });
+        match &c.faults {
+            Some(f) => {
+                fp.u64(1);
+                fp.u64(f.seed);
+            }
+            None => {
+                fp.u64(0);
+            }
+        }
+        fp.u64(u64::from(c.shutdown.is_some()));
+        fp.u64(u64::from(c.emergency.is_some()));
+        fp.u64(u64::from(c.limit_gate.is_some()));
+        fp.u64(u64::from(c.facility.is_some()));
+        fp.u64(u64::from(c.layout.is_some()));
+        fp.u64(u64::from(c.record_history));
+        fp.str(self.policy.name());
+        fp.u64(self.jobs.len() as u64);
+        for j in &self.jobs {
+            fp.u64(j.id.0);
+            fp.f64(j.submit.as_secs());
+            fp.u64(u64::from(j.nodes));
+            fp.u64(i64::from(j.priority) as u64);
+            fp.f64(j.base_runtime.as_secs());
+            fp.f64(j.walltime_estimate.as_secs());
+            fp.str(&j.app.tag);
+        }
+        fp.u64(u64::from(self.system.spec().total_nodes()));
+        fp.u64(u64::from(self.system.spec().cabinets));
+        fp.finish()
+    }
+
+    /// Freezes the full engine state into a [`Snapshot`].
+    ///
+    /// Legal only at a window barrier — between [`ClusterSim::run_until`]
+    /// calls, or before the run starts. Everything mutable is captured:
+    /// the global event queue with its sequence counter, shard mailboxes
+    /// and local clocks, RNG substream positions, allocator spans, meter
+    /// accumulators and open allocation groups, the budget ledger, queued
+    /// and running jobs, fault state, the prediction history, metrics,
+    /// completed-job records, and the observability ring. Configuration
+    /// is *not* stored (the caller re-supplies it at
+    /// [`ClusterSim::resume`]); a fingerprint guards against mismatches.
+    #[must_use]
+    pub fn snapshot(&self) -> Snapshot {
+        let mut w = SnapWriter::new();
+        w.section("meta");
+        w.u64(self.fingerprint());
+        w.u32(self.system.spec().total_nodes());
+        w.f64(self.sim.now().as_secs());
+        w.u64(self.sim.events_processed());
+        w.section("sim");
+        w.u64(self.sim.queue().seq());
+        w.seq(&self.sim.queue().sorted_entries(), |w, &(t, seq, ev)| {
+            w.f64(t.as_secs());
+            w.u64(seq);
+            ev.snapshot_into(w);
+        });
+        w.section("shards");
+        self.shards.snapshot_into(&mut w);
+        w.section("alloc");
+        self.allocator.snapshot_into(&mut w);
+        w.section("meter");
+        self.meter.snapshot_into(&mut w);
+        w.section("budget");
+        w.opt(self.budget.as_ref(), |w, b| b.snapshot_into(w));
+        w.section("queue");
+        w.seq(self.queue.jobs(), |w, j| j.snapshot_into(w));
+        w.section("running");
+        let running: Vec<&RunningJob> = self.running.values().collect();
+        w.seq(&running, |w, r| r.snapshot_into(w));
+        w.section("nodes");
+        w.seq(&self.node_state, |w, &s| w.u8(node_state_tag(s)));
+        w.seq(&self.idle_since, |w, since| {
+            w.opt(since.as_ref(), |w, t| w.f64(t.as_secs()));
+        });
+        w.seq(&self.down, |w, &d| w.bool(d));
+        w.seq(&self.failure_counts, |w, &c| w.u64(c));
+        w.seq(&self.down_since, |w, since| {
+            w.opt(since.as_ref(), |w, t| w.f64(t.as_secs()));
+        });
+        w.section("engine");
+        w.u64(self.emergency_kills);
+        w.f64(self.busy_node_seconds);
+        w.f64(self.violation_accum_secs);
+        w.f64(self.last_tick.as_secs());
+        let (seed, pos) = self.rng.snapshot_state();
+        w.u64(seed);
+        w.u64(pos);
+        let attempts: Vec<(JobId, u32)> = self.attempts.iter().map(|(&k, &v)| (k, v)).collect();
+        w.seq(&attempts, |w, &(id, a)| {
+            w.u64(id.0);
+            w.u32(a);
+        });
+        w.f64(self.start_hold_until.as_secs());
+        w.bool(self.hold_resume_pending);
+        w.f64(self.sensor_last.0.as_secs());
+        w.f64(self.sensor_last.1);
+        w.opt(self.sensor_stuck_until.as_ref(), |w, &(until, held)| {
+            w.f64(until.as_secs());
+            w.f64(held);
+        });
+        w.bool(self.telemetry_stale);
+        w.f64(self.repair_downtime_secs);
+        w.u64(self.repairs_completed);
+        w.u64(self.local_events);
+        w.section("faults");
+        w.opt(self.injector.as_ref(), |w, i| i.snapshot_into(w));
+        w.opt(self.actuator.as_ref(), |w, a| a.snapshot_into(w));
+        self.actuator_log.snapshot_into(&mut w);
+        self.ledger.snapshot_into(&mut w);
+        w.section("history");
+        self.history.snapshot_into(&mut w);
+        w.section("metrics");
+        self.metrics.snapshot_into(&mut w);
+        w.section("completed");
+        w.seq(&self.completed, |w, c| c.snapshot_into(w));
+        w.section("obs");
+        self.obs.snapshot_into(&mut w);
+        Snapshot::from_bytes(w.finish(SNAPSHOT_SCHEMA_VERSION))
+    }
+
+    /// Rebuilds an engine from a [`Snapshot`], validating schema version,
+    /// checksum, topology (node count, shard layout), and the config
+    /// fingerprint before touching any state. On success the engine is
+    /// indistinguishable from the one that took the snapshot: finishing
+    /// the run produces a byte-identical [`SimOutcome`] and decision
+    /// trace.
+    ///
+    /// The caller re-supplies `system`, `jobs`, `policy`, and `config`
+    /// exactly as given to the original [`ClusterSim::try_new`] — they
+    /// are configuration, not state, and a disagreement is rejected as
+    /// [`SnapshotError::ConfigMismatch`] / [`SnapshotError::TopologyMismatch`].
+    /// A non-default predictor ([`ClusterSim::set_predictor`]) must be
+    /// re-set after resume; built-in policies keep no cross-call state.
+    /// The thread count may change across the boundary; the shard count
+    /// (`config.shards` / `EPA_JSRM_SHARDS`) must match the snapshot's.
+    pub fn resume(
+        system: System,
+        jobs: Vec<Job>,
+        policy: &'p mut dyn Policy,
+        config: EngineConfig,
+        snapshot: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        let mut engine = Self::try_new(system, jobs, policy, config).map_err(|e| {
+            SnapshotError::ConfigMismatch {
+                detail: format!("engine construction failed: {e}"),
+            }
+        })?;
+        engine.restore_state(snapshot.as_bytes())?;
+        Ok(engine)
+    }
+
+    /// Overwrites this freshly-constructed engine's state from snapshot
+    /// bytes. Pure-config-derived state (fault plan, predictor, power
+    /// model) keeps the `try_new` values; everything mutable is replaced;
+    /// derived structures (node-owner index, state tallies, running
+    /// summaries) are rebuilt from the restored primaries.
+    fn restore_state(&mut self, bytes: &[u8]) -> Result<(), SnapshotError> {
+        let n = self.system.spec().total_nodes() as usize;
+        let mut r = SnapReader::open(bytes, SNAPSHOT_SCHEMA_VERSION)?;
+        r.section("meta")?;
+        let fp = r.u64()?;
+        if fp != self.fingerprint() {
+            return Err(SnapshotError::ConfigMismatch {
+                detail: format!(
+                    "snapshot fingerprint {fp:#018x} does not match the supplied \
+                     config/workload/policy/system (expected {:#018x})",
+                    self.fingerprint()
+                ),
+            });
+        }
+        let total = r.u32()?;
+        if total as usize != n {
+            return Err(SnapshotError::TopologyMismatch {
+                detail: format!("snapshot has {total} nodes, system has {n}"),
+            });
+        }
+        let now = SimTime::from_secs(r.f64()?);
+        let processed = r.u64()?;
+        r.section("sim")?;
+        let queue_seq = r.u64()?;
+        let entries = r.seq(|r| {
+            let t = SimTime::from_secs(r.f64()?);
+            let seq = r.u64()?;
+            let ev = Ev::restore_from(r)?;
+            Ok((t, seq, ev))
+        })?;
+        self.sim.queue_mut().clear();
+        for (t, seq, ev) in entries {
+            self.sim.queue_mut().push_with_seq(t, seq, ev);
+        }
+        self.sim.queue_mut().set_seq(queue_seq);
+        self.sim.restore_clock(now, processed);
+        r.section("shards")?;
+        self.shards = ShardSet::restore_from(&mut r, self.shards.topo().clone())?;
+        r.section("alloc")?;
+        self.allocator = Allocator::restore_from(
+            &mut r,
+            self.config.alloc_strategy,
+            self.system.topology().clone(),
+        )?;
+        r.section("meter")?;
+        self.meter = EnergyMeter::restore_from(&mut r)?;
+        r.section("budget")?;
+        let budget = r.opt(PowerBudget::restore_from)?;
+        if budget.is_some() != self.budget.is_some() {
+            return Err(SnapshotError::ConfigMismatch {
+                detail: "snapshot and config disagree about the power budget".to_owned(),
+            });
+        }
+        self.budget = budget;
+        r.section("queue")?;
+        let queued = r.seq(Job::restore_from)?;
+        self.queue = JobQueue::new();
+        for job in queued {
+            self.queue.push(job);
+        }
+        r.section("running")?;
+        let running = r.seq(RunningJob::restore_from)?;
+        self.running = running.into_iter().map(|rj| (rj.job.id, rj)).collect();
+        r.section("nodes")?;
+        let node_state = r.seq(|r| node_state_from_tag(r.u8()?))?;
+        let idle_since = r.seq(|r| r.opt(|r| Ok(SimTime::from_secs(r.f64()?))))?;
+        let down = r.seq(SnapReader::bool)?;
+        let failure_counts = r.seq(SnapReader::u64)?;
+        let down_since = r.seq(|r| r.opt(|r| Ok(SimTime::from_secs(r.f64()?))))?;
+        for (name, len) in [
+            ("node_state", node_state.len()),
+            ("idle_since", idle_since.len()),
+            ("down", down.len()),
+            ("failure_counts", failure_counts.len()),
+            ("down_since", down_since.len()),
+        ] {
+            if len != n {
+                return Err(SnapshotError::Corrupt {
+                    detail: format!("{name} has {len} entries for a {n}-node system"),
+                });
+            }
+        }
+        self.node_state = node_state;
+        self.idle_since = idle_since;
+        self.down = down;
+        self.failure_counts = failure_counts;
+        self.down_since = down_since;
+        r.section("engine")?;
+        self.emergency_kills = r.u64()?;
+        self.busy_node_seconds = r.f64()?;
+        self.violation_accum_secs = r.f64()?;
+        self.last_tick = SimTime::from_secs(r.f64()?);
+        let (seed, pos) = (r.u64()?, r.u64()?);
+        self.rng = epa_simcore::rng::SimRng::from_state(seed, pos);
+        let attempts = r.seq(|r| Ok((JobId(r.u64()?), r.u32()?)))?;
+        self.attempts = attempts.into_iter().collect();
+        self.start_hold_until = SimTime::from_secs(r.f64()?);
+        self.hold_resume_pending = r.bool()?;
+        self.sensor_last = (SimTime::from_secs(r.f64()?), r.f64()?);
+        self.sensor_stuck_until = r.opt(|r| Ok((SimTime::from_secs(r.f64()?), r.f64()?)))?;
+        self.telemetry_stale = r.bool()?;
+        self.repair_downtime_secs = r.f64()?;
+        self.repairs_completed = r.u64()?;
+        self.local_events = r.u64()?;
+        r.section("faults")?;
+        let fault_cfg = self.config.faults.clone();
+        self.injector = r.opt(|r| {
+            let cfg = fault_cfg
+                .clone()
+                .ok_or_else(|| SnapshotError::ConfigMismatch {
+                    detail: "snapshot has a fault injector but the config has no fault model"
+                        .to_owned(),
+                })?;
+            FaultInjector::restore_from(r, cfg)
+        })?;
+        self.actuator = r.opt(|r| {
+            let cfg = fault_cfg
+                .as_ref()
+                .and_then(|f| f.actuator.clone())
+                .ok_or_else(|| SnapshotError::ConfigMismatch {
+                    detail: "snapshot has actuator-fault state but the config has no \
+                             actuator fault model"
+                        .to_owned(),
+                })?;
+            RetryingActuator::restore_from(r, cfg)
+        })?;
+        self.actuator_log = ActuatorLog::restore_from(&mut r)?;
+        self.ledger = InteractionLedger::restore_from(&mut r)?;
+        r.section("history")?;
+        self.history = HistoryStore::restore_from(&mut r)?;
+        r.section("metrics")?;
+        self.metrics = MetricsRegistry::restore_from(&mut r)?;
+        r.section("completed")?;
+        self.completed = r.seq(CompletedJob::restore_from)?;
+        r.section("obs")?;
+        self.obs = Obs::restore_from(&mut r, self.config.trace.profile)?;
+        r.finish()?;
+
+        // Rebuild derived structures from the restored primaries.
+        self.node_owner = vec![None; n];
+        for (&id, rj) in &self.running {
+            for &node in &rj.nodes {
+                let i = node.index();
+                if i >= n || self.node_owner[i].is_some() {
+                    return Err(SnapshotError::Corrupt {
+                        detail: format!("running job {} claims invalid node {}", id.0, node.0),
+                    });
+                }
+                self.node_owner[i] = Some(id);
+            }
+        }
+        self.off_count = 0;
+        self.busy_count = 0;
+        self.booting = 0;
+        for s in &self.node_state {
+            match s {
+                NodePowerState::Off => self.off_count += 1,
+                NodePowerState::Busy => self.busy_count += 1,
+                NodePowerState::Booting => self.booting += 1,
+                NodePowerState::Idle => {}
+            }
+        }
+        self.summaries = self
+            .running
+            .values()
+            .map(|rj| RunningSummary {
+                id: rj.job.id,
+                nodes: rj.nodes.len() as u32,
+                estimated_end: rj.estimated_end,
+                watts: rj.watts_per_node * rj.nodes.len() as f64,
+                granted_watts: rj
+                    .grant
+                    .and_then(|g| self.budget.as_ref().and_then(|b| b.grant_watts(g))),
+            })
+            .collect();
+        self.summaries
+            .sort_unstable_by_key(|s| (s.estimated_end, s.id));
+        Ok(())
     }
 
     /// Drains every shard-local event with key strictly before `bound`
@@ -1907,6 +2494,24 @@ mod tests {
         let mut policy = Fcfs;
         let config = EngineConfig::new(SimTime::from_hours(horizon_h));
         ClusterSim::new(small_system(nodes), jobs, &mut policy, config).run()
+    }
+
+    #[test]
+    fn parse_shards_accepts_positive_integers() {
+        assert_eq!(parse_shards("1"), Ok(1));
+        assert_eq!(parse_shards("4"), Ok(4));
+        assert_eq!(parse_shards(" 16 "), Ok(16));
+    }
+
+    #[test]
+    fn parse_shards_rejects_garbage_and_zero() {
+        let err = parse_shards("abc").unwrap_err();
+        assert!(err.contains("abc"), "error should name the value: {err}");
+        let err = parse_shards("0").unwrap_err();
+        assert!(err.contains('0'), "error should name the value: {err}");
+        assert!(parse_shards("").is_err());
+        assert!(parse_shards("-3").is_err());
+        assert!(parse_shards("2.5").is_err());
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod policies;
 pub mod queue;
 pub mod shards;
 pub mod shutdown;
+pub mod snapshot;
 pub mod view;
 
 pub use emergency::EmergencyPolicy;
@@ -50,4 +51,5 @@ pub use intersystem::InterSystemCoordinator;
 pub use limiting::JobLimitGate;
 pub use queue::JobQueue;
 pub use shutdown::ShutdownPolicy;
+pub use snapshot::{Snapshot, SNAPSHOT_SCHEMA_VERSION};
 pub use view::{Decision, Policy, RunningSummary, SchedView};

@@ -167,6 +167,102 @@ impl ShardSet {
         (windows, hit_horizon)
     }
 
+    /// Encodes mailboxes (key-sorted, with per-queue sequence counters),
+    /// RNG substream positions, and local clocks. The topology is
+    /// configuration and is re-supplied at restore.
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        w.u32(self.topo.shards());
+        for q in &self.queues {
+            w.u64(q.seq());
+            w.seq(&q.sorted_entries(), |w, &(t, seq, ev)| {
+                w.f64(t.as_secs());
+                w.u64(seq);
+                match ev {
+                    LocalEv::PhaseChange(job, attempt, phase) => {
+                        w.u8(0);
+                        w.u64(job.0);
+                        w.u32(*attempt);
+                        w.usize(*phase);
+                    }
+                    LocalEv::ShutdownDone(node) => {
+                        w.u8(1);
+                        w.u32(node.0);
+                    }
+                }
+            });
+        }
+        for rng in &self.rngs {
+            let (seed, pos) = rng.snapshot_state();
+            w.u64(seed);
+            w.u64(pos);
+        }
+        for clock in &self.clocks {
+            w.opt(clock.as_ref(), |w, &(t, seq)| {
+                w.f64(t.as_secs());
+                w.u64(seq);
+            });
+        }
+    }
+
+    /// Decodes a shard set written by [`ShardSet::snapshot_into`]. The
+    /// topology is re-supplied; its shard count must match the snapshot.
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+        topo: ShardTopology,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        use epa_simcore::snap::SnapshotError;
+        let shards = r.u32()?;
+        if shards != topo.shards() {
+            return Err(SnapshotError::TopologyMismatch {
+                detail: format!(
+                    "snapshot has {shards} shards, current topology has {}",
+                    topo.shards()
+                ),
+            });
+        }
+        let n = shards as usize;
+        let mut queues = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seq = r.u64()?;
+            let mut q = EventQueue::new();
+            let entries = r.seq(|r| {
+                let t = SimTime::from_secs(r.f64()?);
+                let ev_seq = r.u64()?;
+                let ev = match r.u8()? {
+                    0 => LocalEv::PhaseChange(JobId(r.u64()?), r.u32()?, r.usize()?),
+                    1 => LocalEv::ShutdownDone(NodeId(r.u32()?)),
+                    tag => {
+                        return Err(SnapshotError::Corrupt {
+                            detail: format!("unknown shard-local event tag {tag}"),
+                        })
+                    }
+                };
+                Ok((t, ev_seq, ev))
+            })?;
+            for (t, ev_seq, ev) in entries {
+                q.push_with_seq(t, ev_seq, ev);
+            }
+            q.set_seq(seq);
+            queues.push(q);
+        }
+        let mut rngs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let seed = r.u64()?;
+            let pos = r.u64()?;
+            rngs.push(SimRng::from_state(seed, pos));
+        }
+        let mut clocks = Vec::with_capacity(n);
+        for _ in 0..n {
+            clocks.push(r.opt(|r| Ok((SimTime::from_secs(r.f64()?), r.u64()?)))?);
+        }
+        Ok(ShardSet {
+            topo,
+            queues,
+            rngs,
+            clocks,
+        })
+    }
+
     /// Drops all pending events (end of run).
     pub fn clear(&mut self) {
         for q in &mut self.queues {

@@ -1,0 +1,135 @@
+//! Crash-safe engine snapshots.
+//!
+//! A [`Snapshot`] is the full mutable state of a
+//! [`ClusterSim`](crate::engine::ClusterSim) frozen at a window barrier —
+//! the point between two global events where no shard window is in
+//! flight. It is a self-describing binary frame (see
+//! [`epa_simcore::snap`]): magic, schema version, payload length, and an
+//! FNV-1a-64 checksum guard the payload; named section markers frame each
+//! component's state so a decode failure reports *which* subsystem's
+//! bytes went bad.
+//!
+//! The determinism contract: a run killed at any barrier and resumed from
+//! its latest snapshot produces a [`SimOutcome`](crate::engine::SimOutcome)
+//! and an exported decision trace byte-identical to the uninterrupted
+//! run, at any shard count × thread count the snapshot's shard layout
+//! admits (thread count is free to change across the boundary; the shard
+//! count must match the snapshot's, because mailbox state is per-shard).
+//!
+//! Configuration is deliberately *not* stored: the caller re-supplies the
+//! system, workload, policy, and [`EngineConfig`](crate::engine::EngineConfig)
+//! at resume, and a config fingerprint embedded in the snapshot rejects a
+//! mismatched resume with a typed
+//! [`SnapshotError`](epa_simcore::snap::SnapshotError) instead of
+//! silently diverging.
+
+use epa_simcore::snap::SnapshotError;
+use std::io;
+use std::path::Path;
+
+/// Schema version of the engine snapshot payload. Bump on any layout
+/// change; [`SnapReader::open`](epa_simcore::snap::SnapReader::open)
+/// rejects mismatches with a typed error.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// A frozen engine state: an owned, framed, checksummed byte buffer.
+///
+/// Produced by [`ClusterSim::snapshot`](crate::engine::ClusterSim::snapshot)
+/// or [`ClusterSim::run_until`](crate::engine::ClusterSim::run_until);
+/// consumed by [`ClusterSim::resume`](crate::engine::ClusterSim::resume).
+/// The bytes are portable across processes — write them to disk with
+/// [`Snapshot::save`] and recover after a crash with [`Snapshot::load`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Snapshot {
+    bytes: Vec<u8>,
+}
+
+impl Snapshot {
+    /// Wraps raw bytes (e.g. read from disk). No validation happens here;
+    /// [`ClusterSim::resume`](crate::engine::ClusterSim::resume) validates
+    /// magic, version, checksum, topology, and config fingerprint.
+    #[must_use]
+    pub fn from_bytes(bytes: Vec<u8>) -> Self {
+        Snapshot { bytes }
+    }
+
+    /// The framed snapshot bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Consumes the snapshot, returning the framed bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+
+    /// Total size in bytes (header + payload).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// True when the buffer is empty (never produced by the engine; an
+    /// empty buffer fails restore with a truncation error).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Writes the snapshot to a file.
+    pub fn save(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        std::fs::write(path, &self.bytes)
+    }
+
+    /// Reads a snapshot from a file. The contents are validated at
+    /// resume, not here.
+    pub fn load(path: impl AsRef<Path>) -> io::Result<Self> {
+        Ok(Snapshot {
+            bytes: std::fs::read(path)?,
+        })
+    }
+
+    /// Cheap structural pre-check: validates the frame (magic, version,
+    /// length, checksum) without decoding any state. Useful for picking
+    /// the latest *intact* snapshot out of a crash directory.
+    pub fn verify_frame(&self) -> Result<(), SnapshotError> {
+        epa_simcore::snap::SnapReader::open(&self.bytes, SNAPSHOT_SCHEMA_VERSION).map(|_| ())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn raw_bytes_roundtrip() {
+        let s = Snapshot::from_bytes(vec![1, 2, 3]);
+        assert_eq!(s.as_bytes(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+        assert!(!s.is_empty());
+        assert_eq!(s.clone().into_bytes(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_frame_fails_verification() {
+        let s = Snapshot::from_bytes(Vec::new());
+        assert!(matches!(
+            s.verify_frame().unwrap_err(),
+            SnapshotError::Truncated { .. }
+        ));
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let dir = std::env::temp_dir().join("epa-snapshot-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("snap.bin");
+        let s = Snapshot::from_bytes(vec![9, 8, 7, 6]);
+        s.save(&path).unwrap();
+        let loaded = Snapshot::load(&path).unwrap();
+        assert_eq!(loaded, s);
+        let _ = std::fs::remove_file(&path);
+    }
+}

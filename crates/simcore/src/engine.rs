@@ -147,6 +147,29 @@ impl<E> Simulation<E> {
         Some((t, e))
     }
 
+    /// Read-only access to the event queue (snapshot encoding: the
+    /// caller serializes pending entries and the seq counter).
+    #[must_use]
+    pub fn queue(&self) -> &EventQueue<E> {
+        &self.queue
+    }
+
+    /// Mutable access to the event queue (snapshot restore: the caller
+    /// clears it, rebuilds pending entries with
+    /// [`EventQueue::push_with_seq`], and restores the seq counter).
+    pub fn queue_mut(&mut self) -> &mut EventQueue<E> {
+        &mut self.queue
+    }
+
+    /// Overwrites the clock and the processed-event count (snapshot
+    /// restore). Unlike [`Simulation::advance_to`] this may rewind —
+    /// restoring a snapshot into a freshly-built simulation is the one
+    /// legitimate case where the monotonic-clock invariant resets.
+    pub fn restore_clock(&mut self, now: SimTime, processed: u64) {
+        self.now = now;
+        self.processed = processed;
+    }
+
     /// Advances the clock without delivering an event (e.g. to the horizon
     /// after the queue drains). Panics if `to` is in the past.
     pub fn advance_to(&mut self, to: SimTime) {

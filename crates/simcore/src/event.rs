@@ -139,6 +139,35 @@ impl<E> EventQueue<E> {
         self.heap.clear();
     }
 
+    /// The next sequence number this queue would allocate. Snapshot
+    /// state: restoring it (with [`EventQueue::set_seq`]) preserves the
+    /// global `(time, seq)` numbering across a save/resume boundary.
+    #[must_use]
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Overwrites the sequence counter (snapshot restore).
+    pub fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
+    }
+
+    /// Every pending event as `(time, seq, &payload)`, sorted by key.
+    ///
+    /// The heap's internal layout depends on insertion history, so a
+    /// byte-stable serialization (snapshot→restore→snapshot equality)
+    /// must iterate in key order, which this provides without draining.
+    #[must_use]
+    pub fn sorted_entries(&self) -> Vec<(SimTime, u64, &E)> {
+        let mut out: Vec<(SimTime, u64, &E)> = self
+            .heap
+            .iter()
+            .map(|e| (e.time, e.seq, &e.payload))
+            .collect();
+        out.sort_unstable_by_key(|&(t, seq, _)| (t, seq));
+        out
+    }
+
     /// Drains all events in time order into a vector.
     pub fn drain_sorted(&mut self) -> Vec<(SimTime, E)> {
         let mut out = Vec::with_capacity(self.heap.len());

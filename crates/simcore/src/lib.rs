@@ -19,6 +19,8 @@
 //! - [`stats`] — online statistics, exact percentiles, histograms.
 //! - [`series`] — time series with piecewise-constant integration.
 //! - [`metrics`] — a string-keyed metrics registry for instrumentation.
+//! - [`snap`] — versioned, checksummed binary snapshot codec (resumable
+//!   runs).
 
 pub mod engine;
 pub mod error;
@@ -27,6 +29,7 @@ pub mod metrics;
 pub mod quantile;
 pub mod rng;
 pub mod series;
+pub mod snap;
 pub mod stats;
 pub mod time;
 
@@ -37,5 +40,6 @@ pub use metrics::MetricsRegistry;
 pub use quantile::P2Quantile;
 pub use rng::SimRng;
 pub use series::TimeSeries;
+pub use snap::{SnapReader, SnapWriter, SnapshotError};
 pub use stats::{Histogram, OnlineStats, Percentiles, SummaryStats};
 pub use time::{SimDuration, SimTime};

@@ -109,6 +109,57 @@ impl MetricsRegistry {
         }
     }
 
+    /// Encodes the full registry (counters, moment accumulators, sample
+    /// stores, time series) into a snapshot. `BTreeMap` iteration order
+    /// makes the encoding deterministic.
+    pub fn snapshot_into(&self, w: &mut crate::snap::SnapWriter) {
+        let counters: Vec<_> = self.counters.iter().collect();
+        w.seq(&counters, |w, (k, v)| {
+            w.str(k);
+            w.u64(**v);
+        });
+        let stats: Vec<_> = self.stats.iter().collect();
+        w.seq(&stats, |w, (k, v)| {
+            w.str(k);
+            v.snapshot_into(w);
+        });
+        let distributions: Vec<_> = self.distributions.iter().collect();
+        w.seq(&distributions, |w, (k, v)| {
+            w.str(k);
+            v.snapshot_into(w);
+        });
+        let series: Vec<_> = self.series.iter().collect();
+        w.seq(&series, |w, (k, v)| {
+            w.str(k);
+            v.snapshot_into(w);
+        });
+    }
+
+    /// Decodes a registry written by [`MetricsRegistry::snapshot_into`].
+    pub fn restore_from(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Self, crate::snap::SnapshotError> {
+        let counters = r.seq(|r| Ok((r.str()?, r.u64()?)))?.into_iter().collect();
+        let stats = r
+            .seq(|r| Ok((r.str()?, OnlineStats::restore_from(r)?)))?
+            .into_iter()
+            .collect();
+        let distributions = r
+            .seq(|r| Ok((r.str()?, Percentiles::restore_from(r)?)))?
+            .into_iter()
+            .collect();
+        let series = r
+            .seq(|r| Ok((r.str()?, TimeSeries::restore_from(r)?)))?
+            .into_iter()
+            .collect();
+        Ok(MetricsRegistry {
+            counters,
+            stats,
+            distributions,
+            series,
+        })
+    }
+
     /// Merges another registry into this one (counters add, observations
     /// pool, series must not collide).
     ///

@@ -118,6 +118,40 @@ impl TimeSeries {
         self.points.last().copied()
     }
 
+    /// Encodes the series into a snapshot. The prefix-sum array is
+    /// serialized alongside the change points (rather than recomputed on
+    /// restore) so the restored series is bit-identical state, not just
+    /// equivalent.
+    pub fn snapshot_into(&self, w: &mut crate::snap::SnapWriter) {
+        w.seq(&self.points, |w, &(t, v)| {
+            w.f64(t.as_secs());
+            w.f64(v);
+        });
+        w.seq(&self.cum, |w, &c| w.f64(c));
+    }
+
+    /// Decodes a series written by [`TimeSeries::snapshot_into`].
+    pub fn restore_from(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Self, crate::snap::SnapshotError> {
+        let points = r.seq(|r| {
+            let t = SimTime::from_secs(r.f64()?);
+            let v = r.f64()?;
+            Ok((t, v))
+        })?;
+        let cum = r.seq(crate::snap::SnapReader::f64)?;
+        if cum.len() != points.len() {
+            return Err(crate::snap::SnapshotError::Corrupt {
+                detail: format!(
+                    "time series has {} points but {} prefix sums",
+                    points.len(),
+                    cum.len()
+                ),
+            });
+        }
+        Ok(TimeSeries { points, cum })
+    }
+
     /// Exact integral of the step function over `[a, b]`, in O(log n) as
     /// the difference of two prefix-sum reads.
     ///

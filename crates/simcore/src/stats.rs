@@ -121,6 +121,28 @@ impl OnlineStats {
     pub fn sum(&self) -> f64 {
         self.mean() * self.count as f64
     }
+
+    /// Encodes the accumulator into a snapshot (bit-exact moments).
+    pub fn snapshot_into(&self, w: &mut crate::snap::SnapWriter) {
+        w.u64(self.count);
+        w.f64(self.mean);
+        w.f64(self.m2);
+        w.f64(self.min);
+        w.f64(self.max);
+    }
+
+    /// Decodes an accumulator written by [`OnlineStats::snapshot_into`].
+    pub fn restore_from(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Self, crate::snap::SnapshotError> {
+        Ok(OnlineStats {
+            count: r.u64()?,
+            mean: r.f64()?,
+            m2: r.f64()?,
+            min: r.f64()?,
+            max: r.f64()?,
+        })
+    }
 }
 
 /// Exact percentile computation over stored samples.
@@ -156,6 +178,24 @@ impl Percentiles {
         for x in xs {
             self.push(x);
         }
+    }
+
+    /// Encodes the sample store into a snapshot. The samples are written
+    /// in their current storage order together with the sorted flag, so
+    /// the restored store is byte-for-byte the same state.
+    pub fn snapshot_into(&self, w: &mut crate::snap::SnapWriter) {
+        w.seq(&self.samples, |w, &x| w.f64(x));
+        w.bool(self.sorted);
+    }
+
+    /// Decodes a sample store written by [`Percentiles::snapshot_into`].
+    pub fn restore_from(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Self, crate::snap::SnapshotError> {
+        Ok(Percentiles {
+            samples: r.seq(crate::snap::SnapReader::f64)?,
+            sorted: r.bool()?,
+        })
     }
 
     /// Number of observations.

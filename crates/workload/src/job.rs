@@ -154,6 +154,70 @@ pub struct Job {
 }
 
 impl Job {
+    /// Encodes the full job (identity, profile, request, moldability).
+    pub fn snapshot_into(&self, w: &mut epa_simcore::snap::SnapWriter) {
+        w.u64(self.id.0);
+        w.u32(self.user);
+        w.str(&self.app.tag);
+        w.seq(&self.app.phases, |w, p| {
+            w.f64(p.weight);
+            w.f64(p.cpu_boundness);
+            w.f64(p.utilization);
+        });
+        w.f64(self.submit.as_secs());
+        w.u32(self.nodes);
+        w.f64(self.walltime_estimate.as_secs());
+        w.f64(self.base_runtime.as_secs());
+        w.i64(i64::from(self.priority));
+        w.opt(self.moldable.as_ref(), |w, m| {
+            w.u32(m.min_nodes);
+            w.u32(m.max_nodes);
+            w.f64(m.serial_fraction);
+        });
+    }
+
+    /// Decodes a job written by [`Job::snapshot_into`].
+    pub fn restore_from(
+        r: &mut epa_simcore::snap::SnapReader<'_>,
+    ) -> Result<Self, epa_simcore::snap::SnapshotError> {
+        let id = JobId(r.u64()?);
+        let user = r.u32()?;
+        let tag = r.str()?;
+        let phases = r.seq(|r| {
+            Ok(Phase {
+                weight: r.f64()?,
+                cpu_boundness: r.f64()?,
+                utilization: r.f64()?,
+            })
+        })?;
+        let submit = SimTime::from_secs(r.f64()?);
+        let nodes = r.u32()?;
+        let walltime_estimate = SimDuration::from_secs(r.f64()?);
+        let base_runtime = SimDuration::from_secs(r.f64()?);
+        let priority =
+            i32::try_from(r.i64()?).map_err(|_| epa_simcore::snap::SnapshotError::Corrupt {
+                detail: format!("priority out of i32 range for job {}", id.0),
+            })?;
+        let moldable = r.opt(|r| {
+            Ok(MoldableConfig {
+                min_nodes: r.u32()?,
+                max_nodes: r.u32()?,
+                serial_fraction: r.f64()?,
+            })
+        })?;
+        Ok(Job {
+            id,
+            user,
+            app: AppProfile { tag, phases },
+            submit,
+            nodes,
+            walltime_estimate,
+            base_runtime,
+            priority,
+            moldable,
+        })
+    }
+
     /// Phases with weights normalized to sum to 1.
     #[must_use]
     pub fn normalized_phases(&self) -> Vec<Phase> {

@@ -20,16 +20,31 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Mutex, OnceLock};
 
+/// Parses an `EPA_JSRM_THREADS` value: a positive integer, or an error
+/// describing why it was rejected.
+fn parse_threads(raw: &str) -> Result<usize, String> {
+    match raw.trim().parse::<usize>() {
+        Ok(n) if n >= 1 => Ok(n),
+        Ok(n) => Err(format!("{n} is not a positive thread count")),
+        Err(_) => Err(format!("{raw:?} is not an integer")),
+    }
+}
+
 /// Process-wide default thread count: `EPA_JSRM_THREADS` if set and valid,
 /// else the number of available cores (1 if that cannot be determined).
+/// An invalid value is not silently dropped: a one-time stderr warning
+/// names the variable and the value, so a typo'd `EPA_JSRM_THREADS=abc`
+/// cannot masquerade as "unset".
 fn default_threads() -> usize {
     static DEFAULT: OnceLock<usize> = OnceLock::new();
     *DEFAULT.get_or_init(|| {
-        if let Ok(v) = std::env::var("EPA_JSRM_THREADS") {
-            if let Ok(n) = v.trim().parse::<usize>() {
-                if n >= 1 {
-                    return n;
-                }
+        if let Ok(raw) = std::env::var("EPA_JSRM_THREADS") {
+            match parse_threads(&raw) {
+                Ok(n) => return n,
+                Err(why) => eprintln!(
+                    "warning: ignoring invalid EPA_JSRM_THREADS={raw:?}: {why} \
+                     (falling back to available parallelism)"
+                ),
             }
         }
         std::thread::available_parallelism()
@@ -312,6 +327,24 @@ mod tests {
         let inside = with_num_threads(3, current_num_threads);
         assert_eq!(inside, 3);
         assert_eq!(current_num_threads(), base);
+    }
+
+    #[test]
+    fn parse_threads_accepts_positive_integers() {
+        assert_eq!(super::parse_threads("1"), Ok(1));
+        assert_eq!(super::parse_threads("4"), Ok(4));
+        assert_eq!(super::parse_threads(" 8 "), Ok(8));
+    }
+
+    #[test]
+    fn parse_threads_rejects_garbage_and_zero() {
+        let err = super::parse_threads("abc").unwrap_err();
+        assert!(err.contains("abc"), "error should name the value: {err}");
+        let err = super::parse_threads("0").unwrap_err();
+        assert!(err.contains('0'), "error should name the value: {err}");
+        assert!(super::parse_threads("").is_err());
+        assert!(super::parse_threads("-2").is_err());
+        assert!(super::parse_threads("3.5").is_err());
     }
 
     #[test]

@@ -84,11 +84,13 @@ fn chaos_run(seed: u64) -> (SimOutcome, u64) {
     chaos_run_sharded(seed, 4)
 }
 
-fn chaos_run_sharded(seed: u64, shards: u32) -> (SimOutcome, u64) {
+fn chaos_jobs(seed: u64) -> Vec<epa_workload::job::Job> {
     let horizon = SimTime::from_days(2.0);
-    let jobs = WorkloadGenerator::new(WorkloadParams::typical(NODES, seed)).generate(horizon, 0);
-    let n = jobs.len() as u64;
-    let mut config = EngineConfig::new(horizon);
+    WorkloadGenerator::new(WorkloadParams::typical(NODES, seed)).generate(horizon, 0)
+}
+
+fn chaos_config(seed: u64, shards: u32) -> EngineConfig {
+    let mut config = EngineConfig::new(SimTime::from_days(2.0));
     config.power_budget_watts = Some(f64::from(NODES) * NOMINAL_W * BUDGET_FRAC);
     config.emergency = Some(EmergencyPolicy::new(f64::from(NODES) * NOMINAL_W * 0.65));
     config.requeue_killed = true;
@@ -98,8 +100,20 @@ fn chaos_run_sharded(seed: u64, shards: u32) -> (SimOutcome, u64) {
     config.seed = seed;
     config.faults = Some(chaos_faults(seed));
     config.shards = Some(shards);
+    config
+}
+
+fn chaos_run_sharded(seed: u64, shards: u32) -> (SimOutcome, u64) {
+    let jobs = chaos_jobs(seed);
+    let n = jobs.len() as u64;
     let mut policy = EasyBackfill;
-    let out = ClusterSim::new(chaos_system(), jobs, &mut policy, config).run();
+    let out = ClusterSim::new(
+        chaos_system(),
+        jobs,
+        &mut policy,
+        chaos_config(seed, shards),
+    )
+    .run();
     (out, n)
 }
 
@@ -230,6 +244,49 @@ fn chaos_runs_are_byte_identical_across_shard_counts() {
         assert!(
             sa == sb,
             "seed {seed}: outcomes drifted between 1 and 4 shards"
+        );
+    }
+}
+
+/// Invariant 5 — **crash-safe resume**: for every seed, snapshotting the
+/// fully chaotic 4-shard run mid-horizon, dropping the engine, and
+/// resuming from the snapshot bytes lands on an outcome byte-identical
+/// to the straight-through run. Faults, sensors, actuators, budget
+/// ledger, and requeue state all cross the crash boundary.
+#[test]
+fn chaos_resume_mid_horizon_is_byte_identical() {
+    let results: Vec<(u64, String, String)> = SEEDS
+        .par_iter()
+        .map(|&seed| {
+            let (straight, _) = chaos_run(seed);
+            let mut policy = EasyBackfill;
+            let mut sim = ClusterSim::new(
+                chaos_system(),
+                chaos_jobs(seed),
+                &mut policy,
+                chaos_config(seed, 4),
+            );
+            let snap = sim.run_until(SimTime::from_days(1.0));
+            drop(sim); // the crash: only the snapshot bytes survive
+            let mut policy = EasyBackfill;
+            let resumed = ClusterSim::resume(
+                chaos_system(),
+                chaos_jobs(seed),
+                &mut policy,
+                chaos_config(seed, 4),
+                &snap,
+            )
+            .expect("resume from a mid-horizon chaos snapshot");
+            let out = resumed.run();
+            let sa = serde_json::to_string_pretty(&straight).expect("serializes");
+            let sb = serde_json::to_string_pretty(&out).expect("serializes");
+            (seed, sa, sb)
+        })
+        .collect();
+    for (seed, sa, sb) in &results {
+        assert!(
+            sa == sb,
+            "seed {seed}: resumed chaos outcome drifted from the straight-through run"
         );
     }
 }

@@ -1,0 +1,394 @@
+//! Kill-point injection harness for crash-safe snapshot/resume.
+//!
+//! Per chaos seed, the engine is killed (dropped) at randomized window
+//! barriers — including mid-campaign under 4 shards × 4 threads — and
+//! resumed from the latest snapshot, possibly several times in a chain
+//! (crash → resume → crash again → resume). The contract under test:
+//!
+//! 1. The final [`SimOutcome`] of the resumed run is **byte-identical**
+//!    (pretty-JSON) to the uninterrupted run of the same seed.
+//! 2. The exported JSONL decision trace is byte-identical too: the
+//!    snapshot carries the trace ring, so a resumed run's trace is
+//!    indistinguishable from one that never crashed.
+//! 3. Both hold across the shard × thread grid: the snapshot's shard
+//!    layout must match at resume, but the thread count is free to
+//!    change across the crash boundary.
+//! 4. Corrupt, truncated, version-skewed, or mismatched snapshots are
+//!    rejected with typed [`SnapshotError`]s — never a panic, never a
+//!    silently divergent run.
+
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::{System, SystemSpec};
+use epa_cluster::topology::Topology;
+use epa_faults::{ActuatorFaultConfig, DomainFaultConfig, FaultConfig, SensorFaultConfig};
+use epa_obs::{trace_to_jsonl, TraceConfig};
+use epa_sched::emergency::EmergencyPolicy;
+use epa_sched::engine::{ClusterSim, EngineConfig};
+use epa_sched::policies::backfill::EasyBackfill;
+use epa_sched::Snapshot;
+use epa_simcore::snap::SnapshotError;
+use epa_simcore::time::{SimDuration, SimTime};
+use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
+use epa_workload::job::Job;
+
+const NODES: u32 = 32;
+const NOMINAL_W: f64 = 290.0;
+const BUDGET_FRAC: f64 = 0.7;
+const HORIZON_DAYS: f64 = 2.0;
+
+fn chaos_system() -> System {
+    SystemSpec {
+        name: "resume-32".into(),
+        cabinets: 4,
+        nodes_per_cabinet: 8,
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 16 },
+        peak_tflops: 32.0,
+    }
+    .build()
+}
+
+fn chaos_jobs(seed: u64) -> Vec<Job> {
+    let horizon = SimTime::from_days(HORIZON_DAYS);
+    WorkloadGenerator::new(WorkloadParams::typical(NODES, seed)).generate(horizon, 0)
+}
+
+/// The full chaos configuration from `tests/chaos.rs`, with the trace
+/// fully enabled so the JSONL export exercises every category.
+fn chaos_config(seed: u64, shards: u32) -> EngineConfig {
+    let mut config = EngineConfig::new(SimTime::from_days(HORIZON_DAYS));
+    config.power_budget_watts = Some(f64::from(NODES) * NOMINAL_W * BUDGET_FRAC);
+    config.emergency = Some(EmergencyPolicy::new(f64::from(NODES) * NOMINAL_W * 0.65));
+    config.requeue_killed = true;
+    config.checkpoint_interval = Some(SimDuration::from_mins(30.0));
+    config.node_mtbf = Some(SimDuration::from_hours(24.0));
+    config.repair_time = SimDuration::from_hours(1.0);
+    config.seed = seed;
+    config.faults = Some(FaultConfig {
+        domain: Some(DomainFaultConfig {
+            mtbf: SimDuration::from_hours(12.0),
+            repair_time: SimDuration::from_hours(1.0),
+        }),
+        sensor: Some(SensorFaultConfig {
+            dropout_prob: 0.25,
+            stuck_prob: 0.05,
+            ..SensorFaultConfig::default()
+        }),
+        actuator: Some(ActuatorFaultConfig {
+            fail_prob: 0.15,
+            ..ActuatorFaultConfig::default()
+        }),
+        seed,
+    });
+    config.shards = Some(shards);
+    config.trace = TraceConfig::all();
+    config
+}
+
+/// Serialized (outcome, trace) pair used for byte comparison.
+fn fingerprint_run(
+    out: &epa_sched::engine::SimOutcome,
+    bundle: &epa_obs::ObsBundle,
+) -> (String, String) {
+    (
+        serde_json::to_string_pretty(out).expect("outcome serializes"),
+        trace_to_jsonl(&bundle.trace),
+    )
+}
+
+/// Straight-through run: no crash, no snapshot.
+fn uninterrupted(seed: u64, shards: u32) -> (String, String) {
+    let mut policy = EasyBackfill;
+    let sim = ClusterSim::new(
+        chaos_system(),
+        chaos_jobs(seed),
+        &mut policy,
+        chaos_config(seed, shards),
+    );
+    let (out, bundle) = sim.run_traced();
+    fingerprint_run(&out, &bundle)
+}
+
+/// Deterministic pseudo-random kill fractions of the horizon, ascending,
+/// derived from the seed so every seed crashes at different barriers.
+fn kill_fractions(seed: u64) -> [f64; 3] {
+    let mut x = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    let mut fracs = [0.0f64; 3];
+    for (i, slot) in fracs.iter_mut().enumerate() {
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        let jitter = (x % 1000) as f64 / 1000.0;
+        *slot = 0.12 + 0.25 * i as f64 + 0.12 * jitter;
+    }
+    fracs
+}
+
+/// Runs the same workload but killed at each fraction of the horizon:
+/// the engine is advanced to the barrier, snapshotted, *dropped* (the
+/// crash), and a brand-new engine is resumed from the snapshot bytes
+/// (round-tripped through `from_bytes` to model a disk read). After the
+/// last crash the run is driven to completion with full tracing.
+fn killed_and_resumed(seed: u64, shards: u32, fracs: &[f64]) -> (String, String) {
+    let horizon_secs = HORIZON_DAYS * 86_400.0;
+    let mut policy = EasyBackfill;
+    let mut sim = ClusterSim::new(
+        chaos_system(),
+        chaos_jobs(seed),
+        &mut policy,
+        chaos_config(seed, shards),
+    );
+    let mut snap = sim.run_until(SimTime::from_secs(horizon_secs * fracs[0]));
+    drop(sim); // the crash
+    for &frac in &fracs[1..] {
+        // Model the crash boundary: only the bytes survive.
+        let bytes = Snapshot::from_bytes(snap.as_bytes().to_vec());
+        bytes.verify_frame().expect("snapshot frame intact");
+        let mut policy = EasyBackfill;
+        let mut sim = ClusterSim::resume(
+            chaos_system(),
+            chaos_jobs(seed),
+            &mut policy,
+            chaos_config(seed, shards),
+            &bytes,
+        )
+        .expect("resume from intact snapshot");
+        snap = sim.run_until(SimTime::from_secs(horizon_secs * frac));
+        drop(sim);
+    }
+    let bytes = Snapshot::from_bytes(snap.into_bytes());
+    let mut policy = EasyBackfill;
+    let sim = ClusterSim::resume(
+        chaos_system(),
+        chaos_jobs(seed),
+        &mut policy,
+        chaos_config(seed, shards),
+        &bytes,
+    )
+    .expect("resume from intact snapshot");
+    let (out, bundle) = sim.run_traced();
+    fingerprint_run(&out, &bundle)
+}
+
+/// Mid-campaign crashes under 4 shards × 4 threads: a three-crash chain
+/// at seed-randomized barriers must replay to a byte-identical outcome
+/// and trace.
+#[test]
+fn multi_crash_resume_is_byte_identical_4_shards_4_threads() {
+    for seed in [1u64, 8, 55] {
+        let fracs = kill_fractions(seed);
+        let (base_out, base_trace) = rayon::with_num_threads(4, || uninterrupted(seed, 4));
+        let (out, trace) = rayon::with_num_threads(4, || killed_and_resumed(seed, 4, &fracs));
+        assert!(
+            out == base_out,
+            "seed {seed}: resumed outcome drifted (kill points {fracs:?})"
+        );
+        assert!(
+            trace == base_trace,
+            "seed {seed}: resumed trace drifted (kill points {fracs:?})"
+        );
+    }
+}
+
+/// The shard × thread grid: every combination of shards ∈ {1, 4} and
+/// threads ∈ {1, 4}, crashed once mid-horizon, must land on the same
+/// bytes as the uninterrupted single-shard serial run.
+#[test]
+fn crash_resume_matches_across_shard_thread_grid() {
+    let seed = 13u64;
+    let (base_out, base_trace) = rayon::with_num_threads(1, || uninterrupted(seed, 1));
+    for shards in [1u32, 4] {
+        for threads in [1usize, 4] {
+            let (out, trace) =
+                rayon::with_num_threads(threads, || killed_and_resumed(seed, shards, &[0.5]));
+            assert!(
+                out == base_out,
+                "seed {seed}: outcome drifted at {shards} shards x {threads} threads"
+            );
+            assert!(
+                trace == base_trace,
+                "seed {seed}: trace drifted at {shards} shards x {threads} threads"
+            );
+        }
+    }
+}
+
+/// The thread count may change across the crash boundary: snapshot under
+/// one thread, finish under four (and vice versa).
+#[test]
+fn thread_count_may_change_across_the_crash_boundary() {
+    let seed = 21u64;
+    let (base_out, base_trace) = rayon::with_num_threads(1, || uninterrupted(seed, 4));
+    let snap = rayon::with_num_threads(1, || {
+        let mut policy = EasyBackfill;
+        let mut sim = ClusterSim::new(
+            chaos_system(),
+            chaos_jobs(seed),
+            &mut policy,
+            chaos_config(seed, 4),
+        );
+        sim.run_until(SimTime::from_days(HORIZON_DAYS / 2.0))
+    });
+    let (out, trace) = rayon::with_num_threads(4, || {
+        let mut policy = EasyBackfill;
+        let sim = ClusterSim::resume(
+            chaos_system(),
+            chaos_jobs(seed),
+            &mut policy,
+            chaos_config(seed, 4),
+            &snap,
+        )
+        .expect("resume across thread-count change");
+        let (out, bundle) = sim.run_traced();
+        fingerprint_run(&out, &bundle)
+    });
+    assert!(out == base_out, "outcome drifted across thread change");
+    assert!(trace == base_trace, "trace drifted across thread change");
+}
+
+/// A snapshot taken after the run already completed resumes to the same
+/// final state (and `run_until` past the horizon is a clean no-op).
+#[test]
+fn snapshot_after_completion_resumes_to_identical_outcome() {
+    let seed = 2u64;
+    let (base_out, _) = uninterrupted(seed, 4);
+    let mut policy = EasyBackfill;
+    let mut sim = ClusterSim::new(
+        chaos_system(),
+        chaos_jobs(seed),
+        &mut policy,
+        chaos_config(seed, 4),
+    );
+    let snap = sim.run_until(SimTime::from_days(HORIZON_DAYS * 10.0));
+    drop(sim);
+    let mut policy = EasyBackfill;
+    let sim = ClusterSim::resume(
+        chaos_system(),
+        chaos_jobs(seed),
+        &mut policy,
+        chaos_config(seed, 4),
+        &snap,
+    )
+    .expect("resume a completed run");
+    let (out, bundle) = sim.run_traced();
+    let (out, _) = fingerprint_run(&out, &bundle);
+    assert!(out == base_out, "completed-run snapshot drifted");
+}
+
+// ---------------------------------------------------------------------
+// Typed rejection of damaged or mismatched snapshots. None of these may
+// panic; each must surface the precise SnapshotError variant.
+// ---------------------------------------------------------------------
+
+/// A small, fast snapshot for the corruption tests.
+fn small_snapshot(seed: u64) -> Snapshot {
+    let mut policy = EasyBackfill;
+    let mut sim = ClusterSim::new(
+        chaos_system(),
+        chaos_jobs(seed),
+        &mut policy,
+        chaos_config(seed, 4),
+    );
+    sim.run_until(SimTime::from_hours(6.0))
+}
+
+fn try_resume(snapshot: &Snapshot, seed: u64, shards: u32) -> Result<(), SnapshotError> {
+    let mut policy = EasyBackfill;
+    ClusterSim::resume(
+        chaos_system(),
+        chaos_jobs(seed),
+        &mut policy,
+        chaos_config(seed, shards),
+        snapshot,
+    )
+    .map(|_| ())
+}
+
+#[test]
+fn corrupt_snapshot_is_rejected_with_checksum_mismatch() {
+    let snap = small_snapshot(3);
+    let mut bytes = snap.into_bytes();
+    let last = bytes.len() - 1;
+    bytes[last] ^= 0xFF; // flip a payload bit
+    let err = try_resume(&Snapshot::from_bytes(bytes), 3, 4).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::ChecksumMismatch { .. }),
+        "expected ChecksumMismatch, got {err:?}"
+    );
+}
+
+#[test]
+fn truncated_snapshot_is_rejected_with_truncated() {
+    let snap = small_snapshot(3);
+    let mut bytes = snap.into_bytes();
+    bytes.truncate(bytes.len() - 16);
+    let err = try_resume(&Snapshot::from_bytes(bytes), 3, 4).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::Truncated { .. }),
+        "expected Truncated, got {err:?}"
+    );
+}
+
+#[test]
+fn garbage_magic_is_rejected_with_bad_magic() {
+    let snap = small_snapshot(3);
+    let mut bytes = snap.into_bytes();
+    bytes[0] ^= 0xFF;
+    let err = try_resume(&Snapshot::from_bytes(bytes), 3, 4).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::BadMagic),
+        "expected BadMagic, got {err:?}"
+    );
+    // Arbitrary junk with no frame at all is equally typed, never a panic.
+    let err = try_resume(&Snapshot::from_bytes(vec![0x42; 64]), 3, 4).unwrap_err();
+    assert!(matches!(err, SnapshotError::BadMagic), "got {err:?}");
+}
+
+#[test]
+fn version_skew_is_rejected_with_unsupported_version() {
+    let snap = small_snapshot(3);
+    let mut bytes = snap.into_bytes();
+    // The u32 schema version sits right after the 8-byte magic.
+    bytes[8] ^= 0xFF;
+    let err = try_resume(&Snapshot::from_bytes(bytes), 3, 4).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::UnsupportedVersion { .. }),
+        "expected UnsupportedVersion, got {err:?}"
+    );
+}
+
+#[test]
+fn mismatched_config_is_rejected_with_config_mismatch() {
+    let snap = small_snapshot(3);
+    // Same machine, different seed → different workload + fingerprint.
+    let err = try_resume(&snap, 4, 4).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::ConfigMismatch { .. }),
+        "expected ConfigMismatch, got {err:?}"
+    );
+}
+
+#[test]
+fn mismatched_shard_layout_is_rejected_with_topology_mismatch() {
+    let snap = small_snapshot(3);
+    // Same config fingerprint, different shard partition.
+    let err = try_resume(&snap, 3, 1).unwrap_err();
+    assert!(
+        matches!(err, SnapshotError::TopologyMismatch { .. }),
+        "expected TopologyMismatch, got {err:?}"
+    );
+}
+
+#[test]
+fn snapshot_survives_a_disk_roundtrip() {
+    let snap = small_snapshot(5);
+    let dir = std::env::temp_dir().join("epa-resume-determinism");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("crash.snap");
+    snap.save(&path).unwrap();
+    let loaded = Snapshot::load(&path).unwrap();
+    let _ = std::fs::remove_file(&path);
+    assert_eq!(loaded, snap);
+    loaded.verify_frame().expect("frame intact after roundtrip");
+    try_resume(&loaded, 5, 4).expect("resume from disk");
+}
