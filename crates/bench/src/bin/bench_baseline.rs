@@ -6,8 +6,11 @@
 //! section measuring the partitioned engine (1/4/16 shards × 1/4 threads
 //! at 16,384 nodes), both recording byte-identity of their outputs, and a
 //! `snapshot` section (crash-safe snapshot size and save/restore latency
-//! at 4,096 and 16,384 nodes, mid-day). Run after engine changes to track
-//! the hot-path budget (see DESIGN.md, "Performance notes"):
+//! at 4,096 and 16,384 nodes, mid-day), and a `streaming` section
+//! (materialized vs lazy-source runs at 10k/100k/1M jobs, each measured
+//! in a fresh child process so per-run peak RSS is attributable). Run
+//! after engine changes to track the hot-path budget (see DESIGN.md,
+//! "Performance notes"):
 //!
 //! ```text
 //! cargo run --release -p epa-bench --bin bench_baseline [out.json]
@@ -16,16 +19,27 @@
 //! With `--check-scaling` the binary instead runs the 256- and 4,096-node
 //! rows and exits nonzero unless events/sec at 4,096 nodes is within 4×
 //! of 256 nodes — the CI guard for the O(active)-per-event invariant —
-//! and then the 65,536-node row on the 16-shard engine, which must stay
-//! within `SHARDED_SCALING_BOUND`× of the 256-node rate.
+//! then the 65,536-node row on the 16-shard engine, which must stay
+//! within `SHARDED_SCALING_BOUND`× of the 256-node rate, and finally the
+//! replication-sweep speedup — a cell that is skipped (not failed) when
+//! the pool is oversubscribed, because a speedup measured on fewer cores
+//! than pool threads is luck, not signal.
+//!
+//! `--stream-probe <materialized|streaming> <jobs>` is the internal
+//! child-process mode of the `streaming` section: one run, one JSON line
+//! on stdout carrying wall time, peak RSS, and an outcome fingerprint.
 
 use epa_bench::campaign::run_campaign;
-use epa_bench::{experiment_system, BENCH_SCHEMA_VERSION};
+use epa_bench::{
+    experiment_system, peak_rss_bytes, streaming_workload_params, BENCH_SCHEMA_VERSION,
+};
 use epa_obs::{CategoryMask, TraceConfig};
 use epa_sched::engine::{ClusterSim, EngineConfig, SimOutcome};
 use epa_sched::policies::backfill::EasyBackfill;
+use epa_simcore::snap::Fingerprint;
 use epa_simcore::time::SimTime;
 use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
+use epa_workload::source::LazyGeneratorSource;
 use serde_json::json;
 use std::time::Instant;
 
@@ -56,11 +70,34 @@ const SHARD_NODES: u32 = 16384;
 const SHARD_COUNTS: [u32; 3] = [1, 4, 16];
 const SHARD_THREADS: [usize; 2] = [1, 4];
 
+/// The `--check-scaling` sweep cell: with real cores behind every pool
+/// thread, the parallel replication sweep must beat serial by at least
+/// this factor (deliberately lax — the cell guards "parallelism still
+/// works", not a tuning target).
+const SWEEP_SPEEDUP_BOUND: f64 = 1.2;
+
+/// The `streaming` section's job-count axis; the smallest count is the
+/// peak-RSS baseline the 1M-job ratio is taken against.
+const STREAM_JOBS: [u64; 3] = [10_000, 100_000, 1_000_000];
+/// Machine size and Poisson arrival rate of the streaming workload —
+/// sized so the machine keeps up and queue depth (engine memory) stays
+/// flat in the job count.
+const STREAM_NODES: u32 = 256;
+const STREAM_RATE_PER_HOUR: f64 = 1000.0;
+const STREAM_SEED: u64 = 2088;
+/// Bounded-memory acceptance: the 1M-job streaming probe's peak RSS
+/// must stay within this factor of the 10k-job probe.
+const STREAM_RSS_BOUND: f64 = 2.0;
+
 struct SizeResult {
     nodes: u32,
     wall_secs: f64,
     events: u64,
     completed: u64,
+    /// Process peak RSS observed once this row's reps finished. The
+    /// high-water mark is monotone across rows (sizes run ascending),
+    /// so each value bounds everything up to and including its row.
+    peak_rss: u64,
 }
 
 fn simulate(nodes: u32, seed: u64) -> SimOutcome {
@@ -169,6 +206,202 @@ fn shards_section() -> serde_json::Value {
     })
 }
 
+/// Horizon that yields about `jobs` arrivals at the streaming rate.
+fn stream_horizon(jobs: u64) -> SimTime {
+    SimTime::from_hours(jobs as f64 / STREAM_RATE_PER_HOUR)
+}
+
+/// One streaming-probe measurement, exchanged between the parent bench
+/// process and its `--stream-probe` children as a single tab-separated
+/// stdout line (the vendored `serde_json` shim emits JSON but does not
+/// parse it).
+struct ProbeReport {
+    mode: String,
+    target_jobs: u64,
+    jobs_completed: u64,
+    events: u64,
+    wall_secs: f64,
+    peak_rss_bytes: u64,
+    outcome_fingerprint: String,
+}
+
+impl ProbeReport {
+    fn to_line(&self) -> String {
+        format!(
+            "{}\t{}\t{}\t{}\t{}\t{}\t{}",
+            self.mode,
+            self.target_jobs,
+            self.jobs_completed,
+            self.events,
+            self.wall_secs,
+            self.peak_rss_bytes,
+            self.outcome_fingerprint
+        )
+    }
+
+    fn parse(line: &str) -> Option<Self> {
+        let mut f = line.trim_end().split('\t');
+        let report = ProbeReport {
+            mode: f.next()?.to_owned(),
+            target_jobs: f.next()?.parse().ok()?,
+            jobs_completed: f.next()?.parse().ok()?,
+            events: f.next()?.parse().ok()?,
+            wall_secs: f.next()?.parse().ok()?,
+            peak_rss_bytes: f.next()?.parse().ok()?,
+            outcome_fingerprint: f.next()?.to_owned(),
+        };
+        f.next().is_none().then_some(report)
+    }
+
+    fn to_json(&self) -> serde_json::Value {
+        json!({
+            "mode": self.mode,
+            "target_jobs": self.target_jobs,
+            "jobs_completed": self.jobs_completed,
+            "events": self.events,
+            "wall_secs": self.wall_secs,
+            "peak_rss_bytes": self.peak_rss_bytes,
+            "outcome_fingerprint": self.outcome_fingerprint,
+        })
+    }
+}
+
+/// Child-process mode: one streaming-workload run (lazy source or
+/// materialized list, same horizon, same engine config either way),
+/// reported as a single [`ProbeReport`] line on stdout. Runs in its own
+/// process so `VmHWM` attributes the peak RSS to this run alone.
+fn stream_probe(mode: &str, jobs: u64) {
+    let horizon = stream_horizon(jobs);
+    let params = streaming_workload_params(STREAM_RATE_PER_HOUR, STREAM_SEED);
+    let mut policy = EasyBackfill;
+    let mut config = EngineConfig::new(horizon);
+    config.seed = STREAM_SEED;
+    // The streaming engine configuration on BOTH sides of the
+    // comparison: per-job records fold into aggregates, the power trace
+    // is bounded, no prediction history. The two runs then differ only
+    // in where jobs come from, so their outcomes must be byte-identical.
+    config.record_history = false;
+    config.retain_completed = false;
+    config.bounded_power_trace = true;
+    // Wall time covers construction too: the materialized path pays its
+    // full up-front generation there, the lazy path amortizes it into
+    // the run — end-to-end is the honest comparison.
+    let t0 = Instant::now();
+    let sim = match mode {
+        "streaming" => ClusterSim::try_new_with_source(
+            experiment_system(STREAM_NODES),
+            Box::new(LazyGeneratorSource::new(params, horizon, 0)),
+            &mut policy,
+            config,
+        )
+        .expect("valid streaming config"),
+        "materialized" => {
+            let jobs = WorkloadGenerator::new(params).generate(horizon, 0);
+            ClusterSim::new(experiment_system(STREAM_NODES), jobs, &mut policy, config)
+        }
+        other => panic!("unknown stream-probe mode {other:?}"),
+    };
+    let out = sim.run();
+    let wall = t0.elapsed().as_secs_f64();
+    let events = out
+        .counters
+        .get("sim/events_processed")
+        .copied()
+        .unwrap_or(0);
+    let mut fp = Fingerprint::new();
+    fp.str(&serde_json::to_string(&out).expect("outcome serializes"));
+    let report = ProbeReport {
+        mode: mode.to_owned(),
+        target_jobs: jobs,
+        jobs_completed: out.completed,
+        events,
+        wall_secs: wall,
+        peak_rss_bytes: peak_rss_bytes(),
+        outcome_fingerprint: format!("{:016x}", fp.finish()),
+    };
+    println!("{}", report.to_line());
+}
+
+/// Re-executes this binary as a `--stream-probe` child and parses its
+/// one-line report.
+fn stream_probe_cell(mode: &str, jobs: u64) -> ProbeReport {
+    let exe = std::env::current_exe().expect("own executable path");
+    let out = std::process::Command::new(exe)
+        .args(["--stream-probe", mode, &jobs.to_string()])
+        .output()
+        .expect("spawn stream probe");
+    assert!(
+        out.status.success(),
+        "stream probe {mode}/{jobs} failed:\n{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    ProbeReport::parse(&stdout).unwrap_or_else(|| {
+        panic!("stream probe {mode}/{jobs} emitted an unparseable report: {stdout:?}")
+    })
+}
+
+/// The `streaming` section: lazy-source vs materialized runs of the same
+/// high-rate workload at 10k, 100k, and 1M jobs, each in a fresh child
+/// process. Asserts (a) every pair of runs produced byte-identical
+/// outcomes and (b) the 1M-job streaming peak RSS stays within
+/// `STREAM_RSS_BOUND`× of the 10k-job streaming peak — the
+/// bounded-memory claim, recorded in the committed artifact.
+fn streaming_section() -> serde_json::Value {
+    let mut rows = Vec::new();
+    let mut stream_rss: Vec<(u64, u64)> = Vec::new();
+    for &jobs in &STREAM_JOBS {
+        let streaming = stream_probe_cell("streaming", jobs);
+        let materialized = stream_probe_cell("materialized", jobs);
+        let identical = streaming.outcome_fingerprint == materialized.outcome_fingerprint;
+        eprintln!(
+            "streaming: {jobs:>7} jobs: lazy {:.2} s / {:.1} MiB, \
+             materialized {:.2} s / {:.1} MiB, outcomes identical: {identical}",
+            streaming.wall_secs,
+            streaming.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+            materialized.wall_secs,
+            materialized.peak_rss_bytes as f64 / (1024.0 * 1024.0),
+        );
+        assert!(
+            identical,
+            "streaming outcome drifted from materialized at {jobs} jobs"
+        );
+        stream_rss.push((jobs, streaming.peak_rss_bytes));
+        rows.push(json!({
+            "jobs_target": jobs,
+            "streaming": streaming.to_json(),
+            "materialized": materialized.to_json(),
+            "outcomes_identical": identical,
+        }));
+    }
+    let base = stream_rss.first().expect("at least one size").1;
+    let top = stream_rss.last().expect("at least one size").1;
+    let rss_ratio = top as f64 / (base as f64).max(1.0);
+    eprintln!(
+        "streaming: peak RSS {}k-job {:.1} MiB vs {}k-job {:.1} MiB -> {rss_ratio:.2}x \
+         (bound {STREAM_RSS_BOUND}x)",
+        STREAM_JOBS[0] / 1000,
+        base as f64 / (1024.0 * 1024.0),
+        STREAM_JOBS[STREAM_JOBS.len() - 1] / 1000,
+        top as f64 / (1024.0 * 1024.0),
+    );
+    assert!(
+        base == 0 || rss_ratio <= STREAM_RSS_BOUND,
+        "streaming run memory is not bounded: {rss_ratio:.2}x peak-RSS growth \
+         from {} to {} jobs (bound {STREAM_RSS_BOUND}x)",
+        STREAM_JOBS[0],
+        STREAM_JOBS[STREAM_JOBS.len() - 1],
+    );
+    json!({
+        "nodes": STREAM_NODES,
+        "arrival_rate_per_hour": STREAM_RATE_PER_HOUR,
+        "seed": STREAM_SEED,
+        "rows": rows,
+        "streaming_peak_rss_ratio_max_vs_min_jobs": rss_ratio,
+        "streaming_peak_rss_bound": STREAM_RSS_BOUND,
+    })
+}
+
 /// Runs the 12-seed replication sweep at a fixed thread count, returning
 /// wall seconds and the serialized outcome of every cell (in cell order).
 fn sweep(threads: usize) -> (f64, Vec<String>) {
@@ -212,7 +445,7 @@ fn threads_section() -> serde_json::Value {
         identical,
         "parallel sweep outcomes must be byte-identical to serial"
     );
-    json!({
+    let mut section = json!({
         "sweep_nodes": SWEEP_NODES,
         "replications": SWEEP_SEEDS.len(),
         "threads_requested": SWEEP_THREADS,
@@ -222,7 +455,16 @@ fn threads_section() -> serde_json::Value {
         "parallel_wall_secs": par_wall,
         "speedup": speedup,
         "serial_parallel_outcomes_identical": identical,
-    })
+    });
+    // More pool threads than cores: the speedup number is a property of
+    // the host, not the code — flag it so readers (and the scaling
+    // check, which skips this cell) don't treat it as a regression.
+    if threads_used > available {
+        if let serde_json::Value::Object(entries) = &mut section {
+            entries.push(("speedup_note".to_owned(), json!("oversubscribed")));
+        }
+    }
+    section
 }
 
 /// Nodes and reps for the observability-overhead row.
@@ -378,11 +620,42 @@ fn check_scaling() -> bool {
          -> {sharded_degradation:.2}x degradation vs 256 nodes \
          (bound {SHARDED_SCALING_BOUND}x)"
     );
-    degradation <= SCALING_BOUND && sharded_degradation <= SHARDED_SCALING_BOUND
+    // Replication-sweep speedup cell — excluded when oversubscribed: a
+    // pool wider than the machine can't be expected to beat serial, and
+    // whatever number it produces says nothing about the code.
+    let available = std::thread::available_parallelism().map_or(1, std::num::NonZero::get);
+    let threads_used = rayon::with_num_threads(SWEEP_THREADS, rayon::current_num_threads);
+    let sweep_ok = if threads_used > available {
+        eprintln!(
+            "sweep speedup check: skipped (oversubscribed: {threads_used} pool threads \
+             on {available} cores)"
+        );
+        true
+    } else {
+        let (serial_wall, _) = sweep(1);
+        let (par_wall, _) = sweep(SWEEP_THREADS);
+        let speedup = serial_wall / par_wall.max(1e-12);
+        eprintln!(
+            "sweep speedup check: serial {serial_wall:.3} s, {SWEEP_THREADS} threads \
+             {par_wall:.3} s -> {speedup:.2}x (bound {SWEEP_SPEEDUP_BOUND}x)"
+        );
+        speedup >= SWEEP_SPEEDUP_BOUND
+    };
+    degradation <= SCALING_BOUND && sharded_degradation <= SHARDED_SCALING_BOUND && sweep_ok
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--stream-probe") {
+        let mode = args.get(1).expect("--stream-probe <mode> <jobs>");
+        let jobs: u64 = args
+            .get(2)
+            .expect("--stream-probe <mode> <jobs>")
+            .parse()
+            .expect("job count");
+        stream_probe(mode, jobs);
+        return;
+    }
     if args.iter().any(|a| a == "--check-scaling") {
         if check_scaling() {
             eprintln!("scaling check passed");
@@ -399,22 +672,26 @@ fn main() {
     let mut results = Vec::new();
     for nodes in SIZES {
         let (wall_secs, events, completed) = best_of_reps(nodes, REPS);
+        let peak_rss = peak_rss_bytes();
         eprintln!(
             "{nodes:>5} nodes: {wall_secs:.3} s/simulated-day, {events} events \
-             ({:.0} events/s), {completed} jobs completed",
-            events as f64 / wall_secs.max(1e-12)
+             ({:.0} events/s), {completed} jobs completed, peak RSS {:.1} MiB",
+            events as f64 / wall_secs.max(1e-12),
+            peak_rss as f64 / (1024.0 * 1024.0)
         );
         results.push(SizeResult {
             nodes,
             wall_secs,
             events,
             completed,
+            peak_rss,
         });
     }
     let threads = threads_section();
     let shards = shards_section();
     let observability = observability_section();
     let snapshot = snapshot_section();
+    let streaming = streaming_section();
     let rows: Vec<serde_json::Value> = results
         .iter()
         .map(|r| {
@@ -423,7 +700,8 @@ fn main() {
                 "wall_secs_per_sim_day": r.wall_secs,
                 "events": r.events,
                 "events_per_sec": r.events as f64 / r.wall_secs.max(1e-12),
-                "completed_jobs": r.completed,
+                "jobs_completed": r.completed,
+                "peak_rss_bytes": r.peak_rss,
             })
         })
         .collect();
@@ -438,6 +716,7 @@ fn main() {
         "shards": shards,
         "observability": observability,
         "snapshot": snapshot,
+        "streaming": streaming,
     });
     std::fs::write(
         &out_path,

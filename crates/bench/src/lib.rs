@@ -23,7 +23,78 @@ use serde::Serialize;
 /// Schema version stamped into every `BENCH_*.json` document. Bump when
 /// a bench output's key set or semantics change, so downstream tooling
 /// that diffs committed bench files can detect format drift.
-pub const BENCH_SCHEMA_VERSION: u32 = 3;
+///
+/// v4: `bench_baseline` size rows renamed `completed_jobs` to
+/// `jobs_completed` and gained `peak_rss_bytes`; added the `streaming`
+/// section (materialized vs lazy-source runs at 10k/100k/1M jobs with
+/// per-process peak-RSS probes).
+pub const BENCH_SCHEMA_VERSION: u32 = 4;
+
+/// Peak resident set size of this process in bytes (`VmHWM` from
+/// `/proc/self/status`), or 0 where that interface is unavailable. The
+/// high-water mark is monotone over the process lifetime, so
+/// attributing a peak to one run requires a fresh process (the
+/// `bench_baseline` streaming section spawns itself as a probe per
+/// cell for exactly this reason).
+#[must_use]
+pub fn peak_rss_bytes() -> u64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0;
+    };
+    for line in status.lines() {
+        if let Some(rest) = line.strip_prefix("VmHWM:") {
+            let kb = rest
+                .trim()
+                .trim_end_matches("kB")
+                .trim()
+                .parse::<u64>()
+                .unwrap_or(0);
+            return kb * 1024;
+        }
+    }
+    0
+}
+
+/// The million-job streaming workload: small short jobs at a high
+/// Poisson rate, sized so the standard 256-node experiment machine
+/// keeps up with arrivals (the queue — and therefore engine memory —
+/// stays bounded at any job count). At `rate_per_hour` jobs per hour,
+/// a horizon of `n / rate_per_hour` hours yields about `n` jobs; the
+/// exact count is whatever the thinning process draws, which is why
+/// streaming rows record the emitted count rather than the target.
+#[must_use]
+pub fn streaming_workload_params(
+    rate_per_hour: f64,
+    seed: u64,
+) -> epa_workload::generator::WorkloadParams {
+    use epa_simcore::time::SimDuration;
+    use epa_workload::arrival::ArrivalProcess;
+    use epa_workload::distributions::{RuntimeDistribution, SizeDistribution};
+    use epa_workload::job::AppProfile;
+    epa_workload::generator::WorkloadParams {
+        arrivals: ArrivalProcess::Poisson { rate_per_hour },
+        sizes: SizeDistribution {
+            min_nodes: 1,
+            max_nodes: 4,
+            pow2_bias: 0.5,
+            capability_fraction: 0.0,
+        },
+        runtimes: RuntimeDistribution {
+            median: SimDuration::from_mins(4.0),
+            sigma: 0.6,
+            min: SimDuration::from_mins(1.0),
+            max: SimDuration::from_mins(30.0),
+        },
+        users: 32,
+        accurate_estimate_fraction: 0.5,
+        overestimate_mean: 1.2,
+        app_mix: vec![(AppProfile::balanced("stream"), 1.0)],
+        moldable_fraction: 0.0,
+        campaign_probability: 0.02,
+        campaign_size: (2, 4),
+        seed,
+    }
+}
 
 /// Builds the standard experiment machine: `nodes` Xeon nodes, fat-tree.
 #[must_use]
@@ -236,6 +307,37 @@ mod tests {
     fn ragged_row_rejected() {
         let mut t = ResultsTable::new(&["a", "b"]);
         t.row(vec!["1".into()]);
+    }
+
+    #[test]
+    fn peak_rss_is_positive_on_linux() {
+        if std::path::Path::new("/proc/self/status").exists() {
+            assert!(peak_rss_bytes() > 0);
+        } else {
+            assert_eq!(peak_rss_bytes(), 0);
+        }
+    }
+
+    #[test]
+    fn streaming_workload_keeps_the_machine_ahead_of_arrivals() {
+        // Mean demand in node-hours per hour must sit under the
+        // 256-node supply, or the queue (and engine memory) grows
+        // without bound and the streaming-RSS claim is void.
+        let p = streaming_workload_params(1000.0, 7);
+        let mut rng = epa_simcore::rng::SimRng::new(3);
+        let n = 20_000;
+        let mut node_hours = 0.0;
+        for _ in 0..n {
+            let nodes = f64::from(p.sizes.sample(&mut rng));
+            let rt = p.runtimes.sample(&mut rng).as_secs() / 3600.0;
+            node_hours += nodes * rt;
+        }
+        let demand_per_hour = 1000.0 * 1.04 * (node_hours / f64::from(n));
+        assert!(
+            demand_per_hour < 0.9 * 256.0,
+            "streaming workload oversubscribes the machine: \
+             {demand_per_hour:.0} node-hours/hour of demand vs 256 supply"
+        );
     }
 
     #[test]

@@ -1,0 +1,576 @@
+//! Columnar compressed storage for decision-trace records.
+//!
+//! The ring buffer in [`crate::trace::TraceBus`] bounds memory by
+//! *dropping* the oldest records — fine for post-mortem inspection,
+//! wrong for a million-job campaign that wants the *whole* decision
+//! trace on disk. [`CompressedTraceLog`] is the lossless complement: it
+//! accepts every record, stores them in columnar delta-compressed chunks
+//! (times and sequence numbers as varint deltas, event payloads through
+//! their compact snapshot encoding), and optionally spills sealed chunks
+//! to a writer so resident memory stays bounded by the chunk size no
+//! matter how long the run is.
+//!
+//! Decoding is transparent and exact: [`CompressedTraceLog::iter`] (and
+//! [`TraceLogReader`] for spilled streams) yield the identical
+//! [`TraceRecord`]s that went in, so a JSONL export of a compressed log
+//! is byte-for-byte the export the live ring would have produced for the
+//! same records — the replay-verification contract survives compression.
+
+use crate::trace::{TraceEvent, TraceRecord};
+use epa_simcore::chunk::{read_varint, write_varint};
+use epa_simcore::snap::{SnapReader, SnapWriter};
+use epa_simcore::time::SimTime;
+use std::io::{self, Read, Write};
+
+/// Magic bytes opening a spilled trace-log stream; the trailing digit is
+/// the schema version.
+pub const TRACE_LOG_MAGIC: [u8; 8] = *b"EPATRCL1";
+
+/// Version stamped on each chunk's event blob (via the snapshot frame).
+const TRACE_CHUNK_VERSION: u32 = 1;
+
+/// Records per sealed chunk by default.
+pub const DEFAULT_RECORDS_PER_CHUNK: usize = 4096;
+
+/// Encodes one self-contained chunk: record count, then the time column
+/// (XOR-of-previous bit patterns, byte-swapped so trailing-zero bytes
+/// vanish in the varint), the sequence column (deltas — consecutive
+/// records cost one byte), and the event payloads as one framed,
+/// checksummed snapshot blob.
+fn encode_records(records: &[TraceRecord]) -> Vec<u8> {
+    let mut buf = Vec::with_capacity(records.len() * 8);
+    write_varint(&mut buf, records.len() as u64);
+    let mut prev_t = 0u64;
+    for r in records {
+        let bits = r.t.as_secs().to_bits();
+        write_varint(&mut buf, (bits ^ prev_t).swap_bytes());
+        prev_t = bits;
+    }
+    let mut prev_seq = 0u64;
+    for r in records {
+        write_varint(&mut buf, r.seq.wrapping_sub(prev_seq));
+        prev_seq = r.seq;
+    }
+    let mut w = SnapWriter::new();
+    for r in records {
+        r.event.snapshot_into(&mut w);
+    }
+    let blob = w.finish(TRACE_CHUNK_VERSION);
+    write_varint(&mut buf, blob.len() as u64);
+    buf.extend_from_slice(&blob);
+    buf
+}
+
+/// Decodes a chunk written by `encode_records`.
+fn decode_records(bytes: &[u8]) -> io::Result<Vec<TraceRecord>> {
+    let corrupt = |what: String| io::Error::new(io::ErrorKind::InvalidData, what);
+    let mut pos = 0usize;
+    let n = read_varint(bytes, &mut pos).ok_or_else(|| corrupt("truncated record count".into()))?;
+    let n = usize::try_from(n).map_err(|_| corrupt("record count overflows usize".into()))?;
+    let mut times = Vec::with_capacity(n);
+    let mut prev_t = 0u64;
+    for _ in 0..n {
+        let raw =
+            read_varint(bytes, &mut pos).ok_or_else(|| corrupt("truncated time column".into()))?;
+        let bits = raw.swap_bytes() ^ prev_t;
+        prev_t = bits;
+        times.push(SimTime::from_secs(f64::from_bits(bits)));
+    }
+    let mut seqs = Vec::with_capacity(n);
+    let mut prev_seq = 0u64;
+    for _ in 0..n {
+        let d =
+            read_varint(bytes, &mut pos).ok_or_else(|| corrupt("truncated seq column".into()))?;
+        prev_seq = prev_seq.wrapping_add(d);
+        seqs.push(prev_seq);
+    }
+    let blob_len = read_varint(bytes, &mut pos)
+        .ok_or_else(|| corrupt("truncated event-blob length".into()))?;
+    let blob_len =
+        usize::try_from(blob_len).map_err(|_| corrupt("event blob overflows usize".into()))?;
+    let blob = bytes
+        .get(pos..pos + blob_len)
+        .ok_or_else(|| corrupt("truncated event blob".into()))?;
+    if pos + blob_len != bytes.len() {
+        return Err(corrupt("trailing bytes after event blob".into()));
+    }
+    let mut r = SnapReader::open(blob, TRACE_CHUNK_VERSION)
+        .map_err(|e| corrupt(format!("event blob frame invalid: {e}")))?;
+    let mut out = Vec::with_capacity(n);
+    for (t, seq) in times.into_iter().zip(seqs) {
+        let event = TraceEvent::restore_from(&mut r)
+            .map_err(|e| corrupt(format!("event decode failed: {e}")))?;
+        out.push(TraceRecord { t, seq, event });
+    }
+    Ok(out)
+}
+
+/// A lossless, append-only compressed decision-trace log.
+///
+/// Records accumulate in an open tail; every `cap` records the tail is
+/// sealed into one compressed chunk. Sealed chunks stay resident by
+/// default (iterate with [`CompressedTraceLog::iter`]); in spill mode
+/// they are written to the sink as they seal and replayed later with
+/// [`TraceLogReader`].
+pub struct CompressedTraceLog {
+    cap: usize,
+    sealed: Vec<Vec<u8>>,
+    tail: Vec<TraceRecord>,
+    len: u64,
+    spill: Option<Box<dyn Write + Send>>,
+    spilled_chunks: u64,
+}
+
+impl std::fmt::Debug for CompressedTraceLog {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CompressedTraceLog")
+            .field("cap", &self.cap)
+            .field("sealed", &self.sealed.len())
+            .field("tail", &self.tail.len())
+            .field("len", &self.len)
+            .field("spilling", &self.spill.is_some())
+            .field("spilled_chunks", &self.spilled_chunks)
+            .finish()
+    }
+}
+
+impl Default for CompressedTraceLog {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl CompressedTraceLog {
+    /// An in-memory compressed log with the default chunk size.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_cap(DEFAULT_RECORDS_PER_CHUNK)
+    }
+
+    /// An in-memory compressed log sealing every `cap` records.
+    ///
+    /// # Panics
+    /// Panics if `cap` is zero.
+    #[must_use]
+    pub fn with_cap(cap: usize) -> Self {
+        assert!(cap > 0, "chunk capacity must be positive");
+        CompressedTraceLog {
+            cap,
+            sealed: Vec::new(),
+            tail: Vec::new(),
+            len: 0,
+            spill: None,
+            spilled_chunks: 0,
+        }
+    }
+
+    /// A spilling log: writes the stream header now and every sealed
+    /// chunk (length-prefixed) to `sink` as it fills. Spilled chunks are
+    /// no longer iterable from this object — replay the written bytes
+    /// with [`TraceLogReader`].
+    pub fn spilling(cap: usize, mut sink: Box<dyn Write + Send>) -> io::Result<Self> {
+        assert!(cap > 0, "chunk capacity must be positive");
+        sink.write_all(&TRACE_LOG_MAGIC)?;
+        Ok(CompressedTraceLog {
+            cap,
+            sealed: Vec::new(),
+            tail: Vec::new(),
+            len: 0,
+            spill: Some(sink),
+            spilled_chunks: 0,
+        })
+    }
+
+    /// Appends a record. Seals (and in spill mode writes out) a chunk
+    /// when the tail reaches the chunk capacity.
+    pub fn push(&mut self, record: TraceRecord) -> io::Result<()> {
+        self.tail.push(record);
+        self.len += 1;
+        if self.tail.len() >= self.cap {
+            self.seal()?;
+        }
+        Ok(())
+    }
+
+    fn seal(&mut self) -> io::Result<()> {
+        if self.tail.is_empty() {
+            return Ok(());
+        }
+        let chunk = encode_records(&self.tail);
+        self.tail.clear();
+        match self.spill.as_mut() {
+            Some(sink) => {
+                let mut frame = Vec::with_capacity(4);
+                write_varint(&mut frame, chunk.len() as u64);
+                sink.write_all(&frame)?;
+                sink.write_all(&chunk)?;
+                self.spilled_chunks += 1;
+            }
+            None => self.sealed.push(chunk),
+        }
+        Ok(())
+    }
+
+    /// Seals the open tail and flushes the sink. Call at end of run in
+    /// spill mode so the written stream holds every record.
+    pub fn finish(&mut self) -> io::Result<()> {
+        self.seal()?;
+        if let Some(sink) = self.spill.as_mut() {
+            sink.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Total records pushed (including spilled ones).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no records have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Chunks written to the spill sink so far.
+    #[must_use]
+    pub fn spilled_chunks(&self) -> u64 {
+        self.spilled_chunks
+    }
+
+    /// Compressed bytes currently resident (sealed chunks; the open tail
+    /// is counted at a nominal raw width).
+    #[must_use]
+    pub fn resident_bytes(&self) -> usize {
+        self.sealed.iter().map(Vec::len).sum::<usize>()
+            + self.tail.len() * std::mem::size_of::<TraceRecord>()
+    }
+
+    /// Iterates every record still resident, oldest first — sealed
+    /// chunks decode transparently, then the open tail. In spill mode
+    /// this covers only the unsealed tail.
+    pub fn iter(&self) -> impl Iterator<Item = TraceRecord> + '_ {
+        self.sealed
+            .iter()
+            .flat_map(|c| decode_records(c).expect("sealed chunks are self-produced and valid"))
+            .chain(self.tail.iter().cloned())
+    }
+
+    /// Renders the resident records as JSONL — one
+    /// `serde_json::to_string` object per record, the identical line
+    /// encoding [`crate::export::trace_to_jsonl`] uses, so compressed
+    /// and ring-buffered exports of the same records are byte-equal.
+    #[must_use]
+    pub fn records_to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in self.iter() {
+            out.push_str(&serde_json::to_string(&rec).expect("trace record serializes"));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Replays a spilled trace-log stream written by
+/// [`CompressedTraceLog::spilling`]: validates the header, then yields
+/// records chunk by chunk, holding one decoded chunk at a time.
+pub struct TraceLogReader<R: Read> {
+    src: R,
+    current: std::vec::IntoIter<TraceRecord>,
+    done: bool,
+}
+
+impl<R: Read> TraceLogReader<R> {
+    /// Opens a stream, validating the magic/version header.
+    pub fn open(mut src: R) -> io::Result<Self> {
+        let mut magic = [0u8; 8];
+        src.read_exact(&mut magic)?;
+        if magic != TRACE_LOG_MAGIC {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("bad trace-log magic {magic:02x?}"),
+            ));
+        }
+        Ok(TraceLogReader {
+            src,
+            current: Vec::new().into_iter(),
+            done: false,
+        })
+    }
+
+    fn read_varint(&mut self) -> io::Result<Option<u64>> {
+        let mut v = 0u64;
+        for shift in (0..64).step_by(7) {
+            let mut byte = [0u8; 1];
+            match self.src.read_exact(&mut byte) {
+                Ok(()) => {}
+                Err(e) if e.kind() == io::ErrorKind::UnexpectedEof && shift == 0 => {
+                    return Ok(None);
+                }
+                Err(e) => return Err(e),
+            }
+            v |= u64::from(byte[0] & 0x7f) << shift;
+            if byte[0] & 0x80 == 0 {
+                return Ok(Some(v));
+            }
+        }
+        Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "varint exceeds u64",
+        ))
+    }
+
+    fn load_next_chunk(&mut self) -> io::Result<bool> {
+        let Some(frame_len) = self.read_varint()? else {
+            self.done = true;
+            return Ok(false);
+        };
+        let frame_len = usize::try_from(frame_len)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "chunk frame too large"))?;
+        let mut frame = vec![0u8; frame_len];
+        self.src.read_exact(&mut frame)?;
+        self.current = decode_records(&frame)?.into_iter();
+        Ok(true)
+    }
+}
+
+impl<R: Read> Iterator for TraceLogReader<R> {
+    type Item = io::Result<TraceRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        loop {
+            if let Some(rec) = self.current.next() {
+                return Some(Ok(rec));
+            }
+            if self.done {
+                return None;
+            }
+            match self.load_next_chunk() {
+                Ok(true) => {}
+                Ok(false) => return None,
+                Err(e) => {
+                    self.done = true;
+                    return Some(Err(e));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{CategoryMask, KillReason, TraceBus};
+
+    fn t(s: f64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    fn sample_records(n: u64) -> Vec<TraceRecord> {
+        (0..n)
+            .map(|i| TraceRecord {
+                t: t(i as f64 * 30.0),
+                seq: i,
+                event: match i % 3 {
+                    0 => TraceEvent::JobSubmitted {
+                        job: i,
+                        nodes: 4,
+                        queue_depth: i + 1,
+                    },
+                    1 => TraceEvent::JobStarted {
+                        job: i,
+                        nodes: 4,
+                        watts_per_node: 250.0,
+                        wait_secs: 12.5,
+                        backfilled: i % 6 == 1,
+                        capped_to_fit: false,
+                    },
+                    _ => TraceEvent::JobKilled {
+                        job: i,
+                        reason: KillReason::Walltime,
+                        run_secs: 3600.0,
+                    },
+                },
+            })
+            .collect()
+    }
+
+    /// A `'static` clonable byte sink for exercising spill mode.
+    #[derive(Clone, Default)]
+    struct SharedBuf(std::sync::Arc<std::sync::Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn roundtrip_across_chunk_boundaries() {
+        let records = sample_records(100);
+        let mut log = CompressedTraceLog::with_cap(16);
+        for rec in &records {
+            log.push(rec.clone()).unwrap();
+        }
+        assert_eq!(log.len(), 100);
+        let got: Vec<TraceRecord> = log.iter().collect();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn jsonl_lines_match_ring_export_bytes() {
+        let records = sample_records(40);
+        let mut ring = TraceBus::new(CategoryMask::ALL, 1024);
+        let mut log = CompressedTraceLog::with_cap(7);
+        for rec in &records {
+            ring.record(rec.t, rec.event.clone());
+            log.push(rec.clone()).unwrap();
+        }
+        let ring_lines: Vec<String> = crate::export::trace_to_jsonl(&ring)
+            .lines()
+            .skip(1) // header
+            .map(String::from)
+            .collect();
+        let log_lines: Vec<String> = log.records_to_jsonl().lines().map(String::from).collect();
+        assert_eq!(ring_lines, log_lines);
+    }
+
+    #[test]
+    fn compression_beats_raw_and_jsonl_widths() {
+        let records = sample_records(4096);
+        let mut log = CompressedTraceLog::with_cap(1024);
+        for rec in &records {
+            log.push(rec.clone()).unwrap();
+        }
+        // Denser than the in-memory records...
+        let raw = records.len() * std::mem::size_of::<TraceRecord>();
+        assert!(
+            log.resident_bytes() < raw,
+            "compressed {} vs raw {raw}",
+            log.resident_bytes()
+        );
+        // ...and several times denser than the JSONL artifact it stands
+        // in for on disk.
+        let jsonl = log.records_to_jsonl().len();
+        assert!(
+            log.resident_bytes() * 3 < jsonl,
+            "compressed {} vs jsonl {jsonl}",
+            log.resident_bytes()
+        );
+    }
+
+    #[test]
+    fn spill_stream_replays_identically() {
+        let records = sample_records(75);
+        let buf = SharedBuf::default();
+        {
+            let mut log = CompressedTraceLog::spilling(16, Box::new(buf.clone())).unwrap();
+            for rec in &records {
+                log.push(rec.clone()).unwrap();
+            }
+            assert_eq!(log.spilled_chunks(), 4); // 64 records sealed
+            log.finish().unwrap();
+        }
+        let bytes = buf.0.lock().unwrap().clone();
+        let reader = TraceLogReader::open(io::Cursor::new(&bytes)).unwrap();
+        let got: Vec<TraceRecord> = reader.map(Result::unwrap).collect();
+        assert_eq!(got, records);
+    }
+
+    #[test]
+    fn reader_rejects_bad_magic() {
+        let bytes = b"WRONGMAG...".to_vec();
+        assert!(TraceLogReader::open(io::Cursor::new(&bytes)).is_err());
+    }
+
+    #[test]
+    fn corrupt_chunk_surfaces_as_error() {
+        let records = sample_records(20);
+        let buf = SharedBuf::default();
+        {
+            let mut log = CompressedTraceLog::spilling(8, Box::new(buf.clone())).unwrap();
+            for rec in &records {
+                log.push(rec.clone()).unwrap();
+            }
+            log.finish().unwrap();
+        }
+        let mut bytes = buf.0.lock().unwrap().clone();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff; // flip a bit in the final chunk
+        let reader = TraceLogReader::open(io::Cursor::new(&bytes)).unwrap();
+        let results: Vec<io::Result<TraceRecord>> = reader.collect();
+        assert!(results.iter().any(Result::is_err));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_event() -> impl Strategy<Value = TraceEvent> {
+        prop_oneof![
+            (any::<u64>(), any::<u32>(), any::<u64>()).prop_map(|(job, nodes, queue_depth)| {
+                TraceEvent::JobSubmitted {
+                    job,
+                    nodes,
+                    queue_depth,
+                }
+            }),
+            (any::<u64>(), 0.0f64..1e9).prop_map(|(job, remaining_secs)| {
+                TraceEvent::JobRequeued {
+                    job,
+                    remaining_secs,
+                }
+            }),
+            (0.0f64..1e7, 0.0f64..1e7).prop_map(|(observed_watts, limit_watts)| {
+                TraceEvent::EmergencyBreach {
+                    observed_watts,
+                    limit_watts,
+                }
+            }),
+            Just(TraceEvent::SensorDropout),
+            (0.0f64..1e7, 0.0f64..1e7, -64i64..64).prop_map(
+                |(window_avg_watts, cap_watts, delta_nodes)| TraceEvent::Enforcement {
+                    window_avg_watts,
+                    cap_watts,
+                    delta_nodes,
+                }
+            ),
+        ]
+    }
+
+    proptest! {
+        /// Arbitrary record streams roundtrip exactly at any chunk size.
+        #[test]
+        fn log_roundtrip_arbitrary(
+            events in proptest::collection::vec((0.0f64..1e6, arb_event()), 1..120),
+            cap in 1usize..32,
+        ) {
+            let mut clock = 0.0;
+            let records: Vec<TraceRecord> = events
+                .into_iter()
+                .enumerate()
+                .map(|(i, (dt, event))| {
+                    clock += dt;
+                    TraceRecord {
+                        t: SimTime::from_secs(clock),
+                        seq: i as u64,
+                        event,
+                    }
+                })
+                .collect();
+            let mut log = CompressedTraceLog::with_cap(cap);
+            for rec in &records {
+                log.push(rec.clone()).unwrap();
+            }
+            let got: Vec<TraceRecord> = log.iter().collect();
+            prop_assert_eq!(got, records);
+        }
+    }
+}

@@ -20,8 +20,8 @@
 //! the system level through the retained system trace.
 
 use epa_cluster::node::NodeId;
-use epa_simcore::series::TimeSeries;
-use epa_simcore::time::SimTime;
+use epa_simcore::series::{BoundedSeries, TimeSeries};
+use epa_simcore::time::{SimDuration, SimTime};
 
 /// How many incremental updates may accumulate before `system_watts` is
 /// recomputed from the per-node values. Long runs make millions of
@@ -98,6 +98,34 @@ struct AllocGroup {
     in_use: bool,
 }
 
+/// Storage backing the system-level power trace: either the full
+/// change-point [`TimeSeries`] (every historical window query available)
+/// or a [`BoundedSeries`] whose memory is O(horizon / grid interval)
+/// regardless of how many power steps the run makes — the million-job
+/// streaming mode. Bounded mode answers the whole-run queries the engine
+/// actually issues (`[0, end]` energy, peak, average, and the fixed-grid
+/// resample) bit-identically to the full series.
+#[derive(Debug, Clone)]
+enum TraceStore {
+    Full(TimeSeries),
+    Bounded(BoundedSeries),
+}
+
+impl TraceStore {
+    fn push(&mut self, t: SimTime, v: f64) {
+        match self {
+            TraceStore::Full(s) => s.push(t, v),
+            TraceStore::Bounded(s) => s.push(t, v),
+        }
+    }
+}
+
+impl Default for TraceStore {
+    fn default() -> Self {
+        TraceStore::Full(TimeSeries::new())
+    }
+}
+
 /// Per-node and system-wide energy meter.
 ///
 /// Node state lives in dense `Vec`s indexed by [`NodeId`] — node ids in a
@@ -112,15 +140,30 @@ pub struct EnergyMeter {
     groups: Vec<AllocGroup>,
     free_groups: Vec<u32>,
     system_watts: f64,
-    system_trace: TimeSeries,
+    system_trace: TraceStore,
     updates_since_resync: u32,
 }
 
 impl EnergyMeter {
-    /// Creates an empty meter.
+    /// Creates an empty meter with a full system trace.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a meter whose system trace is a bounded accumulator on a
+    /// `grid_dt` sample grid: memory stays O(horizon / `grid_dt`) no
+    /// matter how many power steps the run makes. Whole-run queries
+    /// (energy, peak, average over `[0, end]`, and
+    /// [`power_trace_rows`](Self::power_trace_rows) at exactly `grid_dt`)
+    /// are bit-identical to full mode; [`system_trace`](Self::system_trace)
+    /// and arbitrary-window queries panic.
+    #[must_use]
+    pub fn with_bounded_trace(grid_dt: SimDuration) -> Self {
+        EnergyMeter {
+            system_trace: TraceStore::Bounded(BoundedSeries::new(grid_dt)),
+            ..Self::default()
+        }
     }
 
     fn ensure(&mut self, node: NodeId) {
@@ -329,7 +372,16 @@ impl EnergyMeter {
         });
         w.seq(&self.free_groups, |w, &g| w.u32(g));
         w.f64(self.system_watts);
-        self.system_trace.snapshot_into(w);
+        match &self.system_trace {
+            TraceStore::Full(s) => {
+                w.u8(0);
+                s.snapshot_into(w);
+            }
+            TraceStore::Bounded(s) => {
+                w.u8(1);
+                s.snapshot_into(w);
+            }
+        }
         w.u32(self.updates_since_resync);
     }
 
@@ -356,7 +408,15 @@ impl EnergyMeter {
         })?;
         let free_groups = r.seq(epa_simcore::snap::SnapReader::u32)?;
         let system_watts = r.f64()?;
-        let system_trace = TimeSeries::restore_from(r)?;
+        let system_trace = match r.u8()? {
+            0 => TraceStore::Full(TimeSeries::restore_from(r)?),
+            1 => TraceStore::Bounded(BoundedSeries::restore_from(r)?),
+            tag => {
+                return Err(epa_simcore::snap::SnapshotError::Corrupt {
+                    detail: format!("unknown system-trace mode tag {tag}"),
+                })
+            }
+        };
         let updates_since_resync = r.u32()?;
         for (i, n) in nodes.iter().enumerate() {
             if n.group != NO_GROUP && n.group as usize >= groups.len() {
@@ -426,28 +486,92 @@ impl EnergyMeter {
         nodes.iter().map(|&n| self.node_energy_to(n, t)).sum()
     }
 
-    /// System energy over `[a, b]`, joules.
+    /// System energy over `[a, b]`, joules. In bounded-trace mode only
+    /// the whole-run window is answerable: `a` must be zero and `b`
+    /// at-or-after the last power step.
     #[must_use]
     pub fn system_energy_joules(&self, a: SimTime, b: SimTime) -> f64 {
-        self.system_trace.integrate(a, b)
+        match &self.system_trace {
+            TraceStore::Full(s) => s.integrate(a, b),
+            TraceStore::Bounded(s) => {
+                assert!(
+                    a == SimTime::ZERO,
+                    "bounded trace answers whole-run energy only (a must be 0, got {a})"
+                );
+                s.integrate_from_start(b)
+            }
+        }
     }
 
     /// The system power trace (for telemetry, peak analysis, reports).
+    ///
+    /// # Panics
+    /// Panics in bounded-trace mode — the raw change-point series is not
+    /// retained there; use [`power_trace_rows`](Self::power_trace_rows).
     #[must_use]
     pub fn system_trace(&self) -> &TimeSeries {
-        &self.system_trace
+        match &self.system_trace {
+            TraceStore::Full(s) => s,
+            TraceStore::Bounded(_) => panic!(
+                "raw system trace unavailable in bounded mode; \
+                 use power_trace_rows for the gridded trace"
+            ),
+        }
     }
 
-    /// Peak system draw on `[a, b]`, watts.
+    /// The system power trace resampled on a fixed grid over `[a, b]` —
+    /// the rows the engine exports in its outcome. In bounded-trace mode
+    /// `a` must be zero and `dt` must equal the meter's grid interval;
+    /// the result is bit-identical to full mode's
+    /// `system_trace().resample(a, b, dt)`.
+    #[must_use]
+    pub fn power_trace_rows(&self, a: SimTime, b: SimTime, dt: SimDuration) -> Vec<(SimTime, f64)> {
+        match &self.system_trace {
+            TraceStore::Full(s) => s.resample(a, b, dt),
+            TraceStore::Bounded(s) => {
+                assert!(
+                    a == SimTime::ZERO,
+                    "bounded trace resamples from time zero only (a must be 0, got {a})"
+                );
+                assert!(
+                    dt == s.grid_dt(),
+                    "bounded trace resamples at its own grid interval only"
+                );
+                s.sample_grid(b)
+            }
+        }
+    }
+
+    /// Peak system draw on `[a, b]`, watts. In bounded-trace mode `a`
+    /// must be zero and `b` at-or-after the last power step.
     #[must_use]
     pub fn peak_system_watts(&self, a: SimTime, b: SimTime) -> f64 {
-        self.system_trace.max_on(a, b).unwrap_or(0.0)
+        match &self.system_trace {
+            TraceStore::Full(s) => s.max_on(a, b).unwrap_or(0.0),
+            TraceStore::Bounded(s) => {
+                assert!(
+                    a == SimTime::ZERO,
+                    "bounded trace answers whole-run peak only (a must be 0, got {a})"
+                );
+                s.max_value(b).unwrap_or(0.0)
+            }
+        }
     }
 
-    /// Average system draw on `[a, b]`, watts.
+    /// Average system draw on `[a, b]`, watts. In bounded-trace mode `a`
+    /// must be zero and `b` at-or-after the last power step.
     #[must_use]
     pub fn avg_system_watts(&self, a: SimTime, b: SimTime) -> f64 {
-        self.system_trace.time_weighted_mean(a, b)
+        match &self.system_trace {
+            TraceStore::Full(s) => s.time_weighted_mean(a, b),
+            TraceStore::Bounded(s) => {
+                assert!(
+                    a == SimTime::ZERO,
+                    "bounded trace answers whole-run average only (a must be 0, got {a})"
+                );
+                s.mean_from_start(b)
+            }
+        }
     }
 }
 
@@ -652,6 +776,72 @@ mod tests {
         let mut m = EnergyMeter::new();
         let (_gid, _) = m.open_group(&[n(0)], t(0.0), 100.0);
         m.set_node_watts(n(0), t(1.0), 50.0);
+    }
+
+    #[test]
+    fn bounded_trace_matches_full_on_whole_run_queries() {
+        let dt = epa_simcore::time::SimDuration::from_mins(5.0);
+        let mut full = EnergyMeter::new();
+        let mut bounded = EnergyMeter::with_bounded_trace(dt);
+        for m in [&mut full, &mut bounded] {
+            m.set_alloc_watts(&[n(0), n(1)], t(0.0), 50.0);
+            let (gid, _) = m.open_group(&[n(0), n(1)], t(100.0), 200.0);
+            m.set_group_watts(gid, t(400.0), 350.0);
+            m.close_group(gid, &[n(0), n(1)], t(900.0), 50.0);
+            m.set_node_watts(n(0), t(1200.0), 0.0);
+        }
+        let end = t(1800.0);
+        let a = SimTime::ZERO;
+        assert_eq!(
+            full.system_energy_joules(a, end).to_bits(),
+            bounded.system_energy_joules(a, end).to_bits()
+        );
+        assert_eq!(
+            full.peak_system_watts(a, end).to_bits(),
+            bounded.peak_system_watts(a, end).to_bits()
+        );
+        assert_eq!(
+            full.avg_system_watts(a, end).to_bits(),
+            bounded.avg_system_watts(a, end).to_bits()
+        );
+        let (fr, br) = (
+            full.power_trace_rows(a, end, dt),
+            bounded.power_trace_rows(a, end, dt),
+        );
+        assert_eq!(fr.len(), br.len());
+        for ((ft, fv), (bt, bv)) in fr.iter().zip(&br) {
+            assert_eq!(ft, bt);
+            assert_eq!(fv.to_bits(), bv.to_bits());
+        }
+    }
+
+    #[test]
+    fn bounded_trace_snapshot_roundtrip() {
+        let dt = epa_simcore::time::SimDuration::from_mins(5.0);
+        let mut m = EnergyMeter::with_bounded_trace(dt);
+        m.set_node_watts(n(0), t(0.0), 100.0);
+        m.set_node_watts(n(0), t(700.0), 40.0);
+        let mut w = epa_simcore::snap::SnapWriter::new();
+        m.snapshot_into(&mut w);
+        let bytes = w.finish(1);
+        let mut r = epa_simcore::snap::SnapReader::open(&bytes, 1).unwrap();
+        let restored = EnergyMeter::restore_from(&mut r).unwrap();
+        let end = t(2000.0);
+        assert_eq!(
+            m.system_energy_joules(SimTime::ZERO, end).to_bits(),
+            restored.system_energy_joules(SimTime::ZERO, end).to_bits()
+        );
+        assert_eq!(
+            m.power_trace_rows(SimTime::ZERO, end, dt),
+            restored.power_trace_rows(SimTime::ZERO, end, dt)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "raw system trace unavailable in bounded mode")]
+    fn bounded_trace_raw_access_panics() {
+        let m = EnergyMeter::with_bounded_trace(epa_simcore::time::SimDuration::from_mins(5.0));
+        let _ = m.system_trace();
     }
 }
 

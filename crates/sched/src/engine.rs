@@ -46,11 +46,12 @@ use epa_rm::interactions::InteractionLedger;
 use epa_simcore::engine::Simulation;
 use epa_simcore::metrics::MetricsRegistry;
 use epa_simcore::snap::{Fingerprint, SnapReader, SnapWriter, SnapshotError};
-use epa_simcore::stats::Percentiles;
 use epa_simcore::time::{SimDuration, SimTime};
 use epa_workload::job::{Job, JobId};
+use epa_workload::source::{JobSource, MaterializedSource};
 use serde::Serialize;
 use std::collections::BTreeMap;
+use std::io::Write;
 
 /// Engine configuration.
 pub struct EngineConfig {
@@ -109,6 +110,16 @@ pub struct EngineConfig {
     /// the simulated outcome is byte-identical at every shard count.
     /// `None` reads `EPA_JSRM_SHARDS`, defaulting to 1.
     pub shards: Option<u32>,
+    /// Keep per-job [`CompletedJob`] records in memory. Streaming runs
+    /// turn this off: completions fold into incremental aggregates (and
+    /// the optional JSONL sink), `SimOutcome::jobs` comes back empty,
+    /// and every other outcome field is byte-identical either way.
+    pub retain_completed: bool,
+    /// Store the system power trace in bounded (segment-accumulator)
+    /// form instead of the full point list. The outcome's energy, peak,
+    /// average, and 5-minute `power_trace` stay byte-identical; raw
+    /// trace access ([`ClusterSim::meter`] → `system_trace`) panics.
+    pub bounded_power_trace: bool,
 }
 
 /// Parses an `EPA_JSRM_SHARDS` value: a positive integer, or `None` for
@@ -167,6 +178,8 @@ impl EngineConfig {
             faults: None,
             trace: TraceConfig::default(),
             shards: None,
+            retain_completed: true,
+            bounded_power_trace: false,
         }
     }
 
@@ -201,6 +214,23 @@ const WAIT_BUCKETS: [f64; 8] = [
 const QUEUE_DEPTH_BUCKETS: [f64; 9] = [1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0];
 const ACTUATION_DELAY_BUCKETS: [f64; 8] = [0.5, 1.0, 2.0, 5.0, 10.0, 30.0, 60.0, 300.0];
 const STALENESS_AGE_BUCKETS: [f64; 6] = [60.0, 120.0, 300.0, 600.0, 1800.0, 3600.0];
+
+/// Sequence-number base for runtime events (power ticks, resizes,
+/// failures). Staged Submit events take sequence numbers 0, 1, 2, … in
+/// arrival order, so at equal timestamps every Submit precedes every
+/// runtime event — exactly the order the engine produced when the whole
+/// workload was pre-scheduled ahead of the runtime events. 2⁴⁰ leaves
+/// room for a trillion arrivals below and 2²⁴ × 2⁴⁰ runtime events
+/// above before the two ranges could meet.
+const RUNTIME_SEQ_BASE: u64 = 1 << 40;
+
+/// Grid interval of the exported system power trace
+/// ([`SimOutcome::power_trace`]). The bounded trace mode samples on this
+/// grid as power steps arrive, so whole-run exports match the full
+/// series' resample bit-for-bit.
+fn power_trace_grid() -> SimDuration {
+    SimDuration::from_mins(5.0)
+}
 
 /// Global (barrier) events. Shard-local events — phase changes and
 /// shutdown completions, whose handlers touch only shard-owned state —
@@ -450,6 +480,66 @@ impl CompletedJob {
     }
 }
 
+/// Streaming completion accounting: every [`CompletedJob`] folds into
+/// these as it finishes, in completion order, so the outcome's wait /
+/// slowdown / kill statistics never need the retained record list. The
+/// folds replicate the retained path bit-for-bit: `wait_sum` is the
+/// same left-to-right f64 sum `Percentiles::summary` computes for its
+/// mean, and `wait_max` the same max over non-negative samples.
+#[derive(Debug, Clone, Copy, Default)]
+struct CompletionAggregates {
+    count: u64,
+    wait_sum: f64,
+    wait_max: f64,
+    slowdown_sum: f64,
+    walltime_kills: u64,
+}
+
+impl CompletionAggregates {
+    fn fold(&mut self, c: &CompletedJob) {
+        self.count += 1;
+        self.wait_sum += c.wait_secs;
+        self.wait_max = self.wait_max.max(c.wait_secs);
+        let denom = c.run_secs.max(10.0);
+        self.slowdown_sum += ((c.wait_secs + c.run_secs) / denom).max(1.0);
+        self.walltime_kills += u64::from(c.killed_at_walltime);
+    }
+
+    fn mean_wait(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.wait_sum / self.count as f64
+        }
+    }
+
+    fn mean_slowdown(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.slowdown_sum / self.count as f64
+        }
+    }
+
+    fn snapshot_into(&self, w: &mut SnapWriter) {
+        w.u64(self.count);
+        w.f64(self.wait_sum);
+        w.f64(self.wait_max);
+        w.f64(self.slowdown_sum);
+        w.u64(self.walltime_kills);
+    }
+
+    fn restore_from(r: &mut SnapReader<'_>) -> Result<Self, SnapshotError> {
+        Ok(CompletionAggregates {
+            count: r.u64()?,
+            wait_sum: r.f64()?,
+            wait_max: r.f64()?,
+            slowdown_sum: r.f64()?,
+            walltime_kills: r.u64()?,
+        })
+    }
+}
+
 /// Why a job left the machine.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Departure {
@@ -561,10 +651,30 @@ pub struct ClusterSim<'p> {
     /// adjust`), so the snapshot equals the live query.
     summaries: Vec<RunningSummary>,
     booting: u32,
-    jobs: Vec<Job>,
+    /// Pull-based arrival stream (materialized, lazy SWF, or lazy
+    /// generator). Only one arrival is ever staged ahead of the clock.
+    source: Box<dyn JobSource>,
+    /// The arrival whose Submit event is in the queue, if any.
+    pending_arrival: Option<Job>,
+    /// Sequence number of the next staged Submit event (counts staged
+    /// arrivals; always below [`RUNTIME_SEQ_BASE`]).
+    arrival_seq: u64,
+    /// Submit time of the last pulled arrival, for enforcing the
+    /// [`JobSource`] non-decreasing-submit contract.
+    last_arrival_submit: SimTime,
+    /// No further arrival will be staged: the source is exhausted or
+    /// yielded a past-horizon submit (all later ones are later still).
+    arrivals_exhausted: bool,
     history: HistoryStore,
     metrics: MetricsRegistry,
     completed: Vec<CompletedJob>,
+    /// Streaming completion statistics (kept in both retain modes; the
+    /// only source of the outcome's wait/slowdown/kill numbers).
+    agg: CompletionAggregates,
+    /// Optional JSONL sink receiving one [`CompletedJob`] line per
+    /// completion. Not part of snapshots: a resumed run re-attaches its
+    /// own sink and re-emits only post-resume completions.
+    completion_sink: Option<Box<dyn Write + Send>>,
     emergency_kills: u64,
     busy_node_seconds: f64,
     violation_accum_secs: f64,
@@ -635,10 +745,31 @@ impl<'p> ClusterSim<'p> {
         Self::try_new(system, jobs, policy, config).expect("invalid engine config")
     }
 
-    /// Creates an engine, validating the configuration first.
+    /// Creates an engine, validating the configuration first. The job
+    /// list is wrapped in a [`MaterializedSource`] — submit-time order
+    /// with input order preserved among ties, exactly the order the
+    /// event queue produced when every Submit was pre-scheduled.
     pub fn try_new(
         system: System,
         jobs: Vec<Job>,
+        policy: &'p mut dyn Policy,
+        config: EngineConfig,
+    ) -> Result<Self, SchedError> {
+        Self::try_new_with_source(
+            system,
+            Box::new(MaterializedSource::new(jobs)),
+            policy,
+            config,
+        )
+    }
+
+    /// Creates an engine over a pull-based [`JobSource`]. Arrivals are
+    /// staged one at a time — peak memory is flat in the job count —
+    /// and a [`MaterializedSource`] reproduces [`ClusterSim::try_new`]
+    /// byte-for-byte.
+    pub fn try_new_with_source(
+        system: System,
+        source: Box<dyn JobSource>,
         policy: &'p mut dyn Policy,
         config: EngineConfig,
     ) -> Result<Self, SchedError> {
@@ -650,8 +781,27 @@ impl<'p> ClusterSim<'p> {
             .power_budget_watts
             .map(|w| PowerBudget::new(w).expect("positive budget"));
         let mut sim = Simulation::with_horizon(config.horizon);
-        for (i, job) in jobs.iter().enumerate() {
-            sim.schedule_at(job.submit, Ev::Submit(i));
+        // Runtime events number from RUNTIME_SEQ_BASE; staged Submits
+        // take 0, 1, 2, … so every (t, seq) tie resolves as if the
+        // whole workload had been scheduled before this point.
+        sim.queue_mut().set_seq(RUNTIME_SEQ_BASE);
+        let mut source = source;
+        let mut pending_arrival = None;
+        let mut arrival_seq = 0u64;
+        let mut arrivals_exhausted = false;
+        let mut last_arrival_submit = SimTime::ZERO;
+        match source.next_job() {
+            Some(job) if job.submit <= config.horizon => {
+                last_arrival_submit = job.submit;
+                sim.queue_mut().push_with_seq(
+                    job.submit,
+                    arrival_seq,
+                    Ev::Submit(arrival_seq as usize),
+                );
+                arrival_seq += 1;
+                pending_arrival = Some(job);
+            }
+            _ => arrivals_exhausted = true,
         }
         sim.schedule_at(SimTime::ZERO, Ev::PowerTick);
         for &(t, w) in &config.budget_schedule {
@@ -691,7 +841,11 @@ impl<'p> ClusterSim<'p> {
                 .as_ref()
                 .map(|a| RetryingActuator::new(a.clone(), f.seed))
         });
-        let mut meter = EnergyMeter::new();
+        let mut meter = if config.bounded_power_trace {
+            EnergyMeter::with_bounded_trace(power_trace_grid())
+        } else {
+            EnergyMeter::new()
+        };
         let n_nodes = total as usize;
         let all_nodes: Vec<NodeId> = system.nodes().collect();
         meter.set_alloc_watts(&all_nodes, SimTime::ZERO, system.spec().node.idle_watts);
@@ -724,10 +878,16 @@ impl<'p> ClusterSim<'p> {
             busy_count: 0,
             summaries: Vec::new(),
             booting: 0,
-            jobs,
+            source,
+            pending_arrival,
+            arrival_seq,
+            last_arrival_submit,
+            arrivals_exhausted,
             history: HistoryStore::new(),
             metrics: MetricsRegistry::new(),
             completed: Vec::new(),
+            agg: CompletionAggregates::default(),
+            completion_sink: None,
             emergency_kills: 0,
             busy_node_seconds: 0.0,
             violation_accum_secs: 0.0,
@@ -758,6 +918,15 @@ impl<'p> ClusterSim<'p> {
     /// Replaces the power predictor used for admission control.
     pub fn set_predictor(&mut self, p: Box<dyn PowerPredictor>) {
         self.predictor = p;
+    }
+
+    /// Attaches a JSONL completion sink: one serialized [`CompletedJob`]
+    /// line per completion, written as jobs finish, so a streaming run
+    /// (`retain_completed: false`) keeps full per-job output without
+    /// retaining it. The sink is not part of snapshots — a resumed run
+    /// re-attaches its own and receives only post-resume completions.
+    pub fn set_completion_sink(&mut self, sink: Box<dyn Write + Send>) {
+        self.completion_sink = Some(sink);
     }
 
     /// Access to the metrics registry (counters recorded during the run).
@@ -851,11 +1020,15 @@ impl<'p> ClusterSim<'p> {
         };
         let t_dispatch = self.obs.profiler.start();
         match ev {
-            Ev::Submit(i) => {
-                let job = self.jobs[i].clone();
+            Ev::Submit(_) => {
+                let job = self
+                    .pending_arrival
+                    .take()
+                    .expect("a Submit event implies a staged arrival");
                 let (jid, jnodes) = (job.id.0, job.nodes);
                 self.metrics.incr("jobs/submitted", 1);
                 self.queue.push(job);
+                self.stage_next_arrival();
                 self.obs
                     .registry
                     .observe("sched/queue_depth", self.queue.len() as f64);
@@ -1066,17 +1239,10 @@ impl<'p> ClusterSim<'p> {
         fp.u64(u64::from(c.facility.is_some()));
         fp.u64(u64::from(c.layout.is_some()));
         fp.u64(u64::from(c.record_history));
+        fp.u64(u64::from(c.retain_completed));
+        fp.u64(u64::from(c.bounded_power_trace));
         fp.str(self.policy.name());
-        fp.u64(self.jobs.len() as u64);
-        for j in &self.jobs {
-            fp.u64(j.id.0);
-            fp.f64(j.submit.as_secs());
-            fp.u64(u64::from(j.nodes));
-            fp.u64(i64::from(j.priority) as u64);
-            fp.f64(j.base_runtime.as_secs());
-            fp.f64(j.walltime_estimate.as_secs());
-            fp.str(&j.app.tag);
-        }
+        self.source.fingerprint(&mut fp);
         fp.u64(u64::from(self.system.spec().total_nodes()));
         fp.u64(u64::from(self.system.spec().cabinets));
         fp.finish()
@@ -1167,6 +1333,13 @@ impl<'p> ClusterSim<'p> {
         self.metrics.snapshot_into(&mut w);
         w.section("completed");
         w.seq(&self.completed, |w, c| c.snapshot_into(w));
+        w.section("arrivals");
+        w.u64(self.arrival_seq);
+        w.bool(self.arrivals_exhausted);
+        w.f64(self.last_arrival_submit.as_secs());
+        w.opt(self.pending_arrival.as_ref(), |w, j| j.snapshot_into(w));
+        self.agg.snapshot_into(&mut w);
+        self.source.snapshot_cursor(&mut w);
         w.section("obs");
         self.obs.snapshot_into(&mut w);
         Snapshot::from_bytes(w.finish(SNAPSHOT_SCHEMA_VERSION))
@@ -1194,11 +1367,33 @@ impl<'p> ClusterSim<'p> {
         config: EngineConfig,
         snapshot: &Snapshot,
     ) -> Result<Self, SnapshotError> {
-        let mut engine = Self::try_new(system, jobs, policy, config).map_err(|e| {
-            SnapshotError::ConfigMismatch {
-                detail: format!("engine construction failed: {e}"),
-            }
-        })?;
+        Self::resume_with_source(
+            system,
+            Box::new(MaterializedSource::new(jobs)),
+            policy,
+            config,
+            snapshot,
+        )
+    }
+
+    /// [`ClusterSim::resume`] for an engine built over a pull-based
+    /// source ([`ClusterSim::try_new_with_source`]): the caller supplies
+    /// a *fresh* source over the same workload (same trace, same
+    /// generator parameters — checked via the fingerprint) and the
+    /// cursor is restored to the snapshot's read position.
+    pub fn resume_with_source(
+        system: System,
+        source: Box<dyn JobSource>,
+        policy: &'p mut dyn Policy,
+        config: EngineConfig,
+        snapshot: &Snapshot,
+    ) -> Result<Self, SnapshotError> {
+        let mut engine =
+            Self::try_new_with_source(system, source, policy, config).map_err(|e| {
+                SnapshotError::ConfigMismatch {
+                    detail: format!("engine construction failed: {e}"),
+                }
+            })?;
         engine.restore_state(snapshot.as_bytes())?;
         Ok(engine)
     }
@@ -1342,6 +1537,17 @@ impl<'p> ClusterSim<'p> {
         self.metrics = MetricsRegistry::restore_from(&mut r)?;
         r.section("completed")?;
         self.completed = r.seq(CompletedJob::restore_from)?;
+        r.section("arrivals")?;
+        self.arrival_seq = r.u64()?;
+        self.arrivals_exhausted = r.bool()?;
+        self.last_arrival_submit = SimTime::from_secs(r.f64()?);
+        self.pending_arrival = r.opt(Job::restore_from)?;
+        self.agg = CompletionAggregates::restore_from(&mut r)?;
+        // try_new already pulled the first arrival from the fresh
+        // source; cursor restore is written to tolerate that (absolute
+        // for materialized/generator sources, replay-from-current for
+        // the SWF stream).
+        self.source.restore_cursor(&mut r)?;
         r.section("obs")?;
         self.obs = Obs::restore_from(&mut r, self.config.trace.profile)?;
         r.finish()?;
@@ -2061,7 +2267,15 @@ impl<'p> ClusterSim<'p> {
         let (meter_group, _mark) = self.meter.open_group(&nodes, now, first_watts);
         self.metrics.incr("jobs/started", 1);
         let wait_secs = (now - job.submit).as_secs();
-        self.metrics.observe("sched/wait_secs", wait_secs);
+        // The diagnostic registry's exact-percentile distribution keeps
+        // every sample; in streaming mode (per-job records off) waits
+        // fold into CompletionAggregates only, so engine memory stays
+        // flat in the job count. Nothing in SimOutcome reads this
+        // distribution — skipping it changes no outcome byte. The
+        // fixed-bucket obs histogram below is O(1) and always on.
+        if self.config.retain_completed {
+            self.metrics.observe("sched/wait_secs", wait_secs);
+        }
         self.obs.registry.observe("sched/wait_secs", wait_secs);
         if self.obs.bus.enabled(TraceCategory::Job) {
             self.obs.bus.record(
@@ -2120,6 +2334,41 @@ impl<'p> ClusterSim<'p> {
             },
         );
         true
+    }
+
+    /// Pulls the next arrival from the source and schedules its Submit
+    /// event. Arrivals past the horizon end the stream (the source
+    /// contract guarantees all later ones are past it too), so an
+    /// unbounded generator never runs ahead of the horizon.
+    fn stage_next_arrival(&mut self) {
+        debug_assert!(
+            self.pending_arrival.is_none(),
+            "one staged arrival at a time"
+        );
+        if self.arrivals_exhausted {
+            return;
+        }
+        let Some(job) = self.source.next_job() else {
+            self.arrivals_exhausted = true;
+            return;
+        };
+        assert!(
+            job.submit >= self.last_arrival_submit,
+            "JobSource must yield non-decreasing submit times ({} after {})",
+            job.submit,
+            self.last_arrival_submit,
+        );
+        self.last_arrival_submit = job.submit;
+        if job.submit > self.config.horizon {
+            self.arrivals_exhausted = true;
+            return;
+        }
+        let seq = self.arrival_seq;
+        self.arrival_seq += 1;
+        self.sim
+            .queue_mut()
+            .push_with_seq(job.submit, seq, Ev::Submit(seq as usize));
+        self.pending_arrival = Some(job);
     }
 
     fn finish_job(&mut self, id: JobId, attempt: u32, t: SimTime) {
@@ -2200,7 +2449,7 @@ impl<'p> ClusterSim<'p> {
         if r.killed_at_walltime {
             self.metrics.incr("jobs/walltime_kills", 1);
         }
-        self.completed.push(CompletedJob {
+        let record = CompletedJob {
             id: r.job.id,
             nodes: r.nodes.len() as u32,
             wait_secs: (r.start - r.job.submit).as_secs(),
@@ -2211,7 +2460,23 @@ impl<'p> ClusterSim<'p> {
             killed_by_failure: departure == Departure::Failure,
             node_ids: r.nodes.iter().map(|n| n.0).collect(),
             start_secs: r.start.as_secs(),
-        });
+        };
+        self.agg.fold(&record);
+        if let Some(sink) = self.completion_sink.as_mut() {
+            let line = serde_json::to_string(&record).expect("CompletedJob serializes");
+            let _ = writeln!(sink, "{line}");
+        }
+        if self.config.retain_completed {
+            self.completed.push(record);
+        }
+        // The attempt-table entry exists to invalidate stale Finish and
+        // PhaseChange events, whose guards treat a missing entry and a
+        // mismatched one identically — so once the job can never restart
+        // (normal end, or killed with requeueing off) the entry can go,
+        // keeping the table bounded by live jobs on streaming runs.
+        if departure == Departure::Normal || !self.config.requeue_killed {
+            self.attempts.remove(&r.job.id);
+        }
         // Requeue killed work (Tokyo Tech: avoid *losing* jobs to power
         // actions). With checkpointing the continuation resumes from the
         // last checkpoint; without it, from the beginning.
@@ -2251,7 +2516,14 @@ impl<'p> ClusterSim<'p> {
     fn on_power_tick(&mut self, t: SimTime) {
         let watts = self.meter.system_watts();
         self.metrics.incr("rm/power_ticks", 1);
-        self.metrics.trace("power/system_watts", t, watts);
+        // With the bounded power trace on, the meter already holds the
+        // gridded system trace; this full per-tick copy in the
+        // diagnostic registry (one point per tick, forever) is the only
+        // other horizon-proportional store, so it is dropped too.
+        // Nothing in SimOutcome reads it.
+        if !self.config.bounded_power_trace {
+            self.metrics.trace("power/system_watts", t, watts);
+        }
         // What the control plane *sees* — subject to sensor dropout,
         // stuck-at windows, and the staleness fallback. Identical to
         // `watts` when sensor faults are off.
@@ -2383,13 +2655,6 @@ impl<'p> ClusterSim<'p> {
         }
         let span = end.as_secs().max(1e-9);
         let total_nodes = f64::from(self.system.spec().total_nodes());
-        let mut waits = Percentiles::new();
-        let mut slowdowns = Percentiles::new();
-        for c in &self.completed {
-            waits.push(c.wait_secs);
-            let denom = c.run_secs.max(10.0);
-            slowdowns.push(((c.wait_secs + c.run_secs) / denom).max(1.0));
-        }
         self.metrics.incr(
             "sim/events_processed",
             self.sim.events_processed() + self.local_events,
@@ -2397,12 +2662,8 @@ impl<'p> ClusterSim<'p> {
         let energy = self.meter.system_energy_joules(SimTime::ZERO, end);
         let peak = self.meter.peak_system_watts(SimTime::ZERO, end);
         let avg = self.meter.avg_system_watts(SimTime::ZERO, end);
-        let walltime_kills = self
-            .completed
-            .iter()
-            .filter(|c| c.killed_at_walltime)
-            .count() as u64;
-        let n_completed = self.completed.len() as u64;
+        let walltime_kills = self.agg.walltime_kills;
+        let n_completed = self.agg.count;
         // Failure observability: downtime over completed repairs plus
         // nodes still down at the horizon, accrued to the end.
         let mut node_downtime_secs = self.repair_downtime_secs;
@@ -2434,9 +2695,9 @@ impl<'p> ClusterSim<'p> {
             emergency_kills: self.emergency_kills,
             unfinished: (self.queue.len() + running.len()) as u64,
             utilization: self.busy_node_seconds / (total_nodes * span),
-            mean_wait_secs: waits.summary().map_or(0.0, |s| s.mean),
-            max_wait_secs: waits.summary().map_or(0.0, |s| s.max),
-            mean_bounded_slowdown: slowdowns.summary().map_or(0.0, |s| s.mean),
+            mean_wait_secs: self.agg.mean_wait(),
+            max_wait_secs: self.agg.wait_max,
+            mean_bounded_slowdown: self.agg.mean_slowdown(),
             energy_joules: energy,
             peak_watts: peak,
             avg_watts: avg,
@@ -2459,8 +2720,7 @@ impl<'p> ClusterSim<'p> {
             counters,
             power_trace: self
                 .meter
-                .system_trace()
-                .resample(SimTime::ZERO, end, SimDuration::from_mins(5.0))
+                .power_trace_rows(SimTime::ZERO, end, power_trace_grid())
                 .into_iter()
                 .map(|(t, w)| (t.as_secs(), w))
                 .collect(),
@@ -2494,6 +2754,90 @@ mod tests {
         let mut policy = Fcfs;
         let config = EngineConfig::new(SimTime::from_hours(horizon_h));
         ClusterSim::new(small_system(nodes), jobs, &mut policy, config).run()
+    }
+
+    #[test]
+    fn streaming_mode_matches_default_outcome_bitwise() {
+        // retain_completed=false + bounded_power_trace=true is the
+        // bounded-memory streaming configuration; every scalar the
+        // outcome reports (and the gridded power trace) must stay
+        // bit-identical to the default mode.
+        let jobs: Vec<Job> = (0..40)
+            .map(|i| {
+                JobBuilder::new(i + 1)
+                    .nodes(1 + (i % 5) as u32)
+                    .runtime(SimDuration::from_mins(20.0 + 13.0 * (i % 7) as f64))
+                    .estimate(SimDuration::from_hours(2.0))
+                    .submit(SimTime::from_secs(360.0 * i as f64))
+                    .build()
+            })
+            .collect();
+        let horizon = SimTime::from_hours(24.0);
+        let mut policy = Fcfs;
+        let default_out = ClusterSim::new(
+            small_system(8),
+            jobs.clone(),
+            &mut policy,
+            EngineConfig::new(horizon),
+        )
+        .run();
+        let mut streaming_cfg = EngineConfig::new(horizon);
+        streaming_cfg.retain_completed = false;
+        streaming_cfg.bounded_power_trace = true;
+        let streaming_out =
+            ClusterSim::new(small_system(8), jobs, &mut policy, streaming_cfg).run();
+
+        assert_eq!(default_out.completed, streaming_out.completed);
+        assert_eq!(default_out.walltime_kills, streaming_out.walltime_kills);
+        assert_eq!(default_out.unfinished, streaming_out.unfinished);
+        for (name, a, b) in [
+            (
+                "mean_wait",
+                default_out.mean_wait_secs,
+                streaming_out.mean_wait_secs,
+            ),
+            (
+                "max_wait",
+                default_out.max_wait_secs,
+                streaming_out.max_wait_secs,
+            ),
+            (
+                "slowdown",
+                default_out.mean_bounded_slowdown,
+                streaming_out.mean_bounded_slowdown,
+            ),
+            (
+                "energy",
+                default_out.energy_joules,
+                streaming_out.energy_joules,
+            ),
+            ("peak", default_out.peak_watts, streaming_out.peak_watts),
+            ("avg", default_out.avg_watts, streaming_out.avg_watts),
+            ("util", default_out.utilization, streaming_out.utilization),
+        ] {
+            assert_eq!(a.to_bits(), b.to_bits(), "{name}: {a} vs {b}");
+        }
+        assert_eq!(
+            default_out.power_trace.len(),
+            streaming_out.power_trace.len()
+        );
+        for ((dt_, dw), (st, sw)) in default_out
+            .power_trace
+            .iter()
+            .zip(&streaming_out.power_trace)
+        {
+            assert_eq!(dt_.to_bits(), st.to_bits());
+            assert_eq!(
+                dw.to_bits(),
+                sw.to_bits(),
+                "power trace diverges at t={dt_}"
+            );
+        }
+        assert_eq!(default_out.jobs.len(), 40);
+        assert!(
+            streaming_out.jobs.is_empty(),
+            "streaming mode must not retain per-job records"
+        );
     }
 
     #[test]

@@ -29,8 +29,9 @@ use std::path::Path;
 
 /// Schema version of the engine snapshot payload. Bump on any layout
 /// change; [`SnapReader::open`](epa_simcore::snap::SnapReader::open)
-/// rejects mismatches with a typed error.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+/// rejects mismatches with a typed error. v2 added the `arrivals`
+/// section (streaming source cursor + completion aggregates).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
 
 /// A frozen engine state: an owned, framed, checksummed byte buffer.
 ///

@@ -22,6 +22,7 @@
 //! - [`snap`] — versioned, checksummed binary snapshot codec (resumable
 //!   runs).
 
+pub mod chunk;
 pub mod engine;
 pub mod error;
 pub mod event;
@@ -39,7 +40,7 @@ pub use event::EventQueue;
 pub use metrics::MetricsRegistry;
 pub use quantile::P2Quantile;
 pub use rng::SimRng;
-pub use series::TimeSeries;
+pub use series::{BoundedSeries, TimeSeries};
 pub use snap::{SnapReader, SnapWriter, SnapshotError};
 pub use stats::{Histogram, OnlineStats, Percentiles, SummaryStats};
 pub use time::{SimDuration, SimTime};

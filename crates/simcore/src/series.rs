@@ -246,6 +246,219 @@ impl TimeSeries {
     }
 }
 
+/// A bounded-memory stand-in for [`TimeSeries`] that answers the four
+/// whole-run queries a power trace exists for — `∫ from 0`, max, time-
+/// weighted mean from 0, and a fixed-interval sample grid — without
+/// storing the change points. State is O(1) plus the sample grid
+/// (horizon / grid interval), instead of O(change points).
+///
+/// Every answer is bit-identical to the [`TimeSeries`] it replaces: the
+/// integral accumulator performs the same `acc + v·Δt` additions in the
+/// same order as the prefix-sum array, the max folds committed values in
+/// append order exactly as [`TimeSeries::max_on`] does over `[0, end]`,
+/// and the grid advances by the same `t += dt` float steps as
+/// [`TimeSeries::resample`]. The one-point *pending* stage mirrors the
+/// last stored change point, so equal-time overwrites and redundant-value
+/// skips behave exactly like [`TimeSeries::push`] — a transient value
+/// overwritten at the same instant never touches the accumulators.
+///
+/// Queries are only defined for windows `[0, b]` with `b` at or after
+/// the last pushed time (the whole-run window); anything else panics.
+#[derive(Debug, Clone)]
+pub struct BoundedSeries {
+    grid_dt: SimDuration,
+    /// Next grid instant not yet emitted; grid values are final once a
+    /// strictly later change point exists.
+    next_grid: SimTime,
+    grid_vals: Vec<(SimTime, f64)>,
+    /// The last change point — not yet folded into `acc`/`vmax` because
+    /// an equal-time push may still overwrite it.
+    pending: Option<(SimTime, f64)>,
+    first_t: SimTime,
+    /// Integral of committed segments (the prefix-sum array's last entry).
+    acc: f64,
+    /// Max over committed point values, in append order.
+    vmax: Option<f64>,
+    len: u64,
+}
+
+impl BoundedSeries {
+    /// Creates an empty bounded series sampling on a `grid_dt` grid
+    /// anchored at t = 0.
+    ///
+    /// # Panics
+    /// Panics if `grid_dt` is zero (as [`TimeSeries::resample`] would).
+    #[must_use]
+    pub fn new(grid_dt: SimDuration) -> Self {
+        assert!(!grid_dt.is_zero(), "resample interval must be positive");
+        BoundedSeries {
+            grid_dt,
+            next_grid: SimTime::ZERO,
+            grid_vals: Vec::new(),
+            pending: None,
+            first_t: SimTime::ZERO,
+            acc: 0.0,
+            vmax: None,
+            len: 0,
+        }
+    }
+
+    /// Emits every grid instant strictly before `t`: their sampled value
+    /// (the pending point's value, or 0 before the first point) can no
+    /// longer change.
+    fn emit_grid_to(&mut self, t: SimTime) {
+        let v = self.pending.map_or(0.0, |(_, v)| v);
+        while self.next_grid < t {
+            self.grid_vals.push((self.next_grid, v));
+            self.next_grid += self.grid_dt;
+        }
+    }
+
+    /// Appends a change point — the exact semantics (ordering assert,
+    /// equal-time overwrite, redundant-value skip) of
+    /// [`TimeSeries::push`].
+    pub fn push(&mut self, t: SimTime, value: f64) {
+        debug_assert!(value.is_finite());
+        let Some((last_t, last_v)) = self.pending else {
+            self.emit_grid_to(t);
+            self.first_t = t;
+            self.pending = Some((t, value));
+            self.len = 1;
+            return;
+        };
+        assert!(t >= last_t, "time series must be appended in order");
+        if t == last_t {
+            self.pending = Some((t, value));
+            return;
+        }
+        if last_v == value {
+            return;
+        }
+        self.emit_grid_to(t);
+        self.acc += last_v * (t - last_t).as_secs();
+        self.vmax = Some(self.vmax.map_or(last_v, |m| m.max(last_v)));
+        self.pending = Some((t, value));
+        self.len += 1;
+    }
+
+    /// The sample-grid interval this series was created with.
+    #[must_use]
+    pub fn grid_dt(&self) -> SimDuration {
+        self.grid_dt
+    }
+
+    /// Number of stored change points ([`TimeSeries::len`] equivalent).
+    #[must_use]
+    pub fn len(&self) -> u64 {
+        self.len
+    }
+
+    /// True when no change points have been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    fn assert_whole_run(&self, b: SimTime) {
+        if let Some((last_t, _)) = self.pending {
+            assert!(
+                b >= last_t,
+                "bounded series answers whole-run queries only: end {b} precedes last point {last_t}",
+            );
+        }
+    }
+
+    /// `TimeSeries::integrate(0, b)` for `b` at/after the last point.
+    #[must_use]
+    pub fn integrate_from_start(&self, b: SimTime) -> f64 {
+        self.assert_whole_run(b);
+        let Some((last_t, last_v)) = self.pending else {
+            return 0.0;
+        };
+        if b == SimTime::ZERO {
+            return 0.0;
+        }
+        if b == last_t {
+            self.acc
+        } else {
+            self.acc + last_v * (b - last_t).as_secs()
+        }
+    }
+
+    /// `TimeSeries::max_on(0, b)` for `b` at/after the last point.
+    #[must_use]
+    pub fn max_value(&self, b: SimTime) -> Option<f64> {
+        self.assert_whole_run(b);
+        let (_, pending_v) = self.pending?;
+        Some(self.vmax.map_or(pending_v, |m| m.max(pending_v)))
+    }
+
+    /// `TimeSeries::time_weighted_mean(0, b)` for `b` at/after the last
+    /// point.
+    #[must_use]
+    pub fn mean_from_start(&self, b: SimTime) -> f64 {
+        self.assert_whole_run(b);
+        if self.pending.is_none() || b <= SimTime::ZERO {
+            return 0.0;
+        }
+        let eff_start = self.first_t.max(SimTime::ZERO);
+        if b <= eff_start {
+            return 0.0;
+        }
+        self.integrate_from_start(b) / (b - eff_start).as_secs()
+    }
+
+    /// `TimeSeries::resample(0, b, grid_dt)` for `b` at/after the last
+    /// point: the already-final grid values plus the tail sampled at the
+    /// pending value.
+    #[must_use]
+    pub fn sample_grid(&self, b: SimTime) -> Vec<(SimTime, f64)> {
+        self.assert_whole_run(b);
+        let mut out = self.grid_vals.clone();
+        let v = self.pending.map_or(0.0, |(_, v)| v);
+        let mut t = self.next_grid;
+        while t <= b {
+            out.push((t, v));
+            t += self.grid_dt;
+        }
+        out
+    }
+
+    /// Encodes the bounded series into a snapshot (bit-exact state).
+    pub fn snapshot_into(&self, w: &mut crate::snap::SnapWriter) {
+        w.f64(self.grid_dt.as_secs());
+        w.f64(self.next_grid.as_secs());
+        w.seq(&self.grid_vals, |w, &(t, v)| {
+            w.f64(t.as_secs());
+            w.f64(v);
+        });
+        w.opt(self.pending.as_ref(), |w, &(t, v)| {
+            w.f64(t.as_secs());
+            w.f64(v);
+        });
+        w.f64(self.first_t.as_secs());
+        w.f64(self.acc);
+        w.opt(self.vmax.as_ref(), |w, &m| w.f64(m));
+        w.u64(self.len);
+    }
+
+    /// Decodes a series written by [`BoundedSeries::snapshot_into`].
+    pub fn restore_from(
+        r: &mut crate::snap::SnapReader<'_>,
+    ) -> Result<Self, crate::snap::SnapshotError> {
+        Ok(BoundedSeries {
+            grid_dt: SimDuration::from_secs(r.f64()?),
+            next_grid: SimTime::from_secs(r.f64()?),
+            grid_vals: r.seq(|r| Ok((SimTime::from_secs(r.f64()?), r.f64()?)))?,
+            pending: r.opt(|r| Ok((SimTime::from_secs(r.f64()?), r.f64()?)))?,
+            first_t: SimTime::from_secs(r.f64()?),
+            acc: r.f64()?,
+            vmax: r.opt(crate::snap::SnapReader::f64)?,
+            len: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -448,6 +661,55 @@ mod proptests {
                 (fast - naive).abs() < 1e-6 * (1.0 + naive.abs()),
                 "window [{}, {}]: prefix {} vs naive {}", lo, hi, fast, naive
             );
+        }
+
+        /// The bounded accumulator answers every whole-run query
+        /// bit-identically to the full series it replaces, on arbitrary
+        /// traces including equal-time overwrites (dt = 0) and redundant
+        /// repeated values.
+        #[test]
+        fn bounded_matches_full_series_bitwise(
+            steps in proptest::collection::vec(
+                (0.0f64..600.0, 0.0f64..500.0, 0u8..4), 1..80),
+            tail in 0.0f64..900.0,
+            grid_secs in 30.0f64..900.0,
+        ) {
+            let dt = SimDuration::from_secs(grid_secs);
+            let mut full = TimeSeries::new();
+            let mut bounded = BoundedSeries::new(dt);
+            let mut clock = 0.0f64;
+            let mut last_v = 0.0f64;
+            for (gap, v, kind) in steps {
+                // kind 0: normal step; 1: equal-time overwrite;
+                // 2: redundant value repeat; 3: normal step.
+                let (g, val) = match kind {
+                    1 => (0.0, v),
+                    2 => (gap, last_v),
+                    _ => (gap, v),
+                };
+                clock += g;
+                last_v = val;
+                full.push(t(clock), val);
+                bounded.push(t(clock), val);
+            }
+            let end = t(clock + tail);
+            prop_assert_eq!(full.len() as u64, bounded.len());
+            let (fi, bi) = (full.integrate(t(0.0), end), bounded.integrate_from_start(end));
+            prop_assert_eq!(fi.to_bits(), bi.to_bits(), "integrate: {} vs {}", fi, bi);
+            let (fm, bm) = (full.max_on(t(0.0), end), bounded.max_value(end));
+            prop_assert_eq!(fm.map(f64::to_bits), bm.map(f64::to_bits));
+            let (fa, ba) = (
+                full.time_weighted_mean(t(0.0), end),
+                bounded.mean_from_start(end),
+            );
+            prop_assert_eq!(fa.to_bits(), ba.to_bits(), "mean: {} vs {}", fa, ba);
+            let fr = full.resample(t(0.0), end, dt);
+            let br = bounded.sample_grid(end);
+            prop_assert_eq!(fr.len(), br.len());
+            for (i, (&(ft, fv), &(bt, bv))) in fr.iter().zip(&br).enumerate() {
+                prop_assert_eq!(ft, bt, "grid time {} diverges", i);
+                prop_assert_eq!(fv.to_bits(), bv.to_bits(), "grid value {} diverges", i);
+            }
         }
 
         /// `max_on` with the binary-searched window start agrees with a

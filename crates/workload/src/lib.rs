@@ -19,6 +19,8 @@
 //!   capacity mixes per site.
 //! - [`trace`] — a Standard-Workload-Format-compatible trace reader and
 //!   writer for interchange and replay.
+//! - [`source`] — pull-based [`source::JobSource`] streams (materialized,
+//!   lazy SWF, lazy generator) for bounded-memory million-job runs.
 
 pub mod arrival;
 pub mod distributions;
@@ -26,6 +28,7 @@ pub mod error;
 pub mod generator;
 pub mod job;
 pub mod moldable;
+pub mod source;
 pub mod trace;
 
 pub use arrival::ArrivalProcess;
@@ -34,4 +37,8 @@ pub use error::WorkloadError;
 pub use generator::{WorkloadGenerator, WorkloadParams, WorkloadSummary};
 pub use job::{AppProfile, Job, JobId, Phase};
 pub use moldable::MoldableConfig;
-pub use trace::{read_swf, write_swf};
+pub use source::{
+    collect_source, swf_text_source, JobSource, LazyGeneratorSource, MaterializedSource,
+    SwfStreamSource,
+};
+pub use trace::{read_swf, write_swf, SwfWriter};
