@@ -9,9 +9,7 @@
 
 use epa_bench::{experiment_system, OutcomeRow, ResultsTable};
 use epa_sched::engine::{ClusterSim, EngineConfig};
-use epa_sched::policies::backfill::{ConservativeBackfill, EasyBackfill};
-use epa_sched::policies::fcfs::Fcfs;
-use epa_sched::view::Policy;
+use epa_sched::policies::registry::make_policy;
 use epa_simcore::time::SimTime;
 use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
 
@@ -27,15 +25,8 @@ fn run(which: &str, budget: Option<f64>, seed: u64) -> OutcomeRow {
     let jobs = WorkloadGenerator::new(params).generate(horizon, 0);
     let mut config = EngineConfig::new(horizon);
     config.power_budget_watts = budget;
-    let mut fcfs = Fcfs;
-    let mut easy = EasyBackfill;
-    let mut cons = ConservativeBackfill;
-    let policy: &mut dyn Policy = match which {
-        "fcfs" => &mut fcfs,
-        "easy" => &mut easy,
-        _ => &mut cons,
-    };
-    let out = ClusterSim::new(system, jobs, policy, config).run();
+    let mut policy = make_policy(which).expect("registered policy");
+    let out = ClusterSim::new(system, jobs, policy.as_mut(), config).run();
     OutcomeRow::from(&out)
 }
 
@@ -43,7 +34,7 @@ fn main() {
     println!("E8: scheduling baselines on 128 nodes, 4 simulated days, heavy load\n");
     let mut table =
         ResultsTable::new(&["policy", "completed", "util %", "mean wait h", "slowdown"]);
-    for which in ["fcfs", "easy", "conservative"] {
+    for which in ["fcfs", "easy-backfill", "conservative-backfill"] {
         let r = run(which, None, 5);
         table.row(vec![
             which.into(),
@@ -61,7 +52,7 @@ fn main() {
     let mut table2 =
         ResultsTable::new(&["policy", "completed", "util %", "mean wait h", "slowdown"]);
     let budget = Some(experiment_system(128).spec().nominal_watts() * 0.75);
-    for which in ["fcfs", "easy", "conservative"] {
+    for which in ["fcfs", "easy-backfill", "conservative-backfill"] {
         let r = run(which, budget, 5);
         table2.row(vec![
             which.into(),

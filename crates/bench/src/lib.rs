@@ -28,7 +28,12 @@ use serde::Serialize;
 /// `jobs_completed` and gained `peak_rss_bytes`; added the `streaming`
 /// section (materialized vs lazy-source runs at 10k/100k/1M jobs with
 /// per-process peak-RSS probes).
-pub const BENCH_SCHEMA_VERSION: u32 = 4;
+///
+/// v5: added `BENCH_policy_env.json` (the `policy-env` bench): learner
+/// hyperparameters (`q_config`, `bandit_config`), the reward blend
+/// (`reward_config`), the macro-action catalog, and per-site learned vs
+/// engineered blended rewards.
+pub const BENCH_SCHEMA_VERSION: u32 = 5;
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or 0 where that interface is unavailable. The

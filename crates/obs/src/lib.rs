@@ -44,8 +44,8 @@ pub use export::{trace_to_jsonl, verify_replay, ReplayDivergence, ReplayReport};
 pub use profile::{ProfileReport, Profiler, Scope};
 pub use registry::{Histogram, ObsRegistry};
 pub use trace::{
-    CategoryMask, KillReason, RejectReason, TraceBus, TraceCategory, TraceConfig, TraceEvent,
-    TraceRecord, ALL_CATEGORIES,
+    CategoryMask, ControlKind, KillReason, RejectReason, TraceBus, TraceCategory, TraceConfig,
+    TraceEvent, TraceRecord, ALL_CATEGORIES,
 };
 
 /// Schema version stamped on every JSON/JSONL export this crate emits

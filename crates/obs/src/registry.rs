@@ -99,6 +99,34 @@ impl Histogram {
             self.sum / self.total as f64
         }
     }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the first
+    /// bucket whose cumulative count reaches `q * total`. Observations in
+    /// the overflow bucket saturate to the last finite bound (histograms
+    /// carry no information past it), and an empty histogram reports 0.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 {
+            return 0.0;
+        }
+        let target = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum as f64 >= target {
+                return self.bounds.get(i).copied().unwrap_or_else(|| {
+                    *self
+                        .bounds
+                        .last()
+                        .expect("histogram has at least one bound")
+                });
+            }
+        }
+        *self
+            .bounds
+            .last()
+            .expect("histogram has at least one bound")
+    }
 }
 
 /// The registry: string-keyed counters, gauges, and histograms.
@@ -391,6 +419,21 @@ mod tests {
     #[should_panic(expected = "strictly ascending")]
     fn unordered_bounds_rejected() {
         let _ = Histogram::new(&[10.0, 1.0]);
+    }
+
+    #[test]
+    fn quantile_walks_cumulative_buckets() {
+        let mut h = Histogram::new(&[1.0, 10.0, 100.0]);
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        for v in [0.5, 0.6, 5.0, 5.0, 50.0, 50.0, 50.0, 50.0] {
+            h.observe(v);
+        }
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.5), 10.0);
+        assert_eq!(h.quantile(0.9), 100.0);
+        // Overflow observations saturate to the last finite bound.
+        h.observe(1e6);
+        assert_eq!(h.quantile(1.0), 100.0);
     }
 
     #[test]

@@ -37,10 +37,14 @@ pub enum TraceCategory {
     Telemetry = 6,
     /// Windowed cap-enforcement evaluations.
     Enforcement = 7,
+    /// Control-plane actions from external (learned) controllers and
+    /// environment decision steps. Engineered adapter emissions are
+    /// *not* recorded here — they must stay byte-invisible.
+    Control = 8,
 }
 
 /// Number of trace categories (bitset width in use).
-pub const N_CATEGORIES: usize = 8;
+pub const N_CATEGORIES: usize = 9;
 
 /// All categories, in bit order (for mask parsing and display).
 pub const ALL_CATEGORIES: [TraceCategory; N_CATEGORIES] = [
@@ -52,6 +56,7 @@ pub const ALL_CATEGORIES: [TraceCategory; N_CATEGORIES] = [
     TraceCategory::Fault,
     TraceCategory::Telemetry,
     TraceCategory::Enforcement,
+    TraceCategory::Control,
 ];
 
 impl TraceCategory {
@@ -67,6 +72,48 @@ impl TraceCategory {
             TraceCategory::Fault => "fault",
             TraceCategory::Telemetry => "telemetry",
             TraceCategory::Enforcement => "enforcement",
+            TraceCategory::Control => "control",
+        }
+    }
+}
+
+/// What kind of control-plane action a [`TraceEvent::ControlAction`]
+/// records. Mirrors `epa_sched`'s `ControlAction` variants (the kind
+/// lives here because `epa-obs` sits below the scheduler in the crate
+/// graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub enum ControlKind {
+    /// Start a specific queued job.
+    Start,
+    /// Set (or clear) the concurrent-job limit.
+    JobLimit,
+    /// Set (or clear) the default DVFS frequency for new starts.
+    DefaultFrequency,
+    /// Set (or clear) the backfill scan depth.
+    BackfillDepth,
+    /// Resize the power budget.
+    BudgetResize,
+    /// Override (or clear) the idle-shutdown policy.
+    IdleShutdown,
+    /// Power off idle nodes now.
+    PowerOffIdle,
+    /// Shed running jobs to an emergency target.
+    EmergencyShed,
+}
+
+impl ControlKind {
+    /// The kind's stable lowercase name (exports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            ControlKind::Start => "start",
+            ControlKind::JobLimit => "job_limit",
+            ControlKind::DefaultFrequency => "default_frequency",
+            ControlKind::BackfillDepth => "backfill_depth",
+            ControlKind::BudgetResize => "budget_resize",
+            ControlKind::IdleShutdown => "idle_shutdown",
+            ControlKind::PowerOffIdle => "power_off_idle",
+            ControlKind::EmergencyShed => "emergency_shed",
         }
     }
 }
@@ -371,6 +418,28 @@ pub enum TraceEvent {
         /// down, zero holds.
         delta_nodes: i64,
     },
+    /// An external (learned) controller submitted a control action
+    /// through the engine's apply path. Engineered adapter emissions are
+    /// never recorded — engineered runs must stay byte-identical with
+    /// tracing on.
+    ControlAction {
+        /// What kind of action.
+        kind: ControlKind,
+        /// A kind-specific scalar summary of the action's payload
+        /// (e.g. the new limit, target watts, or -1 for "clear").
+        value: f64,
+        /// Whether the engine accepted it (validation + execution).
+        accepted: bool,
+    },
+    /// A `PolicyEnv` decision step completed.
+    EnvStep {
+        /// Zero-based step index within the episode.
+        step: u64,
+        /// Reward earned over the step's decision interval.
+        reward: f64,
+        /// Actions submitted this step (before validation).
+        actions: u32,
+    },
 }
 
 impl TraceEvent {
@@ -390,6 +459,18 @@ impl TraceEvent {
                 RejectReason::PowerDenied => 2,
                 RejectReason::AllocFailed => 3,
                 RejectReason::ActuationFailed => 4,
+            }
+        }
+        fn control_tag(k: ControlKind) -> u8 {
+            match k {
+                ControlKind::Start => 0,
+                ControlKind::JobLimit => 1,
+                ControlKind::DefaultFrequency => 2,
+                ControlKind::BackfillDepth => 3,
+                ControlKind::BudgetResize => 4,
+                ControlKind::IdleShutdown => 5,
+                ControlKind::PowerOffIdle => 6,
+                ControlKind::EmergencyShed => 7,
             }
         }
         match self {
@@ -553,6 +634,26 @@ impl TraceEvent {
                 w.f64(*cap_watts);
                 w.i64(*delta_nodes);
             }
+            TraceEvent::ControlAction {
+                kind,
+                value,
+                accepted,
+            } => {
+                w.u8(21);
+                w.u8(control_tag(*kind));
+                w.f64(*value);
+                w.bool(*accepted);
+            }
+            TraceEvent::EnvStep {
+                step,
+                reward,
+                actions,
+            } => {
+                w.u8(22);
+                w.u64(*step);
+                w.f64(*reward);
+                w.u32(*actions);
+            }
         }
     }
 
@@ -583,6 +684,23 @@ impl TraceEvent {
                 _ => {
                     return Err(SnapshotError::Corrupt {
                         detail: format!("unknown reject-reason tag {tag}"),
+                    })
+                }
+            })
+        }
+        fn control(tag: u8) -> Result<ControlKind, SnapshotError> {
+            Ok(match tag {
+                0 => ControlKind::Start,
+                1 => ControlKind::JobLimit,
+                2 => ControlKind::DefaultFrequency,
+                3 => ControlKind::BackfillDepth,
+                4 => ControlKind::BudgetResize,
+                5 => ControlKind::IdleShutdown,
+                6 => ControlKind::PowerOffIdle,
+                7 => ControlKind::EmergencyShed,
+                _ => {
+                    return Err(SnapshotError::Corrupt {
+                        detail: format!("unknown control-kind tag {tag}"),
                     })
                 }
             })
@@ -679,6 +797,16 @@ impl TraceEvent {
                 cap_watts: r.f64()?,
                 delta_nodes: r.i64()?,
             },
+            21 => TraceEvent::ControlAction {
+                kind: control(r.u8()?)?,
+                value: r.f64()?,
+                accepted: r.bool()?,
+            },
+            22 => TraceEvent::EnvStep {
+                step: r.u64()?,
+                reward: r.f64()?,
+                actions: r.u32()?,
+            },
             tag => {
                 return Err(SnapshotError::Corrupt {
                     detail: format!("unknown trace-event tag {tag}"),
@@ -712,6 +840,7 @@ impl TraceEvent {
             | TraceEvent::SensorStuck { .. }
             | TraceEvent::TelemetryFallback { .. } => TraceCategory::Telemetry,
             TraceEvent::Enforcement { .. } => TraceCategory::Enforcement,
+            TraceEvent::ControlAction { .. } | TraceEvent::EnvStep { .. } => TraceCategory::Control,
         }
     }
 }
@@ -1041,6 +1170,24 @@ mod tests {
             }
             .category(),
             TraceCategory::Enforcement
+        );
+        assert_eq!(
+            TraceEvent::ControlAction {
+                kind: ControlKind::JobLimit,
+                value: 4.0,
+                accepted: true
+            }
+            .category(),
+            TraceCategory::Control
+        );
+        assert_eq!(
+            TraceEvent::EnvStep {
+                step: 0,
+                reward: -1.0,
+                actions: 2
+            }
+            .category(),
+            TraceCategory::Control
         );
     }
 

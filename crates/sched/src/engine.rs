@@ -18,7 +18,8 @@
 //! consumes: utilization, wait/slowdown statistics, energy, peak power,
 //! violations, kills, and per-policy counters.
 
-use crate::emergency::EmergencyPolicy;
+use crate::control::{ActionSource, ControlAction, ControlMode, ControlState, Observation};
+use crate::emergency::{EmergencyPolicy, VictimOrder};
 use crate::error::SchedError;
 use crate::limiting::JobLimitGate;
 use crate::queue::JobQueue;
@@ -54,6 +55,7 @@ use std::collections::BTreeMap;
 use std::io::Write;
 
 /// Engine configuration.
+#[derive(Clone)]
 pub struct EngineConfig {
     /// Simulation horizon; events past it are dropped and accounting stops.
     pub horizon: SimTime,
@@ -120,6 +122,13 @@ pub struct EngineConfig {
     /// average, and 5-minute `power_trace` stay byte-identical; raw
     /// trace access ([`ClusterSim::meter`] → `system_trace`) panics.
     pub bounded_power_trace: bool,
+    /// How engineered mechanisms (shutdown, emergency, gate, budget
+    /// resizes) reach the engine: through the unified [`ControlAction`]
+    /// apply path (default), or the pre-refactor inline dispatch kept
+    /// for the adapter-equivalence proptests. Both produce byte-identical
+    /// outcomes and traces; the mode is excluded from the snapshot
+    /// fingerprint.
+    pub control_mode: ControlMode,
 }
 
 /// Parses an `EPA_JSRM_SHARDS` value: a positive integer, or `None` for
@@ -180,6 +189,7 @@ impl EngineConfig {
             shards: None,
             retain_completed: true,
             bounded_power_trace: false,
+            control_mode: ControlMode::Adapters,
         }
     }
 
@@ -614,12 +624,57 @@ pub struct SimOutcome {
     pub power_trace: Vec<(f64, f64)>,
 }
 
+/// The scheduling policy, borrowed (the classic constructors) or owned
+/// (the [`crate::env::PolicyEnv`] constructors, which need a `'static`
+/// engine they can hold across decision steps).
+enum PolicyHolder<'p> {
+    Borrowed(&'p mut dyn Policy),
+    Owned(Box<dyn Policy>),
+}
+
+impl PolicyHolder<'_> {
+    fn name(&self) -> &str {
+        match self {
+            PolicyHolder::Borrowed(p) => p.name(),
+            PolicyHolder::Owned(p) => p.name(),
+        }
+    }
+
+    fn schedule(&mut self, view: &SchedView<'_>, queue: &[Job]) -> Vec<Decision> {
+        match self {
+            PolicyHolder::Borrowed(p) => p.schedule(view, queue),
+            PolicyHolder::Owned(p) => p.schedule(view, queue),
+        }
+    }
+}
+
+/// A point-in-time reading of the cumulative quantities the environment
+/// reward is computed from ([`ClusterSim::reward_probe`]). Differences
+/// between two probes give the per-interval energy, slowdown mass,
+/// violation time, and kill count.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct RewardProbe {
+    /// Simulation time of the probe.
+    pub t: SimTime,
+    /// Cumulative system IT energy since t=0, joules.
+    pub energy_joules: f64,
+    /// Jobs completed so far.
+    pub completed: u64,
+    /// Sum of bounded slowdowns over completed jobs (the outcome's
+    /// `mean_bounded_slowdown × completed`).
+    pub slowdown_sum: f64,
+    /// Cumulative budget-violation seconds.
+    pub violation_secs: f64,
+    /// Jobs killed by emergency responses so far.
+    pub emergency_kills: u64,
+}
+
 /// The simulation engine.
 pub struct ClusterSim<'p> {
     config: EngineConfig,
     system: System,
     power_model: NodePowerModel,
-    policy: &'p mut dyn Policy,
+    policy: PolicyHolder<'p>,
     predictor: Box<dyn PowerPredictor>,
 
     sim: Simulation<Ev>,
@@ -727,6 +782,11 @@ pub struct ClusterSim<'p> {
     /// Shard-local events applied so far; added to the global count so
     /// `sim/events_processed` matches the single-queue engine exactly.
     local_events: u64,
+    /// The control plane's persistent knob state: what `Set*` control
+    /// actions write and the engine consults (job limit, default DVFS
+    /// frequency, backfill depth, shutdown override). Snapshot as its
+    /// own section (schema v3).
+    control: ControlState,
 }
 
 impl<'p> ClusterSim<'p> {
@@ -771,6 +831,15 @@ impl<'p> ClusterSim<'p> {
         system: System,
         source: Box<dyn JobSource>,
         policy: &'p mut dyn Policy,
+        config: EngineConfig,
+    ) -> Result<Self, SchedError> {
+        Self::build(system, source, PolicyHolder::Borrowed(policy), config)
+    }
+
+    fn build(
+        system: System,
+        source: Box<dyn JobSource>,
+        policy: PolicyHolder<'p>,
         config: EngineConfig,
     ) -> Result<Self, SchedError> {
         config.validate()?;
@@ -912,7 +981,44 @@ impl<'p> ClusterSim<'p> {
             obs,
             shards,
             local_events: 0,
+            control: ControlState::default(),
         })
+    }
+
+    /// Creates an engine that *owns* its policy, so the engine has no
+    /// borrowed lifetime. This is the [`crate::env::PolicyEnv`]
+    /// construction path: the environment holds the engine across
+    /// decision steps, which a borrowed policy's lifetime would forbid.
+    pub fn try_new_owned(
+        system: System,
+        jobs: Vec<Job>,
+        policy: Box<dyn Policy>,
+        config: EngineConfig,
+    ) -> Result<ClusterSim<'static>, SchedError> {
+        ClusterSim::build(
+            system,
+            Box::new(MaterializedSource::new(jobs)),
+            PolicyHolder::Owned(policy),
+            config,
+        )
+    }
+
+    /// [`ClusterSim::resume`] with an owned policy — see
+    /// [`ClusterSim::try_new_owned`].
+    pub fn resume_owned(
+        system: System,
+        jobs: Vec<Job>,
+        policy: Box<dyn Policy>,
+        config: EngineConfig,
+        snapshot: &Snapshot,
+    ) -> Result<ClusterSim<'static>, SnapshotError> {
+        let mut engine = ClusterSim::try_new_owned(system, jobs, policy, config).map_err(|e| {
+            SnapshotError::ConfigMismatch {
+                detail: format!("engine construction failed: {e}"),
+            }
+        })?;
+        engine.restore_state(snapshot.as_bytes())?;
+        Ok(engine)
     }
 
     /// Replaces the power predictor used for admission control.
@@ -1073,11 +1179,14 @@ impl<'p> ClusterSim<'p> {
                 self.try_schedule();
             }
             Ev::BudgetResize(w) => {
-                if let Some(budget) = self.budget.as_mut() {
-                    if budget.resize_traced(w, t, &mut self.obs.bus).is_ok() {
-                        self.metrics.incr("power/budget_resizes", 1);
-                    }
-                }
+                // The demand-response schedule is an engineered adapter:
+                // the resize flows through the unified apply path in both
+                // control modes (the execute body is the old inline arm).
+                let _ = self.apply_action(
+                    t,
+                    &ControlAction::ResizeBudget { watts: w },
+                    ActionSource::Engineered,
+                );
                 self.try_schedule();
             }
             Ev::NodeFail => {
@@ -1155,23 +1264,39 @@ impl<'p> ClusterSim<'p> {
     /// at several points, and [`ClusterSim::run`] /
     /// [`ClusterSim::run_traced`] to finish it.
     pub fn run_until(&mut self, until: SimTime) -> Snapshot {
+        let _ = self.advance_until(until);
+        self.snapshot()
+    }
+
+    /// Advances the run to the first window barrier at or past `until`
+    /// without snapshotting — the [`crate::env::PolicyEnv`] stepping
+    /// primitive (exactly [`ClusterSim::run_until`]'s loop). Returns
+    /// `true` when the run is over (event queues exhausted or the horizon
+    /// reached); finishing the engine with [`ClusterSim::run`] afterwards
+    /// finalizes the outcome.
+    pub fn advance_until(&mut self, until: SimTime) -> bool {
         loop {
             match self.sim.peek_key() {
-                Some((t, _)) if t > until => break,
+                Some((t, _)) if t > until => return false,
                 Some(_) => {
                     if self.step() {
-                        break;
+                        return true;
                     }
                 }
                 None => {
                     // No global events left: one final step drains any
                     // remaining shard windows and ends the run.
                     let _ = self.step();
-                    break;
+                    return true;
                 }
             }
         }
-        self.snapshot()
+    }
+
+    /// The current simulation time (the last window barrier).
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.sim.now()
     }
 
     /// Fingerprint of everything the snapshot does *not* store but the
@@ -1322,6 +1447,8 @@ impl<'p> ClusterSim<'p> {
         w.f64(self.repair_downtime_secs);
         w.u64(self.repairs_completed);
         w.u64(self.local_events);
+        w.section("control");
+        self.control.snapshot_into(&mut w);
         w.section("faults");
         w.opt(self.injector.as_ref(), |w, i| i.snapshot_into(w));
         w.opt(self.actuator.as_ref(), |w, a| a.snapshot_into(w));
@@ -1507,6 +1634,8 @@ impl<'p> ClusterSim<'p> {
         self.repair_downtime_secs = r.f64()?;
         self.repairs_completed = r.u64()?;
         self.local_events = r.u64()?;
+        r.section("control")?;
+        self.control = ControlState::restore_from(&mut r)?;
         r.section("faults")?;
         let fault_cfg = self.config.faults.clone();
         self.injector = r.opt(|r| {
@@ -1890,6 +2019,380 @@ impl<'p> ClusterSim<'p> {
         }
     }
 
+    /// Applies one control action through the unified apply path — the
+    /// single funnel every knob goes through, whether an engineered
+    /// adapter or an external (learned) controller pulled it.
+    ///
+    /// External actions are validated first (an invalid one is counted,
+    /// traced as rejected, and ignored) and recorded on the `Control`
+    /// trace category; engineered actions skip both so an engineered run
+    /// stays byte-identical to the pre-refactor engine even with tracing
+    /// on. Returns `true` when the action was applied (for `Start`, when
+    /// the job actually started).
+    fn apply_action(&mut self, t: SimTime, action: &ControlAction, src: ActionSource) -> bool {
+        if src == ActionSource::External && !self.validate_action(action) {
+            self.obs.registry.incr("control/actions_rejected", 1);
+            self.trace_control(t, action, false);
+            return false;
+        }
+        let applied = self.execute_action(t, action);
+        if src == ActionSource::External {
+            if applied {
+                self.obs.registry.incr("control/actions_applied", 1);
+            } else {
+                self.obs.registry.incr("control/actions_rejected", 1);
+            }
+            self.trace_control(t, action, applied);
+        }
+        applied
+    }
+
+    /// Records an external control action on the trace (mask-gated).
+    fn trace_control(&mut self, t: SimTime, action: &ControlAction, accepted: bool) {
+        if self.obs.bus.enabled(TraceCategory::Control) {
+            self.obs.bus.record(
+                t,
+                TraceEvent::ControlAction {
+                    kind: action.kind(),
+                    value: action.trace_value(),
+                    accepted,
+                },
+            );
+        }
+    }
+
+    /// Sanity bounds for *external* actions. Engineered adapters emit
+    /// well-formed actions by construction and skip this; a learned
+    /// controller's action must never corrupt engine state, so anything
+    /// non-physical is rejected here before execution.
+    fn validate_action(&self, action: &ControlAction) -> bool {
+        match action {
+            // Start is validated by the start path itself (unknown job,
+            // insufficient nodes, budget denial all reject cleanly).
+            ControlAction::Start { .. } => true,
+            ControlAction::SetJobLimit { limit } => limit.is_none_or(|l| l >= 1),
+            ControlAction::SetDefaultFrequency { freq_ghz } => {
+                freq_ghz.is_none_or(|f| f.is_finite() && f > 0.0)
+            }
+            ControlAction::SetBackfillDepth { depth } => depth.is_none_or(|d| d >= 1),
+            ControlAction::ResizeBudget { watts } => {
+                self.budget.is_some() && watts.is_finite() && *watts > 0.0
+            }
+            ControlAction::SetIdleShutdown { policy } => policy.as_ref().is_none_or(|p| {
+                p.idle_threshold.as_secs() >= 0.0
+                    && p.shutdown_time.as_secs() > 0.0
+                    && p.boot_time.as_secs() > 0.0
+            }),
+            ControlAction::PowerOffIdle {
+                idle_threshold,
+                shutdown_time,
+                ..
+            } => idle_threshold.as_secs() >= 0.0 && shutdown_time.as_secs() > 0.0,
+            ControlAction::EmergencyShed {
+                target_watts,
+                limit_watts,
+                ..
+            } => target_watts.is_finite() && *target_watts >= 0.0 && target_watts <= limit_watts,
+        }
+    }
+
+    /// Executes a (validated) control action. Returns `true` when it took
+    /// effect (`Start` reports whether the job started).
+    fn execute_action(&mut self, t: SimTime, action: &ControlAction) -> bool {
+        match action {
+            ControlAction::Start {
+                job,
+                nodes_override,
+                freq_ghz,
+                node_cap_watts,
+            } => self.start_job(*job, *nodes_override, *freq_ghz, *node_cap_watts),
+            ControlAction::SetJobLimit { limit } => {
+                self.control.job_limit = *limit;
+                true
+            }
+            ControlAction::SetDefaultFrequency { freq_ghz } => {
+                // Quantize at set time so every start sees a legal
+                // operating point without re-quantizing.
+                self.control.default_freq_ghz =
+                    freq_ghz.map(|f| self.power_model.dvfs().cpu().quantize_frequency(f));
+                true
+            }
+            ControlAction::SetBackfillDepth { depth } => {
+                self.control.backfill_depth = *depth;
+                true
+            }
+            ControlAction::ResizeBudget { watts } => {
+                if let Some(budget) = self.budget.as_mut() {
+                    if budget.resize_traced(*watts, t, &mut self.obs.bus).is_ok() {
+                        self.metrics.incr("power/budget_resizes", 1);
+                    }
+                }
+                true
+            }
+            ControlAction::SetIdleShutdown { policy } => {
+                self.control.shutdown_override = Some(policy.clone());
+                true
+            }
+            ControlAction::PowerOffIdle {
+                idle_threshold,
+                min_idle_reserve,
+                shutdown_time,
+            } => {
+                self.power_off_idle(t, *idle_threshold, *min_idle_reserve, *shutdown_time);
+                true
+            }
+            ControlAction::EmergencyShed {
+                observed_watts,
+                limit_watts,
+                target_watts,
+                victim_order,
+                cooldown,
+            } => {
+                self.emergency_shed(
+                    t,
+                    *observed_watts,
+                    *limit_watts,
+                    *target_watts,
+                    *victim_order,
+                    *cooldown,
+                );
+                true
+            }
+        }
+    }
+
+    /// Applies a batch of external (learned-controller) actions at the
+    /// current barrier, in order, and returns how many were accepted.
+    /// Each action is validated, counted, and recorded on the `Control`
+    /// trace category.
+    pub fn apply_external_actions(&mut self, actions: &[ControlAction]) -> u32 {
+        let now = self.sim.now();
+        let mut applied = 0;
+        for action in actions {
+            if self.apply_action(now, action, ActionSource::External) {
+                applied += 1;
+            }
+        }
+        applied
+    }
+
+    /// A fixed-interval observation for an external controller: queue
+    /// pressure, fleet state, power posture, and fault state, read from
+    /// the engine's existing bookkeeping without mutating anything.
+    #[must_use]
+    pub fn control_observation(&self) -> Observation {
+        let now = self.sim.now();
+        let (system_watts, stale) = self.observed_system_watts(now);
+        let (wait_p50_secs, wait_p90_secs) = self
+            .obs
+            .registry
+            .histogram("sched/wait_secs")
+            .map_or((0.0, 0.0), |h| (h.quantile(0.5), h.quantile(0.9)));
+        Observation {
+            t: now,
+            queue_depth: self.queue.len() as u64,
+            queued_node_demand: self.queue.jobs().iter().map(|j| u64::from(j.nodes)).sum(),
+            wait_p50_secs,
+            wait_p90_secs,
+            free_nodes: self.allocator.free_count() as u32,
+            off_nodes: self.off_count,
+            down_nodes: self.down.iter().filter(|&&d| d).count() as u32,
+            booting_nodes: self.booting,
+            total_nodes: self.system.spec().total_nodes(),
+            running_jobs: self.running.len() as u64,
+            system_watts,
+            budget_watts: self
+                .budget
+                .as_ref()
+                .map_or(f64::INFINITY, PowerBudget::total_watts),
+            headroom_watts: self
+                .budget
+                .as_ref()
+                .map_or(f64::INFINITY, PowerBudget::headroom_watts),
+            temperature_c: self.ambient_c(now),
+            telemetry_stale: stale,
+            emergency_armed: self
+                .config
+                .emergency
+                .as_ref()
+                .is_some_and(|em| em.armed_at(now)),
+            start_hold: now < self.start_hold_until,
+        }
+    }
+
+    /// Reads the cumulative reward inputs at the current barrier. The
+    /// environment differences two probes to get per-interval energy,
+    /// slowdown mass, and violation time.
+    #[must_use]
+    pub fn reward_probe(&self) -> RewardProbe {
+        let now = self.sim.now();
+        RewardProbe {
+            t: now,
+            energy_joules: self.meter.system_energy_joules(SimTime::ZERO, now),
+            completed: self.agg.count,
+            slowdown_sum: self.agg.slowdown_sum,
+            violation_secs: self.violation_accum_secs,
+            emergency_kills: self.emergency_kills,
+        }
+    }
+
+    /// The idle-shutdown policy in effect: the control-plane override
+    /// when one is set (`Some(None)` disables shutdown entirely), else
+    /// the configured policy.
+    fn effective_shutdown(&self) -> Option<&ShutdownPolicy> {
+        match &self.control.shutdown_override {
+            Some(o) => o.as_ref(),
+            None => self.config.shutdown.as_ref(),
+        }
+    }
+
+    /// Concurrency admission under the current mode: the legacy path
+    /// asks the gate inline (the pre-refactor shape); the adapter path
+    /// consults the control plane's job-limit knob, which
+    /// [`ClusterSim::refresh_gate_limit`] re-derives from the gate each
+    /// scheduling round. Within a round the two are equivalent — ambient
+    /// temperature cannot change between events.
+    fn admits_start(&self) -> bool {
+        match self.config.control_mode {
+            ControlMode::DirectLegacy => match &self.config.limit_gate {
+                Some(gate) => gate.admits(self.running.len(), self.ambient_c(self.sim.now())),
+                None => true,
+            },
+            ControlMode::Adapters => self
+                .control
+                .job_limit
+                .is_none_or(|l| self.running.len() < l),
+        }
+    }
+
+    /// Gate adapter: re-derives the temperature-conditioned concurrency
+    /// cap and writes it through the control plane (adapter mode only).
+    fn refresh_gate_limit(&mut self) {
+        if self.config.control_mode != ControlMode::Adapters {
+            return;
+        }
+        let now = self.sim.now();
+        let limit = match &self.config.limit_gate {
+            Some(gate) => gate.limit_at(self.ambient_c(now)),
+            None => return,
+        };
+        let _ = self.apply_action(
+            now,
+            &ControlAction::SetJobLimit { limit: Some(limit) },
+            ActionSource::Engineered,
+        );
+    }
+
+    /// Sheds running jobs until the projected draw falls to
+    /// `target_watts`, then holds new starts for `cooldown`. The shared
+    /// body of the emergency response in both control modes — its
+    /// operation order is load-bearing for byte determinism.
+    fn emergency_shed(
+        &mut self,
+        t: SimTime,
+        observed: f64,
+        limit_watts: f64,
+        target_watts: f64,
+        victim_order: VictimOrder,
+        cooldown: SimDuration,
+    ) {
+        self.metrics.incr("emergency/breaches", 1);
+        if self.obs.bus.enabled(TraceCategory::Emergency) {
+            self.obs.bus.record(
+                t,
+                TraceEvent::EmergencyBreach {
+                    observed_watts: observed,
+                    limit_watts,
+                },
+            );
+        }
+        let mut excess = observed - target_watts;
+        // Victim ordering per policy: youngest-first (least sunk cost)
+        // or most-powerful-first (fewest kills per watt).
+        let mut victims: Vec<JobId> = self.running.keys().copied().collect();
+        match victim_order {
+            VictimOrder::Youngest => {
+                victims.sort_by_key(|id| {
+                    std::cmp::Reverse(self.running[id].start.as_secs().to_bits())
+                });
+            }
+            VictimOrder::MostPowerful => {
+                victims.sort_by_key(|id| {
+                    let r = &self.running[id];
+                    std::cmp::Reverse(((r.watts_per_node * r.nodes.len() as f64) * 1e3) as u64)
+                });
+            }
+        }
+        for id in victims {
+            if excess <= 0.0 {
+                break;
+            }
+            let r = self.running.remove(&id).expect("victim is running");
+            let shed = r.watts_per_node * r.nodes.len() as f64;
+            excess -= shed;
+            self.emergency_kills += 1;
+            self.metrics.incr("emergency/kills", 1);
+            if self.obs.bus.enabled(TraceCategory::Emergency) {
+                self.obs.bus.record(
+                    t,
+                    TraceEvent::EmergencyKill {
+                        job: id.0,
+                        shed_watts: shed,
+                    },
+                );
+            }
+            self.complete(r, t, Departure::Emergency);
+        }
+        self.start_hold_until = t + cooldown;
+        self.hold_resume_pending = !cooldown.is_zero();
+        self.try_schedule();
+    }
+
+    /// Powers off idle nodes under the given aggressiveness knobs. The
+    /// shared body of the idle-shutdown scan in both control modes.
+    fn power_off_idle(
+        &mut self,
+        t: SimTime,
+        idle_threshold: SimDuration,
+        min_idle_reserve: u32,
+        shutdown_time: SimDuration,
+    ) {
+        let now = t;
+        // Keep a reserve of idle nodes for responsiveness. The O(1)
+        // tally gates the candidate scan entirely: on the common tick
+        // (nothing shuttable) no per-node work runs.
+        let can_shut = self.idle_count().saturating_sub(min_idle_reserve);
+        if can_shut == 0 {
+            return;
+        }
+        let candidates: Vec<NodeId> = self
+            .idle_since
+            .iter()
+            .enumerate()
+            .filter_map(|(i, since)| since.map(|s| (i, s)))
+            .filter(|&(i, since)| {
+                matches!(self.node_state[i], NodePowerState::Idle)
+                    && (now - since) >= idle_threshold
+            })
+            .map(|(i, _)| NodeId(i as u32))
+            .collect();
+        for n in candidates.into_iter().take(can_shut as usize) {
+            if self.allocator.mark_unavailable(n) {
+                self.idle_since[n.index()] = None;
+                self.metrics.incr("rm/shutdowns", 1);
+                // Shutdown takes effect after a short drain; completion
+                // is shard-local to the node.
+                let seq = self.sim.alloc_seq();
+                self.shards.post(
+                    self.shards.topo().shard_of(n),
+                    t + shutdown_time,
+                    seq,
+                    LocalEv::ShutdownDone(n),
+                );
+            }
+        }
+    }
+
     fn try_schedule(&mut self) {
         let t_sched = self.obs.profiler.start();
         self.try_schedule_inner();
@@ -1901,12 +2404,14 @@ impl<'p> ClusterSim<'p> {
         if self.sim.now() < self.start_hold_until {
             return;
         }
-        // The gate may cap how many jobs can run concurrently.
-        if let Some(gate) = &self.config.limit_gate {
-            let temp = self.ambient_c(self.sim.now());
-            if !gate.admits(self.running.len(), temp) {
-                return;
-            }
+        // The gate may cap how many jobs can run concurrently. Adapter
+        // mode refreshes the control plane's job-limit knob from the
+        // gate each round, then checks the knob; the legacy path asks
+        // the gate inline. Ambient temperature is constant within a
+        // round, so the two are equivalent.
+        self.refresh_gate_limit();
+        if !self.admits_start() {
+            return;
         }
         let now = self.sim.now();
         let headroom = self
@@ -1955,18 +2460,26 @@ impl<'p> ClusterSim<'p> {
                 dvfs: self.power_model.dvfs(),
                 predicted_watts_per_node: &predict,
             };
-            self.policy.schedule(&view, self.queue.jobs())
+            // Backfill-depth knob: cap how far into the queue the policy
+            // may look. `None` hands the policy the full queue, the
+            // pre-refactor behaviour.
+            let queue = self.queue.jobs();
+            let queue = match self.config.control_mode {
+                ControlMode::Adapters => match self.control.backfill_depth {
+                    Some(d) => &queue[..queue.len().min(d as usize)],
+                    None => queue,
+                },
+                ControlMode::DirectLegacy => queue,
+            };
+            self.policy.schedule(&view, queue)
         };
         let mut started_any = false;
         for d in decisions {
             // The concurrency gate bounds *each* start, not just round
             // entry — one scheduling round may otherwise blow through the
             // limit with a batch of starts.
-            if let Some(gate) = &self.config.limit_gate {
-                let temp = self.ambient_c(self.sim.now());
-                if !gate.admits(self.running.len(), temp) {
-                    break;
-                }
+            if !self.admits_start() {
+                break;
             }
             match d {
                 Decision::Start {
@@ -1975,7 +2488,22 @@ impl<'p> ClusterSim<'p> {
                     freq_ghz,
                     node_cap_watts,
                 } => {
-                    if self.start_job(job, nodes_override, freq_ghz, node_cap_watts) {
+                    let started = match self.config.control_mode {
+                        ControlMode::Adapters => self.apply_action(
+                            now,
+                            &ControlAction::Start {
+                                job,
+                                nodes_override,
+                                freq_ghz,
+                                node_cap_watts,
+                            },
+                            ActionSource::Engineered,
+                        ),
+                        ControlMode::DirectLegacy => {
+                            self.start_job(job, nodes_override, freq_ghz, node_cap_watts)
+                        }
+                    };
+                    if started {
                         started_any = true;
                         if stale {
                             self.metrics.incr("faults/conservative_admissions", 1);
@@ -1993,7 +2521,7 @@ impl<'p> ClusterSim<'p> {
     }
 
     fn boot_for_demand(&mut self) {
-        let Some(sd) = self.config.shutdown.clone() else {
+        let Some(sd) = self.effective_shutdown().cloned() else {
             return;
         };
         let Some(head) = self.queue.head() else {
@@ -2042,6 +2570,10 @@ impl<'p> ClusterSim<'p> {
         freq_ghz: Option<f64>,
         node_cap_watts: Option<f64>,
     ) -> bool {
+        // The control plane's default-frequency knob applies to any start
+        // without an explicit frequency request. Engineered runs never
+        // set it, so the default path is untouched.
+        let freq_ghz = freq_ghz.or(self.control.default_freq_ghz);
         // A start for a job that is not at the head of the queue is a
         // backfill decision (recorded on the trace, not used otherwise).
         let backfilled = self.queue.head().is_some_and(|h| h.id != id);
@@ -2539,68 +3071,84 @@ impl<'p> ClusterSim<'p> {
         }
         self.last_tick = t;
 
-        // Emergency response (RIKEN): kill jobs until under the limit.
-        // Drives on *observed* power — a stale sensor makes the response
-        // conservative (the fallback estimate errs high), never blind.
-        if let Some(em) = self.config.emergency.clone() {
-            if em.armed_at(t) && observed > em.limit_watts {
-                self.metrics.incr("emergency/breaches", 1);
-                if self.obs.bus.enabled(TraceCategory::Emergency) {
-                    self.obs.bus.record(
-                        t,
-                        TraceEvent::EmergencyBreach {
-                            observed_watts: observed,
-                            limit_watts: em.limit_watts,
-                        },
-                    );
-                }
-                let mut excess = observed - em.target_watts();
-                // Victim ordering per policy: youngest-first (least sunk
-                // cost) or most-powerful-first (fewest kills per watt).
-                let mut victims: Vec<JobId> = self.running.keys().copied().collect();
-                match em.victim_order {
-                    crate::emergency::VictimOrder::Youngest => {
-                        victims.sort_by_key(|id| {
-                            std::cmp::Reverse(self.running[id].start.as_secs().to_bits())
-                        });
-                    }
-                    crate::emergency::VictimOrder::MostPowerful => {
-                        victims.sort_by_key(|id| {
-                            let r = &self.running[id];
-                            std::cmp::Reverse(
-                                ((r.watts_per_node * r.nodes.len() as f64) * 1e3) as u64,
-                            )
-                        });
-                    }
-                }
-                for id in victims {
-                    if excess <= 0.0 {
-                        break;
-                    }
-                    let r = self.running.remove(&id).expect("victim is running");
-                    let shed = r.watts_per_node * r.nodes.len() as f64;
-                    excess -= shed;
-                    self.emergency_kills += 1;
-                    self.metrics.incr("emergency/kills", 1);
-                    if self.obs.bus.enabled(TraceCategory::Emergency) {
-                        self.obs.bus.record(
-                            t,
-                            TraceEvent::EmergencyKill {
-                                job: id.0,
-                                shed_watts: shed,
-                            },
-                        );
-                    }
-                    self.complete(r, t, Departure::Emergency);
-                }
-                self.start_hold_until = t + em.start_cooldown;
-                self.hold_resume_pending = !em.start_cooldown.is_zero();
-                self.try_schedule();
+        // Emergency response (RIKEN) and idle shutdown (Mämmelä / Tokyo
+        // Tech). Adapter mode routes both through the unified action
+        // apply path — the same funnel a learned controller uses; the
+        // legacy path dispatches inline exactly as the pre-refactor
+        // engine did (equivalence is proptested).
+        match self.config.control_mode {
+            ControlMode::Adapters => self.engineered_tick_actions(t, observed),
+            ControlMode::DirectLegacy => {
+                self.legacy_emergency_response(t, observed);
+                self.legacy_shutdown_scan(t);
             }
         }
+    }
 
-        // Idle shutdown (Mämmelä / Tokyo Tech). Seasonal gating follows
+    /// Adapter mode: the engineered emergency and idle-shutdown policies
+    /// emit [`ControlAction`]s through the unified apply path.
+    fn engineered_tick_actions(&mut self, t: SimTime, observed: f64) {
+        // Emergency response drives on *observed* power — a stale sensor
+        // makes the response conservative (the fallback estimate errs
+        // high), never blind.
+        if let Some(em) = self.config.emergency.clone() {
+            if em.should_respond(t, observed) {
+                let _ = self.apply_action(
+                    t,
+                    &ControlAction::EmergencyShed {
+                        observed_watts: observed,
+                        limit_watts: em.limit_watts,
+                        target_watts: em.target_watts(),
+                        victim_order: em.victim_order,
+                        cooldown: em.start_cooldown,
+                    },
+                    ActionSource::Engineered,
+                );
+            }
+        }
+        // Idle shutdown honours the control plane's override (a learned
+        // controller can retune or disable it); seasonal gating follows
         // the facility's calendar (its weather model's start day).
+        if let Some(sd) = self.effective_shutdown().cloned() {
+            let doy0 = self
+                .config
+                .facility
+                .as_ref()
+                .map_or(0, |f| f.config().weather.start_day_of_year);
+            if sd.season_active_on(t, doy0) {
+                let _ = self.apply_action(
+                    t,
+                    &ControlAction::PowerOffIdle {
+                        idle_threshold: sd.idle_threshold,
+                        min_idle_reserve: sd.min_idle_reserve,
+                        shutdown_time: sd.shutdown_time,
+                    },
+                    ActionSource::Engineered,
+                );
+            }
+        }
+    }
+
+    /// Pre-refactor inline emergency dispatch, kept for the equivalence
+    /// proptests ([`ControlMode::DirectLegacy`]).
+    fn legacy_emergency_response(&mut self, t: SimTime, observed: f64) {
+        if let Some(em) = self.config.emergency.clone() {
+            if em.armed_at(t) && observed > em.limit_watts {
+                self.emergency_shed(
+                    t,
+                    observed,
+                    em.limit_watts,
+                    em.target_watts(),
+                    em.victim_order,
+                    em.start_cooldown,
+                );
+            }
+        }
+    }
+
+    /// Pre-refactor inline shutdown scan, kept for the equivalence
+    /// proptests ([`ControlMode::DirectLegacy`]).
+    fn legacy_shutdown_scan(&mut self, t: SimTime) {
         if let Some(sd) = self.config.shutdown.clone() {
             let doy0 = self
                 .config
@@ -2608,39 +3156,7 @@ impl<'p> ClusterSim<'p> {
                 .as_ref()
                 .map_or(0, |f| f.config().weather.start_day_of_year);
             if sd.season_active_on(t, doy0) {
-                let now = t;
-                // Keep a reserve of idle nodes for responsiveness. The
-                // O(1) tally gates the candidate scan entirely: on the
-                // common tick (nothing shuttable) no per-node work runs.
-                let can_shut = self.idle_count().saturating_sub(sd.min_idle_reserve);
-                if can_shut > 0 {
-                    let candidates: Vec<NodeId> = self
-                        .idle_since
-                        .iter()
-                        .enumerate()
-                        .filter_map(|(i, since)| since.map(|s| (i, s)))
-                        .filter(|&(i, since)| {
-                            matches!(self.node_state[i], NodePowerState::Idle)
-                                && (now - since) >= sd.idle_threshold
-                        })
-                        .map(|(i, _)| NodeId(i as u32))
-                        .collect();
-                    for n in candidates.into_iter().take(can_shut as usize) {
-                        if self.allocator.mark_unavailable(n) {
-                            self.idle_since[n.index()] = None;
-                            self.metrics.incr("rm/shutdowns", 1);
-                            // Shutdown takes effect after a short drain;
-                            // completion is shard-local to the node.
-                            let seq = self.sim.alloc_seq();
-                            self.shards.post(
-                                self.shards.topo().shard_of(n),
-                                t + sd.shutdown_time,
-                                seq,
-                                LocalEv::ShutdownDone(n),
-                            );
-                        }
-                    }
-                }
+                self.power_off_idle(t, sd.idle_threshold, sd.min_idle_reserve, sd.shutdown_time);
             }
         }
     }

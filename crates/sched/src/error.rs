@@ -13,6 +13,16 @@ pub enum SchedError {
     #[error("invalid scheduler configuration: {0}")]
     InvalidConfig(String),
 
+    /// A policy name not present in the registry
+    /// ([`crate::policies::registry::make_policy`]).
+    #[error("unknown policy \"{name}\" — valid policies: {valid}")]
+    UnknownPolicy {
+        /// The name that failed to resolve.
+        name: String,
+        /// Comma-separated list of every valid policy name.
+        valid: String,
+    },
+
     /// `node_mtbf` was configured as zero or negative.
     #[error("node MTBF must be positive")]
     NonPositiveMtbf,

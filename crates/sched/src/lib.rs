@@ -30,11 +30,14 @@
 //! - [`intersystem::InterSystemCoordinator`] — Tokyo Tech's shared
 //!   facility budget between two systems (TSUBAME 2 and 3).
 
+pub mod control;
 pub mod emergency;
 pub mod engine;
+pub mod env;
 pub mod error;
 pub mod governor;
 pub mod intersystem;
+pub mod learn;
 pub mod limiting;
 pub mod policies;
 pub mod queue;
@@ -43,11 +46,14 @@ pub mod shutdown;
 pub mod snapshot;
 pub mod view;
 
+pub use control::{ActionSource, ControlAction, ControlMode, ControlState, Observation};
 pub use emergency::EmergencyPolicy;
-pub use engine::{ClusterSim, EngineConfig, SimOutcome};
+pub use engine::{ClusterSim, EngineConfig, RewardProbe, SimOutcome};
+pub use env::{EnvConfig, PolicyEnv, RewardConfig, StepResult};
 pub use error::SchedError;
 pub use governor::{GovernorObjective, PhaseGovernor, PhasePlan};
 pub use intersystem::InterSystemCoordinator;
+pub use learn::{ActionCatalog, BanditConfig, ContextualBandit, QConfig, QLearner, TileCoding};
 pub use limiting::JobLimitGate;
 pub use queue::JobQueue;
 pub use shutdown::ShutdownPolicy;

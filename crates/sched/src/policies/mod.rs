@@ -6,6 +6,7 @@ pub mod fcfs;
 pub mod overprovision;
 pub mod power_aware;
 pub mod power_sharing;
+pub mod registry;
 
 pub use backfill::{ConservativeBackfill, EasyBackfill};
 pub use energy_aware::{EnergyAwareScheduler, SchedulingGoal};
@@ -13,3 +14,4 @@ pub use fcfs::Fcfs;
 pub use overprovision::OverprovisionScheduler;
 pub use power_aware::PowerAwareBackfill;
 pub use power_sharing::PowerSharingManager;
+pub use registry::{make_policy, POLICY_NAMES};

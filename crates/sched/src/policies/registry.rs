@@ -1,0 +1,90 @@
+//! Name → policy constructor registry.
+//!
+//! Every experiment bin, the site runner, and the learned-policy
+//! environment need to turn a policy *name* into a live [`Policy`]. The
+//! `match` arms for that used to be copy-pasted per binary and drifted
+//! (one bin's `"easy"` was another's `"easy-backfill"`). This registry is
+//! the single mapping: the canonical name is exactly what the policy's
+//! own [`Policy::name`] reports, so a constructed policy round-trips
+//! through outcome JSON and back by name.
+
+use crate::error::SchedError;
+use crate::policies::energy_aware::SchedulingGoal;
+use crate::policies::{
+    ConservativeBackfill, EasyBackfill, EnergyAwareScheduler, Fcfs, OverprovisionScheduler,
+    PowerAwareBackfill,
+};
+use crate::view::Policy;
+
+/// Every canonical policy name [`make_policy`] accepts, in display order.
+/// The list is what an [`SchedError::UnknownPolicy`] error reports.
+pub const POLICY_NAMES: &[&str] = &[
+    "fcfs",
+    "easy-backfill",
+    "conservative-backfill",
+    "power-aware-backfill",
+    "power-aware-backfill+dvfs",
+    "energy-aware(energy)",
+    "energy-aware(performance)",
+    "overprovision-moldable",
+];
+
+/// Constructs a policy by canonical name (each policy's own
+/// [`Policy::name`]). Unknown names get a typed error listing every
+/// valid name rather than a panic or a silent default.
+pub fn make_policy(name: &str) -> Result<Box<dyn Policy>, SchedError> {
+    let policy: Box<dyn Policy> = match name {
+        "fcfs" => Box::new(Fcfs),
+        "easy-backfill" => Box::new(EasyBackfill),
+        "conservative-backfill" => Box::new(ConservativeBackfill),
+        "power-aware-backfill" => Box::new(PowerAwareBackfill {
+            dvfs_fitting: false,
+            margin_watts: 0.0,
+        }),
+        "power-aware-backfill+dvfs" => Box::new(PowerAwareBackfill {
+            dvfs_fitting: true,
+            margin_watts: 0.0,
+        }),
+        "energy-aware(energy)" => Box::new(EnergyAwareScheduler {
+            goal: SchedulingGoal::EnergyToSolution,
+            max_slowdown: 1.15,
+        }),
+        "energy-aware(performance)" => Box::new(EnergyAwareScheduler {
+            goal: SchedulingGoal::Performance,
+            max_slowdown: 1.15,
+        }),
+        "overprovision-moldable" => Box::new(OverprovisionScheduler::default()),
+        _ => {
+            return Err(SchedError::UnknownPolicy {
+                name: name.to_owned(),
+                valid: POLICY_NAMES.join(", "),
+            })
+        }
+    };
+    Ok(policy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_registered_name_round_trips() {
+        for name in POLICY_NAMES {
+            let p = make_policy(name).expect("registered name constructs");
+            assert_eq!(p.name(), *name, "registry name must match Policy::name");
+        }
+    }
+
+    #[test]
+    fn unknown_name_lists_valid_policies() {
+        let Err(err) = make_policy("slurm") else {
+            panic!("unknown policy must not construct");
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("slurm"), "{msg}");
+        for name in POLICY_NAMES {
+            assert!(msg.contains(name), "{msg} should list {name}");
+        }
+    }
+}

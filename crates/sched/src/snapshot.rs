@@ -30,8 +30,10 @@ use std::path::Path;
 /// Schema version of the engine snapshot payload. Bump on any layout
 /// change; [`SnapReader::open`](epa_simcore::snap::SnapReader::open)
 /// rejects mismatches with a typed error. v2 added the `arrivals`
-/// section (streaming source cursor + completion aggregates).
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+/// section (streaming source cursor + completion aggregates); v3 added
+/// the `control` section (control-plane knob state, so a learned
+/// controller's overrides survive a crash/resume).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
 
 /// A frozen engine state: an owned, framed, checksummed byte buffer.
 ///

@@ -31,6 +31,26 @@ pub enum PolicyKind {
     Overprovision,
 }
 
+impl PolicyKind {
+    /// The canonical name in `epa_sched::policies::registry` this kind
+    /// resolves to — the single mapping the runner uses to construct the
+    /// policy, so site configs cannot drift from the registry.
+    #[must_use]
+    pub fn registry_name(&self) -> &'static str {
+        match self {
+            PolicyKind::Fcfs => "fcfs",
+            PolicyKind::EasyBackfill => "easy-backfill",
+            PolicyKind::PowerAware { dvfs_fitting: true } => "power-aware-backfill+dvfs",
+            PolicyKind::PowerAware {
+                dvfs_fitting: false,
+            } => "power-aware-backfill",
+            PolicyKind::EnergyAware { energy_goal: true } => "energy-aware(energy)",
+            PolicyKind::EnergyAware { energy_goal: false } => "energy-aware(performance)",
+            PolicyKind::Overprovision => "overprovision-moldable",
+        }
+    }
+}
+
 /// Descriptive metadata (Q2 context + Figure 2 geography).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SiteMeta {

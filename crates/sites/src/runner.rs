@@ -6,7 +6,7 @@
 //! artifacts the survey needs — quantitative Q2/Q3/Q7 answers, the user
 //! energy reports, and the component-interaction ledger behind Figure 1.
 
-use crate::config::{PolicyKind, SiteConfig};
+use crate::config::SiteConfig;
 use crate::taxonomy::Capability;
 use epa_cluster::layout::{Equipment, FacilityLayout, MaintenanceWindow, PduId};
 use epa_power::facility::Facility;
@@ -14,12 +14,7 @@ use epa_predict::predictors::{TagMeanPredictor, TemperatureScaledPredictor};
 use epa_rm::interactions::{Component, InteractionKind, InteractionLedger};
 use epa_rm::reports::{EfficiencyMark, UserEnergyReport};
 use epa_sched::engine::{ClusterSim, EngineConfig, SimOutcome};
-use epa_sched::policies::energy_aware::{EnergyAwareScheduler, SchedulingGoal};
-use epa_sched::policies::fcfs::Fcfs;
-use epa_sched::policies::overprovision::OverprovisionScheduler;
-use epa_sched::policies::power_aware::PowerAwareBackfill;
-use epa_sched::policies::EasyBackfill;
-use epa_sched::view::Policy;
+use epa_sched::policies::registry::make_policy;
 use epa_simcore::time::SimTime;
 use epa_workload::generator::{WorkloadGenerator, WorkloadSummary};
 use std::collections::BTreeMap;
@@ -83,23 +78,8 @@ pub fn run_site(site: &SiteConfig) -> SiteReport {
         config.layout = Some(layout);
     }
 
-    let mut policy: Box<dyn Policy> = match site.policy {
-        PolicyKind::Fcfs => Box::new(Fcfs),
-        PolicyKind::EasyBackfill => Box::new(EasyBackfill),
-        PolicyKind::PowerAware { dvfs_fitting } => Box::new(PowerAwareBackfill {
-            dvfs_fitting,
-            margin_watts: 0.0,
-        }),
-        PolicyKind::EnergyAware { energy_goal } => Box::new(EnergyAwareScheduler {
-            goal: if energy_goal {
-                SchedulingGoal::EnergyToSolution
-            } else {
-                SchedulingGoal::Performance
-            },
-            max_slowdown: 1.15,
-        }),
-        PolicyKind::Overprovision => Box::new(OverprovisionScheduler::default()),
-    };
+    let mut policy =
+        make_policy(site.policy.registry_name()).expect("PolicyKind maps to a registered policy");
 
     let mut sim = ClusterSim::new(system, jobs, policy.as_mut(), config);
     if site.meta.key == "riken" {

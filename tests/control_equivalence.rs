@@ -1,0 +1,122 @@
+//! Control-plane equivalence: the engineered adapters routed through the
+//! unified `ControlAction` apply path ([`ControlMode::Adapters`], the
+//! default) produce **byte-identical** outcomes and JSONL traces to the
+//! pre-refactor inline dispatch ([`ControlMode::DirectLegacy`]), across
+//! shard counts {1, 4} × thread counts {1, 4}.
+//!
+//! The scenario exercises every adapter: a power budget with scheduled
+//! resizes (budget adapter), idle shutdown (shutdown adapter), emergency
+//! kills (emergency adapter), a temperature-conditioned job-limit gate
+//! (gate adapter), plus failures/requeues so the interleaving is rich.
+
+use epa_cluster::node::NodeSpec;
+use epa_cluster::system::{System, SystemSpec};
+use epa_cluster::topology::Topology;
+use epa_obs::{trace_to_jsonl, TraceConfig};
+use epa_sched::control::ControlMode;
+use epa_sched::emergency::EmergencyPolicy;
+use epa_sched::engine::{ClusterSim, EngineConfig};
+use epa_sched::limiting::JobLimitGate;
+use epa_sched::policies::backfill::EasyBackfill;
+use epa_sched::shutdown::ShutdownPolicy;
+use epa_simcore::time::{SimDuration, SimTime};
+use epa_workload::generator::{WorkloadGenerator, WorkloadParams};
+use proptest::prelude::*;
+
+fn system() -> System {
+    SystemSpec {
+        name: "ctl-eq-32".into(),
+        cabinets: 4,
+        nodes_per_cabinet: 8,
+        node: NodeSpec::typical_xeon(),
+        topology: Topology::FatTree { arity: 8 },
+        peak_tflops: 32.0,
+    }
+    .build()
+}
+
+/// Serialized (outcome, trace) for one run of the full-feature scenario.
+fn outcome_and_trace(seed: u64, mode: ControlMode, shards: u32) -> (String, String) {
+    let horizon = SimTime::from_days(2.0);
+    let jobs = WorkloadGenerator::new(WorkloadParams::typical(32, seed)).generate(horizon, 0);
+    let mut config = EngineConfig::new(horizon);
+    config.control_mode = mode;
+    config.shards = Some(shards);
+    config.trace = TraceConfig::all();
+    config.power_budget_watts = Some(32.0 * 290.0 * 0.7);
+    config.budget_schedule = vec![
+        (SimTime::from_hours(20.0), 32.0 * 290.0 * 0.4),
+        (SimTime::from_hours(26.0), 32.0 * 290.0 * 0.7),
+    ];
+    config.shutdown = Some(ShutdownPolicy::default());
+    config.emergency = Some(EmergencyPolicy::windowed(
+        32.0 * 290.0 * 0.65,
+        SimTime::from_hours(6.0),
+        SimTime::from_hours(40.0),
+    ))
+    .map(|e| e.with_cooldown(SimDuration::from_mins(10.0)));
+    config.limit_gate = Some(JobLimitGate {
+        normal_limit: 24,
+        hot_limit: 6,
+        hot_threshold_c: 26.0,
+    });
+    config.requeue_killed = true;
+    config.checkpoint_interval = Some(SimDuration::from_mins(30.0));
+    config.node_mtbf = Some(SimDuration::from_hours(18.0));
+    config.repair_time = SimDuration::from_hours(2.0);
+    config.seed = seed ^ 0xD5;
+    let mut policy = EasyBackfill;
+    let (outcome, bundle) = ClusterSim::new(system(), jobs, &mut policy, config).run_traced();
+    (
+        serde_json::to_string(&outcome).expect("serializes"),
+        trace_to_jsonl(&bundle.trace),
+    )
+}
+
+#[test]
+fn adapters_match_legacy_across_shards_and_threads() {
+    let (base_out, base_trace) =
+        rayon::with_num_threads(1, || outcome_and_trace(0xC0, ControlMode::DirectLegacy, 1));
+    assert!(
+        base_trace.contains("emergency_breach") || base_out.contains("emergency_kills"),
+        "scenario should exercise the emergency path"
+    );
+    for shards in [1u32, 4] {
+        for threads in [1usize, 4] {
+            let (out, trace) = rayon::with_num_threads(threads, || {
+                outcome_and_trace(0xC0, ControlMode::Adapters, shards)
+            });
+            assert!(
+                out == base_out,
+                "outcome drifted: adapters vs legacy at {shards} shards / {threads} threads"
+            );
+            assert!(
+                trace == base_trace,
+                "trace drifted: adapters vs legacy at {shards} shards / {threads} threads"
+            );
+            let (lout, ltrace) = rayon::with_num_threads(threads, || {
+                outcome_and_trace(0xC0, ControlMode::DirectLegacy, shards)
+            });
+            assert!(
+                lout == base_out && ltrace == base_trace,
+                "legacy mode itself drifted at {shards} shards / {threads} threads"
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Property form: for random seeds, the adapter path and the legacy
+    /// path agree byte-for-byte on outcome and trace at 1 and 4 shards.
+    #[test]
+    fn adapters_equiv_legacy_random_seeds(seed in 0u64..1_000) {
+        let (base_out, base_trace) = outcome_and_trace(seed, ControlMode::DirectLegacy, 1);
+        for shards in [1u32, 4] {
+            let (out, trace) = outcome_and_trace(seed, ControlMode::Adapters, shards);
+            prop_assert!(out == base_out, "seed {seed}: outcome drifted at {shards} shards");
+            prop_assert!(trace == base_trace, "seed {seed}: trace drifted at {shards} shards");
+        }
+    }
+}
