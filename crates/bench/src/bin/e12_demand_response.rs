@@ -8,11 +8,18 @@
 //! 2. admission-only: stop starting jobs that don't fit the shed budget,
 //! 3. admission + emergency killing: actively drive the draw down.
 //!
+//! The DR event is defined once, as an `epa-grid` [`DrContract`]; the
+//! engine consumes it through the contract's budget-schedule adapter,
+//! which is asserted byte-identical to the legacy inline schedule this
+//! bin used to build by hand, and the settlement comes from the
+//! contract's penalty accounting (asserted equal to the legacy loop).
+//!
 //! Expected shape: ignoring leaves hours of violation; admission-only
 //! converges slowly (running jobs drain); emergency compliance is fast
 //! but kills work.
 
 use epa_bench::{experiment_system, ResultsTable};
+use epa_grid::{DrContract, DrEvent};
 use epa_sched::emergency::EmergencyPolicy;
 use epa_sched::engine::{ClusterSim, EngineConfig};
 use epa_sched::policies::EasyBackfill;
@@ -26,13 +33,37 @@ fn main() {
     let nominal = system.spec().nominal_watts();
     let horizon = SimTime::from_days(3.0);
     let jobs = WorkloadGenerator::new(WorkloadParams::typical(nodes, 17)).generate(horizon, 0);
-    let shed_start = SimTime::from_hours(24.0);
-    let shed_end = SimTime::from_hours(28.0);
+
+    // The DR request, as a grid contract: one enforced-by-posture event,
+    // 1 kWh of tolerance, a stiff per-kWh penalty.
+    let event = DrEvent {
+        start: SimTime::from_hours(24.0),
+        end: SimTime::from_hours(28.0),
+        target_frac: 0.5,
+        enforce: false,
+    };
+    let contract = DrContract {
+        events: vec![event],
+        penalty_per_excess_kwh: 10.0,
+        tolerance_kwh: 1.0,
+    };
+    contract.validate().expect("well-formed contract");
+
+    // The contract's budget-schedule adapter reproduces the legacy
+    // inline schedule exactly — same times, same watts, byte-identical
+    // engine behaviour.
+    let schedule = contract.budget_schedule(nominal);
+    assert_eq!(
+        schedule,
+        vec![(event.start, nominal * 0.5), (event.end, nominal)],
+        "DR adapter must match the legacy inline schedule"
+    );
 
     let mut table = ResultsTable::new(&[
         "posture",
         "violation s",
         "excess kWh",
+        "penalty",
         "kills",
         "finished ok",
         "energy MWh",
@@ -45,31 +76,37 @@ fn main() {
         let mut config = EngineConfig::new(horizon);
         config.power_budget_watts = Some(nominal);
         if comply {
-            config.budget_schedule = vec![(shed_start, nominal * 0.5), (shed_end, nominal)];
+            config.budget_schedule = schedule.clone();
         }
         if emergency {
             // The emergency response arms only inside the compliance
             // window (a demand-response event, not a standing limit).
             config.emergency = Some(EmergencyPolicy::windowed(
-                nominal * 0.5,
-                shed_start,
-                shed_end,
+                event.target_watts(nominal),
+                event.start,
+                event.end,
             ));
         }
         let mut policy = EasyBackfill;
         let out = ClusterSim::new(system.clone(), jobs.clone(), &mut policy, config).run();
-        // Violation during the window: seconds above the shed level, and
-        // the integral of the excess draw (what the utility actually sees).
-        let mut violation_secs = 0.0;
-        let mut excess_joules = 0.0;
+        // Settle the window through the contract; the legacy inline loop
+        // is kept as the cross-check the accounting must reproduce.
+        let acc = contract.account(nominal, &out.power_trace);
+        let (mut legacy_violation, mut legacy_excess) = (0.0, 0.0);
         for w in out.power_trace.windows(2) {
             let (t, watts) = w[0];
             let dt = w[1].0 - t;
-            if t >= shed_start.as_secs() && t < shed_end.as_secs() && watts > nominal * 0.5 {
-                violation_secs += dt;
-                excess_joules += (watts - nominal * 0.5) * dt;
+            if t >= event.start.as_secs() && t < event.end.as_secs() && watts > nominal * 0.5 {
+                legacy_violation += dt;
+                legacy_excess += (watts - nominal * 0.5) * dt;
             }
         }
+        let settled = &acc.events[0];
+        assert!(
+            (settled.violation_secs - legacy_violation).abs() < 1e-6
+                && (settled.excess_kwh - legacy_excess / 3.6e6).abs() < 1e-9,
+            "contract settlement must match the legacy accounting loop"
+        );
         let finished_ok = out
             .jobs
             .iter()
@@ -77,8 +114,9 @@ fn main() {
             .count();
         table.row(vec![
             label.into(),
-            format!("{violation_secs:.0}"),
-            format!("{:.1}", excess_joules / 3.6e6),
+            format!("{:.0}", settled.violation_secs),
+            format!("{:.1}", settled.excess_kwh),
+            format!("{:.1}", settled.penalty),
             out.emergency_kills.to_string(),
             finished_ok.to_string(),
             format!("{:.2}", out.energy_joules / 3.6e9),

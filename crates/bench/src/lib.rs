@@ -33,7 +33,12 @@ use serde::Serialize;
 /// hyperparameters (`q_config`, `bandit_config`), the reward blend
 /// (`reward_config`), the macro-action catalog, and per-site learned vs
 /// engineered blended rewards.
-pub const BENCH_SCHEMA_VERSION: u32 = 5;
+///
+/// v6: added `BENCH_grid_cosim.json` (the `grid-cosim` bench): per-site
+/// follow-the-renewables Pareto fronts (cost / carbon / bounded
+/// slowdown with `pareto_optimal` flags) and the nine-site federation
+/// objective sweep (cost / carbon / mean deferral).
+pub const BENCH_SCHEMA_VERSION: u32 = 6;
 
 /// Peak resident set size of this process in bytes (`VmHWM` from
 /// `/proc/self/status`), or 0 where that interface is unavailable. The

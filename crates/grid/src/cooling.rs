@@ -1,0 +1,182 @@
+//! The cooling loop: a PUE model that responds to IT load and outdoor
+//! temperature, and the fixed-point it induces on the facility budget.
+//!
+//! The survey's LRZ row links the scheduler to "IT infrastructure +
+//! cooling" and delays jobs when the infrastructure is inefficient. The
+//! mechanism: facility draw = IT draw × PUE, where PUE rises with
+//! outdoor temperature (chillers fight harder) and with *low* IT load
+//! (fixed cooling overhead amortizes over fewer IT watts). The IT budget
+//! that fits a facility-side cap therefore depends on the PUE, which
+//! depends on the IT draw — a fixed point the engine solves at every
+//! window barrier and feeds back as the effective power budget.
+
+use crate::error::GridError;
+use epa_simcore::snap::Fingerprint;
+use serde::Serialize;
+
+/// Load- and weather-dependent PUE, plus the facility-side budget it
+/// gates.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct CoolingModel {
+    /// Facility-side power cap, watts (IT × PUE must fit under this).
+    pub site_budget_watts: f64,
+    /// PUE at the reference temperature and full IT load.
+    pub base_pue: f64,
+    /// PUE increase per °C above the reference temperature.
+    pub pue_per_degree: f64,
+    /// Reference outdoor temperature, °C.
+    pub reference_temp_c: f64,
+    /// Extra PUE at zero IT load (fixed cooling overhead), linearly
+    /// amortized away at full load.
+    pub idle_overhead: f64,
+}
+
+impl CoolingModel {
+    /// A plain chilled-water loop over a facility cap.
+    #[must_use]
+    pub fn simple(site_budget_watts: f64) -> Self {
+        CoolingModel {
+            site_budget_watts,
+            base_pue: 1.25,
+            pue_per_degree: 0.008,
+            reference_temp_c: 15.0,
+            idle_overhead: 0.10,
+        }
+    }
+
+    /// Validates the model.
+    pub fn validate(&self) -> Result<(), GridError> {
+        if self.site_budget_watts <= 0.0 {
+            return Err(GridError::InvalidConfig(
+                "cooling site budget must be positive".into(),
+            ));
+        }
+        if self.base_pue < 1.0 {
+            return Err(GridError::InvalidConfig(format!(
+                "base PUE cannot be below 1.0, got {}",
+                self.base_pue
+            )));
+        }
+        if self.pue_per_degree < 0.0 || self.idle_overhead < 0.0 {
+            return Err(GridError::InvalidConfig(
+                "PUE slopes must be non-negative".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// PUE at outdoor temperature `temp_c` with `it_watts` of IT draw on
+    /// a machine whose full-load draw is `nominal_it_watts`. Floored at
+    /// 1.0 (a PUE below 1 is unphysical).
+    #[must_use]
+    pub fn pue(&self, temp_c: f64, it_watts: f64, nominal_it_watts: f64) -> f64 {
+        let load = if nominal_it_watts > 0.0 {
+            (it_watts / nominal_it_watts).clamp(0.0, 1.0)
+        } else {
+            1.0
+        };
+        (self.base_pue
+            + self.pue_per_degree * (temp_c - self.reference_temp_c)
+            + self.idle_overhead * (1.0 - load))
+            .max(1.0)
+    }
+
+    /// The largest IT draw whose facility-side total (IT × PUE at that
+    /// draw) fits under the site budget, capped at `nominal_it_watts`.
+    ///
+    /// Solved by fixed-point iteration of `b ← min(nominal, budget /
+    /// PUE(b))`: PUE is non-increasing in `b`, so the map is monotone on
+    /// `[0, nominal]` and the iteration converges from above; the
+    /// iteration count is fixed, so the result is a pure (deterministic)
+    /// function of the inputs.
+    #[must_use]
+    pub fn effective_it_budget(&self, temp_c: f64, nominal_it_watts: f64) -> f64 {
+        let mut b = nominal_it_watts.max(0.0);
+        for _ in 0..32 {
+            b = (self.site_budget_watts / self.pue(temp_c, b, nominal_it_watts))
+                .min(nominal_it_watts)
+                .max(0.0);
+        }
+        b
+    }
+
+    /// Folds the model into a config fingerprint.
+    pub fn fingerprint(&self, fp: &mut Fingerprint) {
+        fp.f64(self.site_budget_watts);
+        fp.f64(self.base_pue);
+        fp.f64(self.pue_per_degree);
+        fp.f64(self.reference_temp_c);
+        fp.f64(self.idle_overhead);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn validation() {
+        CoolingModel::simple(1e6).validate().unwrap();
+        let mut c = CoolingModel::simple(1e6);
+        c.base_pue = 0.8;
+        assert!(c.validate().is_err());
+        let mut c = CoolingModel::simple(1e6);
+        c.site_budget_watts = 0.0;
+        assert!(c.validate().is_err());
+        let mut c = CoolingModel::simple(1e6);
+        c.idle_overhead = -0.1;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn hotter_and_emptier_is_less_efficient() {
+        let c = CoolingModel::simple(1e6);
+        assert!(c.pue(30.0, 8e5, 1e6) > c.pue(10.0, 8e5, 1e6));
+        assert!(c.pue(15.0, 1e5, 1e6) > c.pue(15.0, 9e5, 1e6));
+    }
+
+    proptest! {
+        /// PUE stays inside its analytic bounds for any inputs.
+        #[test]
+        fn pue_bounds(
+            temp in -40.0f64..55.0,
+            it in 0.0f64..2e6,
+            nominal in 1.0f64..2e6,
+        ) {
+            let c = CoolingModel::simple(1e6);
+            let p = c.pue(temp, it, nominal);
+            let ceiling = c.base_pue
+                + c.pue_per_degree * (55.0 - c.reference_temp_c)
+                + c.idle_overhead;
+            prop_assert!(p >= 1.0);
+            prop_assert!(p <= ceiling + 1e-9);
+        }
+
+        /// The effective budget is a stable fixed point: one more
+        /// application of the map moves it by (near) nothing, it never
+        /// exceeds the nominal IT draw, and the implied facility draw
+        /// respects the site budget whenever the cap isn't the binding
+        /// constraint.
+        #[test]
+        fn effective_budget_is_fixed_point(
+            temp in -30.0f64..45.0,
+            site_budget in 1e4f64..5e6,
+            nominal in 1e4f64..5e6,
+        ) {
+            let c = CoolingModel {
+                site_budget_watts: site_budget,
+                ..CoolingModel::simple(site_budget)
+            };
+            let b = c.effective_it_budget(temp, nominal);
+            prop_assert!(b >= 0.0 && b <= nominal + 1e-9);
+            let next = (site_budget / c.pue(temp, b, nominal)).min(nominal).max(0.0);
+            prop_assert!((next - b).abs() <= 1e-6 * b.max(1.0), "not a fixed point: {b} -> {next}");
+            if b < nominal - 1e-6 {
+                // Budget-bound: facility draw at the fixed point fills the cap.
+                let facility = b * c.pue(temp, b, nominal);
+                prop_assert!((facility - site_budget).abs() <= 1e-6 * site_budget);
+            }
+        }
+    }
+}

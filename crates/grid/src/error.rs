@@ -1,0 +1,42 @@
+//! Error types for the facility digital twin.
+
+use thiserror::Error;
+
+/// Errors from grid traces, demand-response contracts, and the cooling
+/// model.
+#[derive(Debug, Error, PartialEq)]
+pub enum GridError {
+    /// A trace was structurally invalid (empty, unsorted, non-finite).
+    #[error("invalid grid trace: {0}")]
+    InvalidTrace(String),
+
+    /// A configuration value was out of range.
+    #[error("invalid grid configuration: {0}")]
+    InvalidConfig(String),
+
+    /// A CSV-ish trace file could not be parsed.
+    #[error("trace parse error on line {line}: {detail}")]
+    Parse {
+        /// 1-based line number of the offending row.
+        line: usize,
+        /// What was wrong with it.
+        detail: String,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display() {
+        assert_eq!(
+            GridError::Parse {
+                line: 3,
+                detail: "bad float".into()
+            }
+            .to_string(),
+            "trace parse error on line 3: bad float"
+        );
+    }
+}

@@ -148,20 +148,31 @@ impl CategoryMask {
     /// simulation results, only trace coverage.
     #[must_use]
     pub fn parse(spec: &str) -> CategoryMask {
+        Self::parse_with_unknown(spec).0
+    }
+
+    /// [`CategoryMask::parse`], additionally reporting the names it did
+    /// not recognize so callers (the env reader) can warn instead of
+    /// silently narrowing trace coverage.
+    #[must_use]
+    pub fn parse_with_unknown(spec: &str) -> (CategoryMask, Vec<String>) {
         match spec.trim() {
-            "" | "off" | "none" | "0" => CategoryMask::NONE,
-            "all" | "1" | "on" => CategoryMask::ALL,
+            "" | "off" | "none" | "0" => (CategoryMask::NONE, Vec::new()),
+            "all" | "1" | "on" => (CategoryMask::ALL, Vec::new()),
             list => {
                 let mut mask = CategoryMask::NONE;
+                let mut unknown = Vec::new();
                 for part in list.split(',') {
                     let part = part.trim();
-                    for cat in ALL_CATEGORIES {
-                        if part == cat.name() {
-                            mask = mask.with(cat);
-                        }
+                    if part.is_empty() {
+                        continue;
+                    }
+                    match ALL_CATEGORIES.into_iter().find(|cat| part == cat.name()) {
+                        Some(cat) => mask = mask.with(cat),
+                        None => unknown.push(part.to_owned()),
                     }
                 }
-                mask
+                (mask, unknown)
             }
         }
     }
@@ -205,10 +216,32 @@ impl TraceConfig {
 
     /// Reads the `EPA_JSRM_TRACE` environment variable (`"all"`, `"off"`,
     /// or a comma list like `"job,budget,fault"`). Unset means disabled.
+    /// Unknown category names are skipped, but *not* silently: a
+    /// one-time stderr warning names the variable, the value, and the
+    /// rejected names — the same contract as the `EPA_JSRM_SHARDS` /
+    /// `EPA_JSRM_THREADS` parsers, so a typo'd `EPA_JSRM_TRACE=jobs`
+    /// cannot masquerade as "job tracing on".
     #[must_use]
     pub fn from_env() -> Self {
-        let mask = std::env::var("EPA_JSRM_TRACE")
-            .map_or(CategoryMask::NONE, |spec| CategoryMask::parse(&spec));
+        use std::sync::OnceLock;
+        static WARNED: OnceLock<()> = OnceLock::new();
+        let mask = std::env::var("EPA_JSRM_TRACE").map_or(CategoryMask::NONE, |spec| {
+            let (mask, unknown) = CategoryMask::parse_with_unknown(&spec);
+            if !unknown.is_empty() {
+                WARNED.get_or_init(|| {
+                    eprintln!(
+                        "warning: EPA_JSRM_TRACE={spec:?} names unknown trace \
+                         categories {unknown:?} (ignored; known names: {})",
+                        ALL_CATEGORIES
+                            .iter()
+                            .map(|c| c.name())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                });
+            }
+            mask
+        });
         TraceConfig {
             mask,
             ..TraceConfig::default()
@@ -1090,6 +1123,33 @@ mod tests {
         assert!(!m.enabled(TraceCategory::Emergency));
         // Typos change coverage, not behavior.
         assert_eq!(CategoryMask::parse("jbo,nope"), CategoryMask::NONE);
+    }
+
+    #[test]
+    fn mask_parsing_reports_unknown_names() {
+        // Keywords and valid lists report nothing unknown.
+        assert_eq!(
+            CategoryMask::parse_with_unknown("all").1,
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            CategoryMask::parse_with_unknown("off").1,
+            Vec::<String>::new()
+        );
+        assert_eq!(
+            CategoryMask::parse_with_unknown("job,budget").1,
+            Vec::<String>::new()
+        );
+        // Typos surface by name, while valid names in the same list
+        // still take effect; empty segments are not "unknown".
+        let (mask, unknown) = CategoryMask::parse_with_unknown("job, jbo, ,nope");
+        assert!(mask.enabled(TraceCategory::Job));
+        assert_eq!(unknown, vec!["jbo".to_owned(), "nope".to_owned()]);
+        // The two parse entry points agree on the mask.
+        assert_eq!(
+            CategoryMask::parse("job,jbo"),
+            CategoryMask::parse_with_unknown("job,jbo").0
+        );
     }
 
     #[test]

@@ -267,6 +267,17 @@ pub struct Observation {
     pub emergency_armed: bool,
     /// Starts are held (post-emergency cooldown).
     pub start_hold: bool,
+    /// Electricity price at the last grid tick, currency per MWh (0.0
+    /// when the engine runs without a grid config).
+    pub price_per_mwh: f64,
+    /// Carbon intensity at the last grid tick, gCO₂ per kWh (0.0 when
+    /// grid-less).
+    pub carbon_g_per_kwh: f64,
+    /// A demand-response curtailment window is currently in force.
+    pub dr_active: bool,
+    /// Current PUE: the cooling loop's when a grid config carries one,
+    /// else the static facility model's (1.0 without either).
+    pub pue: f64,
 }
 
 #[cfg(test)]

@@ -33,6 +33,7 @@ use epa_cluster::node::NodeId;
 use epa_cluster::shard::ShardTopology;
 use epa_cluster::system::System;
 use epa_faults::{FaultConfig, FaultInjector, FaultPlan, SensorFaultConfig, SensorSample};
+use epa_grid::{GridConfig, GridState, GridSummary};
 use epa_obs::{
     KillReason, Obs, ObsBundle, RejectReason, Scope, TraceCategory, TraceConfig, TraceEvent,
 };
@@ -129,6 +130,13 @@ pub struct EngineConfig {
     /// outcomes and traces; the mode is excluded from the snapshot
     /// fingerprint.
     pub control_mode: ControlMode,
+    /// Facility digital twin: price/carbon traces, demand-response
+    /// contract, cooling loop. `None` (the default) leaves every code
+    /// path byte-identical to the grid-less engine; `Some` co-simulates
+    /// the twin at power-tick barriers, steering the IT budget through
+    /// `ControlAction::ResizeBudget` / `EmergencyShed` and settling
+    /// cost/carbon/penalty into [`ClusterSim::grid_summary`].
+    pub grid: Option<GridConfig>,
 }
 
 /// Parses an `EPA_JSRM_SHARDS` value: a positive integer, or `None` for
@@ -190,6 +198,7 @@ impl EngineConfig {
             retain_completed: true,
             bounded_power_trace: false,
             control_mode: ControlMode::Adapters,
+            grid: None,
         }
     }
 
@@ -209,6 +218,23 @@ impl EngineConfig {
         if let Some(f) = &self.faults {
             f.validate()
                 .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
+        }
+        if let Some(g) = &self.grid {
+            g.validate()
+                .map_err(|e| SchedError::InvalidConfig(e.to_string()))?;
+            // The twin steers through budget resizes; a steering config
+            // without a budget would silently do nothing.
+            let steers = !g.contract.events.is_empty()
+                || g.cooling.is_some()
+                || g.price_follow > 0.0
+                || g.carbon_follow > 0.0;
+            if steers && self.power_budget_watts.is_none() {
+                return Err(SchedError::InvalidConfig(
+                    "a steering grid config (DR events, cooling, or follow weights) \
+                     requires power_budget_watts"
+                        .to_owned(),
+                ));
+            }
         }
         Ok(())
     }
@@ -259,6 +285,11 @@ enum Ev {
     /// A correlated failure-domain event: index into the pre-generated
     /// [`FaultPlan`]'s `domain_events`.
     DomainFail(u32),
+    /// A demand-response curtailment window opens: index into the grid
+    /// config's contract events.
+    GridDrStart(u32),
+    /// The matching curtailment window closes.
+    GridDrEnd(u32),
 }
 
 impl Ev {
@@ -292,6 +323,14 @@ impl Ev {
                 w.u8(7);
                 w.u32(*idx);
             }
+            Ev::GridDrStart(idx) => {
+                w.u8(8);
+                w.u32(*idx);
+            }
+            Ev::GridDrEnd(idx) => {
+                w.u8(9);
+                w.u32(*idx);
+            }
         }
     }
 
@@ -305,6 +344,8 @@ impl Ev {
             5 => Ev::NodeFail,
             6 => Ev::RepairDone(NodeId(r.u32()?)),
             7 => Ev::DomainFail(r.u32()?),
+            8 => Ev::GridDrStart(r.u32()?),
+            9 => Ev::GridDrEnd(r.u32()?),
             tag => {
                 return Err(SnapshotError::Corrupt {
                     detail: format!("unknown engine event tag {tag}"),
@@ -787,6 +828,10 @@ pub struct ClusterSim<'p> {
     /// frequency, backfill depth, shutdown override). Snapshot as its
     /// own section (schema v3).
     control: ControlState,
+    /// Facility digital twin runtime state (present iff `config.grid`
+    /// is). Advanced only at power-tick barriers and DR-window events;
+    /// snapshot as its own section (schema v4).
+    grid: Option<GridState>,
 }
 
 impl<'p> ClusterSim<'p> {
@@ -876,6 +921,14 @@ impl<'p> ClusterSim<'p> {
         for &(t, w) in &config.budget_schedule {
             sim.schedule_at(t, Ev::BudgetResize(w));
         }
+        // Grid DR windows ride the same global event queue — ordinary
+        // barrier events, so shard/thread counts cannot reorder them.
+        if let Some(g) = &config.grid {
+            for (i, ev) in g.contract.events.iter().enumerate() {
+                sim.schedule_at(ev.start, Ev::GridDrStart(i as u32));
+                sim.schedule_at(ev.end, Ev::GridDrEnd(i as u32));
+            }
+        }
         let root_rng = epa_simcore::rng::SimRng::new(config.seed);
         // Cabinet-aligned shards: the requested count (config, then the
         // EPA_JSRM_SHARDS env, default 1) clamps to the cabinet count.
@@ -928,6 +981,7 @@ impl<'p> ClusterSim<'p> {
             .register_histogram("rm/actuation_delay_secs", &ACTUATION_DELAY_BUCKETS);
         obs.registry
             .register_histogram("telemetry/staleness_age_secs", &STALENESS_AGE_BUCKETS);
+        let grid_state = config.grid.as_ref().map(GridState::new);
         Ok(ClusterSim {
             config,
             system,
@@ -982,6 +1036,7 @@ impl<'p> ClusterSim<'p> {
             shards,
             local_events: 0,
             control: ControlState::default(),
+            grid: grid_state,
         })
     }
 
@@ -1085,6 +1140,27 @@ impl<'p> ClusterSim<'p> {
     pub fn run_traced(mut self) -> (SimOutcome, ObsBundle) {
         while !self.step() {}
         self.finalize()
+    }
+
+    /// The settled facility-twin results at the current barrier: energy,
+    /// cost at time-of-day prices, carbon, PUE, and DR penalties. `None`
+    /// when the engine runs without a grid config — [`SimOutcome`] never
+    /// carries grid fields, so grid-disabled outcomes stay byte-identical
+    /// to the pre-grid engine.
+    #[must_use]
+    pub fn grid_summary(&self) -> Option<GridSummary> {
+        match (&self.config.grid, &self.grid) {
+            (Some(cfg), Some(state)) => Some(state.summary(cfg)),
+            _ => None,
+        }
+    }
+
+    /// Runs the simulation to completion and reports the outcome plus
+    /// the grid settlement (when a grid config is present).
+    pub fn run_with_grid(mut self) -> (SimOutcome, Option<GridSummary>) {
+        while !self.step() {}
+        let grid = self.grid_summary();
+        (self.finalize().0, grid)
     }
 
     /// Advances the run by one window barrier: drains the conservative
@@ -1246,9 +1322,109 @@ impl<'p> ClusterSim<'p> {
                 }
                 self.try_schedule();
             }
+            Ev::GridDrStart(idx) => {
+                self.on_grid_dr_start(t, idx);
+                self.try_schedule();
+            }
+            Ev::GridDrEnd(idx) => {
+                self.on_grid_dr_end(t, idx);
+                self.try_schedule();
+            }
         }
         self.obs.profiler.stop(Scope::Dispatch, t_dispatch);
         false
+    }
+
+    /// A DR curtailment window opens: mark it active in the twin, drop
+    /// the budget to the contractual target through the control plane,
+    /// and — for enforced events — shed load immediately if the system
+    /// is already drawing above the target.
+    fn on_grid_dr_start(&mut self, t: SimTime, idx: u32) {
+        let Some((target, enforce)) = self.config.grid.as_ref().and_then(|g| {
+            g.event(idx)
+                .map(|ev| (ev.target_watts(g.nominal_it_watts), ev.enforce))
+        }) else {
+            return;
+        };
+        if let Some(gs) = self.grid.as_mut() {
+            gs.on_event_start(idx);
+        }
+        self.metrics.incr("grid/dr_events", 1);
+        let _ = self.apply_action(
+            t,
+            &ControlAction::ResizeBudget { watts: target },
+            ActionSource::Engineered,
+        );
+        if enforce {
+            let observed = self.meter.system_watts();
+            if observed > target {
+                let _ = self.apply_action(
+                    t,
+                    &ControlAction::EmergencyShed {
+                        observed_watts: observed,
+                        limit_watts: target,
+                        target_watts: target * 0.95,
+                        victim_order: VictimOrder::Youngest,
+                        cooldown: SimDuration::ZERO,
+                    },
+                    ActionSource::Engineered,
+                );
+            }
+        }
+    }
+
+    /// A DR window closes: clear the active flag and restore the budget
+    /// toward its nominal level (the next grid tick re-derates it for
+    /// cooling/follow conditions).
+    fn on_grid_dr_end(&mut self, t: SimTime, idx: u32) {
+        let Some(nominal) = self.config.grid.as_ref().map(|g| g.nominal_it_watts) else {
+            return;
+        };
+        if let Some(gs) = self.grid.as_mut() {
+            gs.on_event_end(idx);
+        }
+        let temp = self.ambient_c(t);
+        let target = match (&self.config.grid, &self.grid) {
+            (Some(gcfg), Some(gs)) => gs.budget_target(gcfg, temp),
+            _ => nominal,
+        };
+        let _ = self.apply_action(
+            t,
+            &ControlAction::ResizeBudget { watts: target },
+            ActionSource::Engineered,
+        );
+    }
+
+    /// The per-tick grid co-simulation step: settle cost/carbon/DR for
+    /// the elapsed interval at the metered IT draw, then steer the IT
+    /// budget to the twin's current target (cooling head-room ×
+    /// follow-the-renewables derating × DR cap) when it moved.
+    fn grid_tick(&mut self, t: SimTime, it_watts: f64) {
+        if self.config.grid.is_none() {
+            return;
+        }
+        let temp = self.ambient_c(t);
+        let fallback_pue = self.config.facility.as_ref().map_or(1.0, |f| f.pue(t));
+        let dt = (t - self.last_tick).as_secs();
+        let (Some(gcfg), Some(gs)) = (self.config.grid.as_ref(), self.grid.as_mut()) else {
+            return;
+        };
+        let target = gs.on_tick(gcfg, t, dt, it_watts, temp, fallback_pue);
+        let current = self.budget.as_ref().map(PowerBudget::total_watts);
+        if let Some(cur) = current {
+            if (target - cur).abs() > 1e-6 {
+                let _ = self.apply_action(
+                    t,
+                    &ControlAction::ResizeBudget { watts: target },
+                    ActionSource::Engineered,
+                );
+                // A raised budget can admit queued work right now; a cut
+                // only constrains future starts, so no reschedule needed.
+                if target > cur {
+                    self.try_schedule();
+                }
+            }
+        }
     }
 
     /// Runs the simulation up to (at most) `until`, stopping at the first
@@ -1366,6 +1542,15 @@ impl<'p> ClusterSim<'p> {
         fp.u64(u64::from(c.record_history));
         fp.u64(u64::from(c.retain_completed));
         fp.u64(u64::from(c.bounded_power_trace));
+        match &c.grid {
+            Some(g) => {
+                fp.u64(1);
+                g.fingerprint(&mut fp);
+            }
+            None => {
+                fp.u64(0);
+            }
+        }
         fp.str(self.policy.name());
         self.source.fingerprint(&mut fp);
         fp.u64(u64::from(self.system.spec().total_nodes()));
@@ -1469,6 +1654,8 @@ impl<'p> ClusterSim<'p> {
         self.source.snapshot_cursor(&mut w);
         w.section("obs");
         self.obs.snapshot_into(&mut w);
+        w.section("grid");
+        w.opt(self.grid.as_ref(), |w, g| g.snapshot_into(w));
         Snapshot::from_bytes(w.finish(SNAPSHOT_SCHEMA_VERSION))
     }
 
@@ -1679,6 +1866,22 @@ impl<'p> ClusterSim<'p> {
         self.source.restore_cursor(&mut r)?;
         r.section("obs")?;
         self.obs = Obs::restore_from(&mut r, self.config.trace.profile)?;
+        r.section("grid")?;
+        let grid_cfg = &self.config.grid;
+        let grid = r.opt(|r| {
+            let cfg = grid_cfg
+                .as_ref()
+                .ok_or_else(|| SnapshotError::ConfigMismatch {
+                    detail: "snapshot has grid state but the config has no grid model".to_owned(),
+                })?;
+            GridState::restore_from(r, cfg)
+        })?;
+        if grid.is_some() != self.config.grid.is_some() {
+            return Err(SnapshotError::ConfigMismatch {
+                detail: "snapshot and config disagree about the grid model".to_owned(),
+            });
+        }
+        self.grid = grid;
         r.finish()?;
 
         // Rebuild derived structures from the restored primaries.
@@ -2217,6 +2420,13 @@ impl<'p> ClusterSim<'p> {
                 .as_ref()
                 .is_some_and(|em| em.armed_at(now)),
             start_hold: now < self.start_hold_until,
+            price_per_mwh: self.grid.as_ref().map_or(0.0, GridState::price),
+            carbon_g_per_kwh: self.grid.as_ref().map_or(0.0, GridState::carbon),
+            dr_active: self.grid.as_ref().is_some_and(GridState::dr_active),
+            pue: match &self.grid {
+                Some(g) => g.pue(),
+                None => self.config.facility.as_ref().map_or(1.0, |f| f.pue(now)),
+            },
         }
     }
 
@@ -3069,6 +3279,9 @@ impl<'p> ClusterSim<'p> {
                 self.violation_accum_secs += dt;
             }
         }
+        // Grid co-simulation settles the same interval (it reads
+        // `last_tick` for its dt), then steers the budget target.
+        self.grid_tick(t, watts);
         self.last_tick = t;
 
         // Emergency response (RIKEN) and idle shutdown (Mämmelä / Tokyo

@@ -496,6 +496,10 @@ mod tests {
             telemetry_stale: false,
             emergency_armed: false,
             start_hold: false,
+            price_per_mwh: 0.0,
+            carbon_g_per_kwh: 0.0,
+            dr_active: false,
+            pue: 1.0,
         }
     }
 

@@ -32,8 +32,10 @@ use std::path::Path;
 /// rejects mismatches with a typed error. v2 added the `arrivals`
 /// section (streaming source cursor + completion aggregates); v3 added
 /// the `control` section (control-plane knob state, so a learned
-/// controller's overrides survive a crash/resume).
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+/// controller's overrides survive a crash/resume); v4 added the `grid`
+/// section (facility-twin cursors and cost/carbon/DR accumulators, plus
+/// two new wire tags for DR-window events in the global queue).
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
 
 /// A frozen engine state: an owned, framed, checksummed byte buffer.
 ///

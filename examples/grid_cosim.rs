@@ -1,0 +1,81 @@
+//! Grid co-simulation quickstart: one site, three simulated days under a
+//! facility digital twin — time-of-day electricity prices, grid carbon
+//! intensity, a cooling loop whose PUE tracks IT load, and one
+//! demand-response window with contractual penalty settlement.
+//!
+//! ```sh
+//! cargo run --release --example grid_cosim
+//! ```
+
+use epa_jsrm::grid::{DrContract, DrEvent, GridConfig, GridTrace};
+use epa_jsrm::prelude::*;
+
+fn main() {
+    // LRZ's production machine and workload, three simulated days.
+    let mut site = epa_jsrm::sites::centers::lrz::config(3);
+    site.horizon = SimTime::from_days(3.0);
+    let system = site.system.clone().build();
+    let jobs = WorkloadGenerator::new(site.workload.clone()).generate(site.horizon, 0);
+    let nominal = system.spec().nominal_watts();
+
+    // The twin: synthetic diurnal price/carbon traces in local time, a
+    // cooling loop fed from a facility sized 30% above the IT budget.
+    let mut grid = GridConfig::synthetic(nominal, nominal * 1.3, 92.0, 380.0, 3, 0.8, 42);
+
+    // Operators can also load measured tariffs — the CSV-ish format is
+    // "hours,value" rows. Swap the synthetic price for a day-ahead-style
+    // tariff that repeats a cheap-night / peak-evening pattern.
+    let tariff = "\
+# day-ahead tariff, EUR/MWh (hour offset, price)
+0,61\n6,58\n9,104\n13,96\n18,131\n22,74\n24,61\n30,58\n33,104\n37,96\n42,131\n46,74\n48,61\n\
+54,58\n57,104\n61,96\n66,131\n70,74\n72,61";
+    grid.price = GridTrace::parse_csv(tariff).expect("tariff parses");
+
+    // Follow the renewables a little: shed up to 30% of the budget at
+    // peak price, 20% at peak carbon.
+    grid.price_follow = 0.3;
+    grid.carbon_follow = 0.2;
+
+    // One demand-response window: shed to 60% for the second evening,
+    // 0.5 kWh of tolerance, 12 EUR per excess kWh beyond it.
+    grid.contract = DrContract {
+        events: vec![DrEvent {
+            start: SimTime::from_hours(42.0),
+            end: SimTime::from_hours(46.0),
+            target_frac: 0.6,
+            enforce: true,
+        }],
+        penalty_per_excess_kwh: 12.0,
+        tolerance_kwh: 0.5,
+    };
+
+    let mut config = EngineConfig::new(site.horizon);
+    config.power_budget_watts = Some(nominal);
+    config.seed = 3;
+    config.grid = Some(grid);
+
+    let mut policy = EasyBackfill;
+    let (out, summary) = ClusterSim::new(system, jobs, &mut policy, config).run_with_grid();
+    let summary = summary.expect("grid twin configured");
+
+    println!("LRZ under the grid twin, 3 simulated days:\n");
+    println!("  jobs completed        {}", out.completed);
+    println!("  mean bounded slowdown {:.2}", out.mean_bounded_slowdown);
+    println!("  IT energy             {:.2} MWh", summary.energy_it_mwh);
+    println!(
+        "  facility energy       {:.2} MWh (mean PUE {:.3})",
+        summary.energy_facility_mwh, summary.mean_pue
+    );
+    println!("  electricity cost      {:.0} EUR", summary.cost);
+    println!("  carbon                {:.0} kg CO2", summary.carbon_kg);
+    for ev in &summary.dr.events {
+        println!(
+            "  DR event {}: {:.0} s in violation, {:.2} excess kWh, {:.2} EUR penalty",
+            ev.event, ev.violation_secs, ev.excess_kwh, ev.penalty
+        );
+    }
+    println!(
+        "  total (cost+penalty)  {:.0} EUR",
+        summary.cost_with_penalty
+    );
+}

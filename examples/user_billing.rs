@@ -3,10 +3,16 @@
 //! user-facing half of EPA JSRM (Tokyo Tech's marks, JCAHPC's post-job
 //! reports, STFC's reporting tool, LRZ's cost pressure).
 //!
+//! Pricing is time-of-day: the site's diurnal tariff (an `epa-grid`
+//! price trace) is integrated against the run's power trace, and the
+//! bill uses the resulting energy-weighted effective rate — running the
+//! same jobs at night is cheaper than at the evening peak.
+//!
 //! ```sh
 //! cargo run --release --example user_billing
 //! ```
 
+use epa_jsrm::grid::GridTrace;
 use epa_jsrm::prelude::*;
 use epa_jsrm::survey::billing::bill_users;
 use epa_jsrm::workload::generator::WorkloadGenerator;
@@ -20,17 +26,40 @@ fn main() {
     let user_of: BTreeMap<u64, u32> = jobs.iter().map(|j| (j.id.0, j.user)).collect();
     let report = run_site(&site);
 
-    let price = site.facility.supplies[0].cost_per_mwh;
+    // The flat contract rate swings ±35% over the day (LRZ local time).
+    let base_price = site.facility.supplies[0].cost_per_mwh;
+    let tariff = GridTrace::synthetic_price(base_price, 0.35, 2, site.meta.lon / 15.0, 3);
+
+    // Energy-weighted effective rate: integrate tariff × power over the
+    // run's power trace, divide by the energy.
+    let (mut weighted, mut energy) = (0.0f64, 0.0f64);
+    for w in report.outcome.power_trace.windows(2) {
+        let (t, watts) = w[0];
+        let dt = w[1].0 - t;
+        let joules = watts * dt;
+        weighted += joules * tariff.value_at(SimTime::from_secs(t));
+        energy += joules;
+    }
+    let effective_price = if energy > 0.0 {
+        weighted / energy
+    } else {
+        base_price
+    };
+
     let bill = bill_users(
         &report.outcome,
         &user_of,
         site.system.node.nominal_watts,
-        price,
+        effective_price,
     );
     println!(
         "LRZ, 2 simulated days, {} jobs completed — top-10 users by energy:\n",
         report.outcome.completed
     );
     println!("{}", bill.render(10));
+    println!(
+        "time-of-day tariff: base {base_price:.0}/MWh, energy-weighted effective {:.2}/MWh",
+        effective_price
+    );
     println!("efficiency-mark totals: {:?}", bill.mark_totals());
 }

@@ -39,6 +39,10 @@ pub use epa_predict as predict;
 /// Scheduling engine and every EPA policy.
 pub use epa_sched as sched;
 
+/// Facility digital twin: price/carbon traces, demand response, cooling
+/// loop, follow-the-renewables federation.
+pub use epa_grid as grid;
+
 /// Resource management: state machines, actuators, monitoring, reports.
 pub use epa_rm as rm;
 
